@@ -1,0 +1,186 @@
+//! # citroen-bench
+//!
+//! The experiment harness: one runner per paper table and figure (see
+//! DESIGN.md §3 for the index). The `experiments` binary dispatches on the
+//! experiment id; every runner prints markdown rows and writes a CSV under
+//! `results/`.
+
+#![warn(missing_docs)]
+
+pub mod ch4;
+pub mod ch5;
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Global experiment options (shared CLI flags).
+#[derive(Debug, Clone)]
+pub struct ExpCfg {
+    /// Repetitions (random seeds) per configuration.
+    pub reps: u64,
+    /// Measurement/evaluation budget.
+    pub budget: usize,
+    /// Pass-sequence length for phase-ordering tasks.
+    pub seq_len: usize,
+    /// Include the second platform / large dimensionalities.
+    pub full: bool,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpCfg {
+    fn default() -> ExpCfg {
+        ExpCfg {
+            reps: 3,
+            budget: 60,
+            seq_len: 24,
+            full: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpCfg {
+    /// Parse `--reps N --budget N --seq-len N --full` style flags.
+    pub fn from_args(args: &[String]) -> ExpCfg {
+        let mut cfg = ExpCfg::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--reps" => {
+                    cfg.reps = args[i + 1].parse().expect("--reps N");
+                    i += 1;
+                }
+                "--budget" => {
+                    cfg.budget = args[i + 1].parse().expect("--budget N");
+                    i += 1;
+                }
+                "--seq-len" => {
+                    cfg.seq_len = args[i + 1].parse().expect("--seq-len N");
+                    i += 1;
+                }
+                "--full" => cfg.full = true,
+                "--out" => {
+                    cfg.out_dir = PathBuf::from(&args[i + 1]);
+                    i += 1;
+                }
+                other => panic!("unknown flag '{other}'"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Geometric mean (for speedups).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A simple experiment report: markdown printing + CSV persistence.
+pub struct Report {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// New report with column headers.
+    pub fn new(name: &str, headers: &[&str]) -> Report {
+        Report {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Read-only access to the accumulated rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print as a markdown table and write `<out>/<name>.csv`.
+    pub fn finish(&self, cfg: &ExpCfg) {
+        println!("\n### {}\n", self.name);
+        println!("| {} |", self.headers.join(" | "));
+        println!("|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            println!("| {} |", r.join(" | "));
+        }
+        let _ = fs::create_dir_all(&cfg.out_dir);
+        let path = cfg.out_dir.join(format!("{}.csv", self.name));
+        let mut csv = self.headers.join(",") + "\n";
+        for r in &self.rows {
+            csv += &r.join(",");
+            csv += "\n";
+        }
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("\n[written {}]", path.display());
+        }
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 4 decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(std_dev(&[1.0, 1.0, 1.0]) < 1e-12);
+        assert!(std_dev(&[1.0, 3.0]) > 1.0);
+    }
+
+    #[test]
+    fn args_parse() {
+        let cfg = ExpCfg::from_args(&[
+            "--reps".into(),
+            "5".into(),
+            "--budget".into(),
+            "99".into(),
+            "--full".into(),
+        ]);
+        assert_eq!(cfg.reps, 5);
+        assert_eq!(cfg.budget, 99);
+        assert!(cfg.full);
+    }
+}

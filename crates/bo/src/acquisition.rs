@@ -1,0 +1,183 @@
+//! Acquisition functions (thesis §2.1.2): UCB, EI, PI — analytic forms plus
+//! Monte-Carlo batch estimates via the reparameterisation trick.
+//!
+//! Convention: the *objective is minimised*; all AFs are written so that
+//! larger AF = more desirable query.
+
+use citroen_gp::Gp;
+
+/// Acquisition function choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Lower-confidence-bound style UCB for minimisation (thesis eq. 4.1):
+    /// `α(x) = −μ(x) + √β·σ(x)`.
+    Ucb {
+        /// Exploration weight β.
+        beta: f64,
+    },
+    /// Expected improvement over the incumbent.
+    Ei,
+    /// Probability of improvement over the incumbent.
+    Pi,
+}
+
+impl Acquisition {
+    /// Short display name (e.g. `UCB1.96`).
+    pub fn name(&self) -> String {
+        match self {
+            Acquisition::Ucb { beta } => format!("UCB{beta}"),
+            Acquisition::Ei => "EI".into(),
+            Acquisition::Pi => "PI".into(),
+        }
+    }
+
+    /// Evaluate the AF at `x` (unit space) given the GP and the incumbent
+    /// best value `best_z` in *model (transformed) space*.
+    pub fn eval(&self, gp: &Gp, best_z: f64, x: &[f64]) -> f64 {
+        let (mu, var) = gp.predict(x);
+        let sd = var.sqrt();
+        match self {
+            Acquisition::Ucb { beta } => -mu + beta.sqrt() * sd,
+            Acquisition::Ei => {
+                if sd < 1e-12 {
+                    return (best_z - mu).max(0.0);
+                }
+                let z = (best_z - mu) / sd;
+                sd * (z * normal_cdf(z) + normal_pdf(z))
+            }
+            Acquisition::Pi => {
+                if sd < 1e-12 {
+                    return if mu < best_z { 1.0 } else { 0.0 };
+                }
+                normal_cdf((best_z - mu) / sd)
+            }
+        }
+    }
+
+    /// Monte-Carlo estimate of the batch AF over a set of points (thesis
+    /// §2.1.2, qEI/qUCB): draws `eps` (pre-sampled standard normals, one row
+    /// of `q` values per MC sample) and averages the per-sample utility.
+    ///
+    /// For independence-approximated posteriors (diagonal covariance), which
+    /// is what our greedy batch construction uses.
+    pub fn mc_eval_batch(&self, gp: &Gp, best_z: f64, xs: &[Vec<f64>], eps: &[Vec<f64>]) -> f64 {
+        let q = xs.len();
+        let stats: Vec<(f64, f64)> = xs.iter().map(|x| gp.predict(x)).collect();
+        let mut total = 0.0;
+        for e in eps {
+            let mut util = f64::NEG_INFINITY;
+            for j in 0..q {
+                let (mu, var) = stats[j];
+                let y = mu + var.sqrt() * e[j];
+                let u = match self {
+                    Acquisition::Ucb { beta } => {
+                        // qUCB reparameterisation (Wilson et al.): μ + √(βπ/2)·|γ|
+                        let gamma = var.sqrt() * e[j];
+                        -(mu) + (beta * std::f64::consts::PI / 2.0).sqrt() * gamma.abs()
+                    }
+                    Acquisition::Ei => (best_z - y).max(0.0),
+                    Acquisition::Pi => {
+                        if y < best_z {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                util = util.max(u);
+            }
+            total += util;
+        }
+        total / eps.len() as f64
+    }
+}
+
+/// Standard normal PDF.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF (Abramowitz–Stegun style erf approximation).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Numerical Recipes 6.2.2-style approximation, |err| < 1.2e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * x);
+    let tau = t
+        * (-x * x - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    sign * (1.0 - tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_gp::{Gp, GpConfig, Mat};
+
+    fn toy_gp() -> Gp {
+        let x = Mat::from_rows(vec![vec![0.0], vec![0.25], vec![0.5], vec![0.75], vec![1.0]]);
+        let y = vec![1.0, 0.2, 0.0, 0.3, 1.1];
+        Gp::fit(x, &y, GpConfig { yeo_johnson: false, ..Default::default() })
+    }
+
+    #[test]
+    fn cdf_pdf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_pdf(0.0) - 0.3989).abs() < 1e-3);
+        assert!(normal_cdf(-8.0) < 1e-12);
+    }
+
+    #[test]
+    fn ei_positive_and_zero_far_above_incumbent() {
+        let gp = toy_gp();
+        let best = gp.transform().forward(0.0);
+        // EI is non-negative everywhere and nearly zero where the posterior
+        // mean is far above the incumbent.
+        for q in [0.0f64, 0.3, 0.5, 0.62, 0.9] {
+            assert!(Acquisition::Ei.eval(&gp, best, &[q]) >= 0.0);
+        }
+        let ei_bad = Acquisition::Ei.eval(&gp, best, &[0.98]); // μ ≈ 1.1
+        let ei_promising = Acquisition::Ei.eval(&gp, best, &[0.55]);
+        assert!(ei_promising > ei_bad, "promising {ei_promising} vs bad {ei_bad}");
+    }
+
+    #[test]
+    fn ucb_beta_trades_exploration() {
+        let gp = toy_gp();
+        let best = 0.0;
+        // At a high-uncertainty point, a bigger β gives a bigger AF.
+        let q = [0.62];
+        let a1 = Acquisition::Ucb { beta: 1.0 }.eval(&gp, best, &q);
+        let a9 = Acquisition::Ucb { beta: 9.0 }.eval(&gp, best, &q);
+        assert!(a9 > a1);
+    }
+
+    #[test]
+    fn mc_batch_prefers_diverse_batches() {
+        let gp = toy_gp();
+        let best = gp.transform().forward(0.0);
+        // Fixed MC draws.
+        let eps: Vec<Vec<f64>> = (0..64)
+            .map(|i| {
+                let z = ((i % 8) as f64 - 3.5) / 2.0;
+                vec![z, -z]
+            })
+            .collect();
+        let dup = Acquisition::Ei.mc_eval_batch(&gp, best, &[vec![0.6], vec![0.6]], &eps);
+        let div = Acquisition::Ei.mc_eval_batch(&gp, best, &[vec![0.6], vec![0.35]], &eps);
+        assert!(div >= dup * 0.99, "diverse {div} vs duplicated {dup}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Representative high-dimensional BO baselines of thesis Fig. 4.5/4.6:
+//! a TuRBO-style trust-region local BO and a HeSBO-style random-subspace
+//! embedding BO.
+
+use crate::acquisition::Acquisition;
+use crate::aibo::BoResult;
+use crate::heuristics::standard_normal;
+use crate::space::Bounds;
+use citroen_gp::{Gp, GpConfig, Mat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// TuRBO-1 configuration.
+#[derive(Debug, Clone)]
+pub struct TurboConfig {
+    /// Initial trust-region edge length (unit-cube units).
+    pub l_init: f64,
+    /// Minimum length before a restart.
+    pub l_min: f64,
+    /// Maximum length.
+    pub l_max: f64,
+    /// Consecutive successes before expanding.
+    pub success_tol: usize,
+    /// Consecutive failures before shrinking.
+    pub fail_tol: usize,
+    /// Candidates sampled in the region per iteration.
+    pub candidates: usize,
+    /// Initial design size (per restart).
+    pub init_samples: usize,
+    /// GP settings.
+    pub gp: GpConfig,
+}
+
+impl Default for TurboConfig {
+    fn default() -> TurboConfig {
+        TurboConfig {
+            l_init: 0.8,
+            l_min: 0.007,
+            l_max: 1.6,
+            success_tol: 3,
+            fail_tol: 5,
+            candidates: 300,
+            init_samples: 20,
+            gp: GpConfig { fit_iters: 15, yeo_johnson: false, ..Default::default() },
+        }
+    }
+}
+
+/// Run TuRBO-1 (trust-region local BO with restarts), minimising.
+pub fn run_turbo(
+    bounds: &Bounds,
+    cfg: &TurboConfig,
+    seed: u64,
+    budget: usize,
+    f: &mut dyn FnMut(&[f64]) -> f64,
+) -> BoResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = bounds.dim();
+    let mut all_xs: Vec<Vec<f64>> = Vec::new();
+    let mut all_ys: Vec<f64> = Vec::new();
+    let mut best_history: Vec<f64> = Vec::new();
+    let mut algo_time = Duration::ZERO;
+
+    'restarts: loop {
+        // Fresh trust region state per restart.
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut length = cfg.l_init;
+        let mut successes = 0usize;
+        let mut failures = 0usize;
+        for _ in 0..cfg.init_samples {
+            if all_ys.len() >= budget {
+                break 'restarts;
+            }
+            let u = bounds.sample_unit(&mut rng);
+            let y = f(&bounds.from_unit(&u));
+            xs.push(u.clone());
+            ys.push(y);
+            all_xs.push(bounds.from_unit(&u));
+            all_ys.push(y);
+            best_history
+                .push(all_ys.iter().cloned().fold(f64::INFINITY, f64::min));
+        }
+        while all_ys.len() < budget {
+            let t0 = Instant::now();
+            let best_idx = ys
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            let center = xs[best_idx].clone();
+            let best_y = ys[best_idx];
+            let gp = Gp::fit(Mat::from_rows(xs.clone()), &ys, cfg.gp.clone());
+            // Candidates: TuRBO's perturbation scheme — copy the centre and
+            // resample each dim with probability min(20/d, 1) inside the box.
+            let p = (20.0 / d as f64).min(1.0);
+            let mut best_cand: Option<(Vec<f64>, f64)> = None;
+            let half = length / 2.0;
+            let acq = Acquisition::Ucb { beta: 1.96 };
+            let best_z = gp.transform().forward(best_y);
+            for _ in 0..cfg.candidates {
+                let mut c = center.clone();
+                let mut any = false;
+                for v in c.iter_mut() {
+                    if rng.gen_bool(p) {
+                        *v = (*v + half * standard_normal(&mut rng) * 0.5)
+                            .clamp((*v - half).max(0.0), (*v + half).min(1.0))
+                            .clamp(0.0, 1.0);
+                        any = true;
+                    }
+                }
+                if !any {
+                    let i = rng.gen_range(0..d);
+                    c[i] = (c[i] + half * standard_normal(&mut rng) * 0.5).clamp(0.0, 1.0);
+                }
+                let a = acq.eval(&gp, best_z, &c);
+                if best_cand.as_ref().map(|(_, b)| a > *b).unwrap_or(true) {
+                    best_cand = Some((c, a));
+                }
+            }
+            algo_time += t0.elapsed();
+            let (u, _) = best_cand.unwrap();
+            let y = f(&bounds.from_unit(&u));
+            let improved = y < best_y - 1e-3 * best_y.abs().max(1e-9);
+            xs.push(u.clone());
+            ys.push(y);
+            all_xs.push(bounds.from_unit(&u));
+            all_ys.push(y);
+            best_history.push(all_ys.iter().cloned().fold(f64::INFINITY, f64::min));
+            if improved {
+                successes += 1;
+                failures = 0;
+            } else {
+                failures += 1;
+                successes = 0;
+            }
+            if successes >= cfg.success_tol {
+                length = (length * 2.0).min(cfg.l_max);
+                successes = 0;
+            }
+            if failures >= cfg.fail_tol {
+                length /= 2.0;
+                failures = 0;
+            }
+            if length < cfg.l_min {
+                continue 'restarts; // restart with a fresh region
+            }
+        }
+        break;
+    }
+
+    BoResult { xs: all_xs, ys: all_ys, best_history, records: Vec::new(), algo_time }
+}
+
+/// Run HeSBO-style embedding BO: BO in an `m`-dimensional subspace mapped to
+/// the full space by a count-sketch embedding (random index + sign per
+/// target dimension), minimising.
+pub fn run_hesbo(
+    bounds: &Bounds,
+    m: usize,
+    seed: u64,
+    budget: usize,
+    f: &mut dyn FnMut(&[f64]) -> f64,
+) -> BoResult {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EB0);
+    let d = bounds.dim();
+    // Count-sketch embedding: each full dim copies one low dim with a sign.
+    let idx: Vec<usize> = (0..d).map(|_| rng.gen_range(0..m)).collect();
+    let sign: Vec<f64> = (0..d).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+    let lift = move |u_low: &[f64]| -> Vec<f64> {
+        (0..d)
+            .map(|j| {
+                let v = u_low[idx[j]] * 2.0 - 1.0; // [-1, 1]
+                ((sign[j] * v) + 1.0) / 2.0
+            })
+            .collect()
+    };
+    let low_bounds = Bounds::cube(m, 0.0, 1.0);
+    let cfg = crate::aibo::presets::bo_grad(200, 2);
+    let mut wrapped = |u_low: &[f64]| -> f64 {
+        let u_full = lift(u_low);
+        f(&bounds.from_unit(&u_full))
+    };
+    crate::aibo::run_aibo(&low_bounds, &cfg, seed, budget, &mut wrapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn turbo_improves_over_initial_design() {
+        let bounds = Bounds::cube(8, -3.0, 3.0);
+        let mut f = |x: &[f64]| sphere(x);
+        let cfg = TurboConfig { candidates: 80, init_samples: 10, ..Default::default() };
+        let res = run_turbo(&bounds, &cfg, 1, 60, &mut f);
+        assert_eq!(res.ys.len(), 60);
+        let init_best = res.ys[..10].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(res.best() < init_best, "{} !< {}", res.best(), init_best);
+    }
+
+    #[test]
+    fn hesbo_runs_in_low_dim() {
+        let bounds = Bounds::cube(50, -2.0, 2.0);
+        let mut f = |x: &[f64]| sphere(x);
+        let res = run_hesbo(&bounds, 8, 3, 40, &mut f);
+        assert_eq!(res.ys.len(), 40);
+        assert!(res.best().is_finite());
+        // The lifted points live in the full space.
+        assert_eq!(res.xs[0].len(), 8); // xs are in the low-dim search space
+    }
+}

@@ -1,0 +1,118 @@
+//! BO-stack integration tests: AIBO instrumentation modes, preset baselines,
+//! and cross-optimiser sanity on a common task.
+
+use citroen_bo::aibo::presets;
+use citroen_bo::{
+    run_aibo, run_heuristic, run_random_search, run_turbo, Acquisition, AiboConfig, Bounds,
+    GradMaximizer, StrategyKind, TurboConfig,
+};
+use citroen_gp::GpConfig;
+
+fn rastrigin(x: &[f64]) -> f64 {
+    10.0 * x.len() as f64
+        + x.iter()
+            .map(|v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos())
+            .sum::<f64>()
+}
+
+fn tiny_cfg() -> AiboConfig {
+    AiboConfig {
+        k: 50,
+        init_samples: 10,
+        gp: GpConfig { fit_iters: 8, yeo_johnson: false, ..Default::default() },
+        maximizer: Some(GradMaximizer { iters: 4, lr: 0.05 }),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn record_candidates_mode_captures_pools() {
+    let bounds = Bounds::cube(6, -5.12, 5.12);
+    let cfg = AiboConfig { record_candidates: true, n: 2, ..tiny_cfg() };
+    let mut f = |x: &[f64]| rastrigin(x);
+    let res = run_aibo(&bounds, &cfg, 5, 25, &mut f);
+    assert!(!res.records.is_empty());
+    for r in &res.records {
+        // 3 strategies × n=2 refined candidates each.
+        assert_eq!(r.candidates.len(), 6);
+        for c in &r.candidates {
+            assert_eq!(c.len(), 6);
+            assert!(c.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}
+
+#[test]
+fn presets_differ_in_behaviour_not_interface() {
+    let bounds = Bounds::cube(5, -2.0, 2.0);
+    for cfg in [
+        presets::bo_grad(50, 1),
+        presets::bo_random(50),
+        presets::bo_es(50),
+        presets::bo_cmaes_grad(50),
+        presets::bo_boltzmann_grad(50),
+        presets::bo_gaussian_grad(50),
+        presets::aibo_variant(vec![StrategyKind::Ga]),
+    ] {
+        let mut cfg = cfg;
+        cfg.init_samples = 8;
+        cfg.gp = GpConfig { fit_iters: 5, yeo_johnson: false, ..Default::default() };
+        let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let res = run_aibo(&bounds, &cfg, 1, 16, &mut f);
+        assert_eq!(res.ys.len(), 16);
+        assert!(res.best().is_finite());
+    }
+}
+
+#[test]
+fn all_optimisers_improve_over_first_sample() {
+    let bounds = Bounds::cube(8, -5.12, 5.12);
+    // AIBO
+    let mut f1 = |x: &[f64]| rastrigin(x);
+    let a = run_aibo(&bounds, &tiny_cfg(), 3, 40, &mut f1);
+    assert!(a.best() < a.ys[0]);
+    // TuRBO
+    let mut f2 = |x: &[f64]| rastrigin(x);
+    let t = run_turbo(
+        &bounds,
+        &TurboConfig { candidates: 60, init_samples: 10, ..Default::default() },
+        3,
+        40,
+        &mut f2,
+    );
+    assert!(t.best() < t.ys[0] + 1e-12);
+    // Heuristics + random
+    for kind in [StrategyKind::Ga, StrategyKind::CmaEs] {
+        let mut f3 = |x: &[f64]| rastrigin(x);
+        let h = run_heuristic(&bounds, kind, 3, 40, &mut f3);
+        assert!(h.best() <= h.ys[0]);
+    }
+    let mut f4 = |x: &[f64]| rastrigin(x);
+    let r = run_random_search(&bounds, 3, 40, &mut f4);
+    assert_eq!(r.ys.len(), 40);
+}
+
+#[test]
+fn acquisition_settings_change_selection() {
+    // Same seed, different β: the evaluated points must eventually diverge.
+    let bounds = Bounds::cube(4, -1.0, 1.0);
+    let run_with = |beta: f64| {
+        let cfg = AiboConfig { af: Acquisition::Ucb { beta }, ..tiny_cfg() };
+        let mut f = |x: &[f64]| x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>();
+        run_aibo(&bounds, &cfg, 11, 25, &mut f)
+    };
+    let low = run_with(0.5);
+    let high = run_with(16.0);
+    assert_ne!(low.xs, high.xs, "β must influence the search trajectory");
+}
+
+#[test]
+fn seeded_runs_are_reproducible() {
+    let bounds = Bounds::cube(5, -3.0, 3.0);
+    let mut f1 = |x: &[f64]| rastrigin(x);
+    let mut f2 = |x: &[f64]| rastrigin(x);
+    let a = run_aibo(&bounds, &tiny_cfg(), 9, 20, &mut f1);
+    let b = run_aibo(&bounds, &tiny_cfg(), 9, 20, &mut f2);
+    assert_eq!(a.ys, b.ys);
+    assert_eq!(a.best_history, b.best_history);
+}

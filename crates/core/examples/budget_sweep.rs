@@ -1,0 +1,31 @@
+//! Budget-convergence probe: how CITROEN's best-found speedup grows with the
+//! measurement budget on three kernels (the underlying data of Fig. 5.7).
+//!
+//! ```sh
+//! cargo run --release -p citroen-core --example budget_sweep
+//! ```
+
+use citroen_core::{run_citroen, CitroenConfig, Task, TaskConfig};
+use citroen_passes::Registry;
+use citroen_sim::Platform;
+
+fn main() {
+    for name in ["telecom_gsm", "consumer_jpeg_dct", "automotive_bitcount"] {
+        let bench = citroen_suite::cbench()
+            .into_iter()
+            .find(|b| b.name == name)
+            .unwrap();
+        let mut task = Task::new(
+            bench,
+            Registry::full(),
+            Platform::tx2(),
+            TaskConfig { seq_len: 24, seed: 1, ..Default::default() },
+        );
+        let (trace, _) = run_citroen(&mut task, 100, &CitroenConfig { seed: 1, ..Default::default() });
+        print!("{name:<22}");
+        for checkpoint in [20usize, 40, 60, 80, 100] {
+            print!("  @{checkpoint}: {:.3}x", task.speedup(trace.best_at(checkpoint)));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,16 @@
+//! # citroen-core
+//!
+//! CITROEN — the paper's primary contribution: compilation-statistics-guided
+//! Bayesian optimisation for compiler phase ordering, plus the autotuning
+//! [`task`] framework (compile/measure abstraction, differential testing,
+//! budget accounting) and the adaptive [`multimodule`] budget allocator.
+
+#![warn(missing_docs)]
+
+pub mod citroen;
+pub mod multimodule;
+pub mod task;
+
+pub use citroen::{run_citroen, CitroenConfig, FeatureKind, GeneratorKind, ImpactReport};
+pub use multimodule::{run_multimodule, Allocation, MultiModuleConfig, MultiModuleResult};
+pub use task::{Task, TaskConfig, TimeBreakdown, TuneError, TuneTrace};

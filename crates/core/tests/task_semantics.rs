@@ -1,0 +1,118 @@
+//! Task-framework semantics: budget charging modes, warm starts, per-module
+//! assembly, and the differential-testing guard.
+
+use citroen_core::{run_citroen, CitroenConfig, Task, TaskConfig};
+use citroen_passes::{o3_pipeline, Registry};
+use citroen_sim::Platform;
+
+fn crc_task(seed: u64) -> Task {
+    Task::new(
+        citroen_suite::kernels::telecom_crc32(),
+        Registry::full(),
+        Platform::tx2(),
+        TaskConfig { seq_len: 10, seed, ..Default::default() },
+    )
+}
+
+#[test]
+fn cached_measurements_are_free_by_default() {
+    let mut t = crc_task(0);
+    let o3 = o3_pipeline(&t.registry);
+    t.measure_seq(&o3).unwrap();
+    t.measure_seq(&o3).unwrap();
+    t.measure_seq(&o3).unwrap();
+    assert_eq!(t.measurements, 1);
+    assert_eq!(t.cache_hits, 2);
+}
+
+#[test]
+fn charge_cached_makes_duplicates_cost_budget() {
+    let mut t = crc_task(0);
+    t.charge_cached = true;
+    let o3 = o3_pipeline(&t.registry);
+    t.measure_seq(&o3).unwrap();
+    t.measure_seq(&o3).unwrap();
+    assert_eq!(t.measurements, 2);
+    assert_eq!(t.cache_hits, 1);
+}
+
+#[test]
+fn noisy_measurements_vary_but_track_ground_truth() {
+    let mut t = crc_task(1);
+    let o3 = o3_pipeline(&t.registry);
+    let samples: Vec<f64> = (0..8).map(|_| t.measure_seq(&o3).unwrap()).collect();
+    let distinct: std::collections::HashSet<u64> =
+        samples.iter().map(|s| s.to_bits()).collect();
+    assert!(distinct.len() > 1, "repeated measurements must be noisy");
+    for s in &samples {
+        assert!((s / t.o3_seconds - 1.0).abs() < 0.05, "{s} vs {}", t.o3_seconds);
+    }
+}
+
+#[test]
+fn warm_start_seeds_the_incumbent() {
+    // Warm-starting with the O3 pipeline prefix means the very first
+    // measured candidate is already O3-quality.
+    let mut t = crc_task(2);
+    let o3: Vec<_> = o3_pipeline(&t.registry).into_iter().take(10).collect();
+    let cfg = CitroenConfig {
+        warm_start: Some(o3),
+        init_random: 1, // only the incumbent
+        candidates: 8,
+        seed: 2,
+        ..Default::default()
+    };
+    let (trace, _) = run_citroen(&mut t, 4, &cfg);
+    // The first observation comes from the warm incumbent.
+    let first = trace.runtimes[0];
+    assert!(
+        first < t.o0_seconds * 0.9,
+        "warm-started first candidate should already be optimised: {first} vs O0 {}",
+        t.o0_seconds
+    );
+}
+
+#[test]
+fn differential_guard_rejects_wrong_binaries() {
+    // Sabotage: hand the task a module that returns the wrong value by
+    // linking a modified hot module. We simulate a miscompile by editing the
+    // optimised module's constant directly.
+    let mut t = crc_task(3);
+    let hot = t.hot();
+    let seq = o3_pipeline(&t.registry);
+    let (_, _, mut module) = t.compile_hot(hot, &seq);
+    // Flip an immediate somewhere to change behaviour.
+    'outer: for f in &mut module.funcs {
+        for blk in &mut f.blocks {
+            for inst in &mut blk.insts {
+                let mut changed = false;
+                inst.for_each_operand_mut(|op| {
+                    if let citroen_ir::Operand::ImmI(v, s) = op {
+                        if *v == 0xEDB8_8320 {
+                            *op = citroen_ir::Operand::ImmI(v.wrapping_add(2), *s);
+                            changed = true;
+                        }
+                    }
+                });
+                if changed {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let (linked, fp) = t.assemble(&[(hot, &module)]);
+    let res = t.measure_linked(&linked, fp);
+    assert!(
+        matches!(res, Err(citroen_core::TuneError::DifferentialMismatch { .. })),
+        "sabotaged binary must be rejected, got {res:?}"
+    );
+    // And it must not have been recorded as a measurement.
+    assert_eq!(t.measurements, 0);
+}
+
+#[test]
+fn speedup_is_relative_to_o3() {
+    let t = crc_task(4);
+    assert!((t.speedup(t.o3_seconds) - 1.0).abs() < 1e-12);
+    assert!(t.speedup(t.o3_seconds / 2.0) > 1.9);
+}

@@ -1,0 +1,169 @@
+//! ARD kernels (Matérn-5/2 and RBF) with analytic hyperparameter gradients.
+
+/// Kernel family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Matérn ν = 5/2 — the thesis' default (§4.3.2).
+    Matern52,
+    /// Squared exponential.
+    Rbf,
+}
+
+/// An ARD kernel: per-dimension length-scales plus a signal variance, all in
+/// log-space for unconstrained optimisation.
+#[derive(Debug, Clone)]
+pub struct ArdKernel {
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Per-dimension log length-scales.
+    pub log_ls: Vec<f64>,
+    /// Log signal variance.
+    pub log_sf2: f64,
+}
+
+const SQRT5: f64 = 2.236_067_977_499_79;
+
+impl ArdKernel {
+    /// Kernel with all length-scales set to `ls0`.
+    pub fn new(kind: KernelKind, dims: usize, ls0: f64, sf2: f64) -> ArdKernel {
+        ArdKernel { kind, log_ls: vec![ls0.ln(); dims], log_sf2: sf2.ln() }
+    }
+
+    /// Number of input dimensions.
+    pub fn dims(&self) -> usize {
+        self.log_ls.len()
+    }
+
+    /// Length-scales in natural space (for ARD relevance ranking, Table 5.5).
+    pub fn lengthscales(&self) -> Vec<f64> {
+        self.log_ls.iter().map(|l| l.exp()).collect()
+    }
+
+    /// Scaled squared distance `r² = Σ (xᵢ-yᵢ)²/lᵢ²`.
+    fn r2(&self, x: &[f64], y: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for i in 0..x.len() {
+            let d = (x[i] - y[i]) / self.log_ls[i].exp();
+            s += d * d;
+        }
+        s
+    }
+
+    /// Kernel value `k(x, y)`.
+    pub fn k(&self, x: &[f64], y: &[f64]) -> f64 {
+        let sf2 = self.log_sf2.exp();
+        let r2 = self.r2(x, y);
+        match self.kind {
+            KernelKind::Rbf => sf2 * (-0.5 * r2).exp(),
+            KernelKind::Matern52 => {
+                let r = r2.sqrt();
+                sf2 * (1.0 + SQRT5 * r + 5.0 * r2 / 3.0) * (-SQRT5 * r).exp()
+            }
+        }
+    }
+
+    /// Kernel value plus gradients w.r.t. each log length-scale and log sf².
+    /// Returns `(k, dk/dlog_ls, dk/dlog_sf2)`.
+    pub fn k_grad(&self, x: &[f64], y: &[f64]) -> (f64, Vec<f64>, f64) {
+        let sf2 = self.log_sf2.exp();
+        let d = x.len();
+        let mut r2 = 0.0;
+        let mut per_dim = vec![0.0; d]; // (xi-yi)²/li²
+        for i in 0..d {
+            let li = self.log_ls[i].exp();
+            let di = (x[i] - y[i]) / li;
+            per_dim[i] = di * di;
+            r2 += di * di;
+        }
+        match self.kind {
+            KernelKind::Rbf => {
+                let k = sf2 * (-0.5 * r2).exp();
+                // dk/dlog li = k · per_dim[i]   (since d(-r²/2)/dlog li = per_dim[i])
+                let grads = per_dim.iter().map(|p| k * p).collect();
+                (k, grads, k)
+            }
+            KernelKind::Matern52 => {
+                let r = r2.sqrt();
+                let e = (-SQRT5 * r).exp();
+                let k = sf2 * (1.0 + SQRT5 * r + 5.0 * r2 / 3.0) * e;
+                // dk/dr = -sf2 · (5r/3)(1 + √5 r) e^{-√5 r}
+                // dr/dlog li = -per_dim[i]/r  (for r > 0)
+                let grads = if r < 1e-12 {
+                    vec![0.0; d]
+                } else {
+                    let dkdr = -sf2 * (5.0 * r / 3.0) * (1.0 + SQRT5 * r) * e;
+                    per_dim.iter().map(|p| dkdr * (-p / r)).collect()
+                };
+                (k, grads, k)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(kind: KernelKind) {
+        let mut k = ArdKernel::new(kind, 3, 0.7, 1.3);
+        k.log_ls = vec![0.2, -0.4, 0.1];
+        let x = [0.3, 0.9, -0.2];
+        let y = [-0.1, 0.4, 0.5];
+        let (_, grads, gsf) = k.k_grad(&x, &y);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut kp = k.clone();
+            kp.log_ls[i] += eps;
+            let mut km = k.clone();
+            km.log_ls[i] -= eps;
+            let num = (kp.k(&x, &y) - km.k(&x, &y)) / (2.0 * eps);
+            assert!(
+                (num - grads[i]).abs() < 1e-6,
+                "{kind:?} dim {i}: numeric {num} vs analytic {}",
+                grads[i]
+            );
+        }
+        let mut kp = k.clone();
+        kp.log_sf2 += eps;
+        let mut km = k.clone();
+        km.log_sf2 -= eps;
+        let num = (kp.k(&x, &y) - km.k(&x, &y)) / (2.0 * eps);
+        assert!((num - gsf).abs() < 1e-6, "{kind:?} sf2: {num} vs {gsf}");
+    }
+
+    #[test]
+    fn gradients_match_numeric_matern() {
+        numeric_grad(KernelKind::Matern52);
+    }
+
+    #[test]
+    fn gradients_match_numeric_rbf() {
+        numeric_grad(KernelKind::Rbf);
+    }
+
+    #[test]
+    fn kernel_properties() {
+        let k = ArdKernel::new(KernelKind::Matern52, 2, 1.0, 2.0);
+        let x = [0.5, -0.5];
+        // k(x,x) = sf²
+        assert!((k.k(&x, &x) - 2.0).abs() < 1e-12);
+        // symmetry and decay
+        let y = [1.5, 0.5];
+        assert!((k.k(&x, &y) - k.k(&y, &x)).abs() < 1e-15);
+        assert!(k.k(&x, &y) < k.k(&x, &x));
+        let z = [5.0, 5.0];
+        assert!(k.k(&x, &z) < k.k(&x, &y));
+    }
+
+    #[test]
+    fn ard_scales_matter() {
+        // A long length-scale in one dimension makes it irrelevant.
+        let mut k = ArdKernel::new(KernelKind::Matern52, 2, 1.0, 1.0);
+        k.log_ls = vec![0.0, 10.0f64.ln() * 3.0]; // dim 1 effectively ignored
+        let a = [0.0, 0.0];
+        let b = [0.0, 5.0];
+        assert!(k.k(&a, &b) > 0.99, "irrelevant dim should not decay the kernel");
+        let c = [1.5, 0.0];
+        assert!(k.k(&a, &c) < 0.7, "relevant dim must decay it");
+    }
+}

@@ -1,0 +1,19 @@
+//! # citroen-gp
+//!
+//! From-scratch Gaussian-process regression: dense linear algebra, ARD
+//! Matérn-5/2 / RBF kernels with analytic hyperparameter gradients,
+//! Yeo–Johnson output transforms, and marginal-likelihood fitting. The
+//! surrogate model of both AIBO (thesis Ch. 4) and the CITROEN cost model
+//! over compilation statistics (Ch. 5).
+
+#![warn(missing_docs)]
+
+pub mod gp;
+pub mod kernel;
+pub mod linalg;
+pub mod transform;
+
+pub use gp::{Gp, GpConfig, GpHypers};
+pub use kernel::{ArdKernel, KernelKind};
+pub use linalg::Mat;
+pub use transform::OutputTransform;

@@ -1,0 +1,140 @@
+//! Output transforms: standardisation and the Yeo–Johnson power transform
+//! (thesis §4.3.2 — "apply Yeo-Johnson power transforms to function values,
+//! which reduces skewness and makes the data more Gaussian-like").
+
+/// Yeo–Johnson transform with parameter λ.
+pub fn yeo_johnson(y: f64, lambda: f64) -> f64 {
+    if y >= 0.0 {
+        if lambda.abs() > 1e-9 {
+            ((1.0 + y).powf(lambda) - 1.0) / lambda
+        } else {
+            (1.0 + y).ln()
+        }
+    } else if (lambda - 2.0).abs() > 1e-9 {
+        -((1.0 - y).powf(2.0 - lambda) - 1.0) / (2.0 - lambda)
+    } else {
+        -(1.0 - y).ln()
+    }
+}
+
+/// Fitted output transform: Yeo–Johnson followed by standardisation.
+#[derive(Debug, Clone)]
+pub struct OutputTransform {
+    /// Selected Yeo–Johnson λ.
+    pub lambda: f64,
+    /// Post-YJ mean.
+    pub mean: f64,
+    /// Post-YJ standard deviation.
+    pub std: f64,
+}
+
+impl OutputTransform {
+    /// Fit on raw observations: grid-search λ maximising the (profiled)
+    /// normal log-likelihood of the transformed data, then standardise.
+    pub fn fit(y: &[f64]) -> OutputTransform {
+        assert!(!y.is_empty());
+        let lambdas: Vec<f64> = (-8..=8).map(|i| i as f64 * 0.25).collect();
+        let mut best = (f64::NEG_INFINITY, 1.0);
+        for &l in &lambdas {
+            let t: Vec<f64> = y.iter().map(|&v| yeo_johnson(v, l)).collect();
+            let ll = yj_loglik(y, &t, l);
+            if ll > best.0 {
+                best = (ll, l);
+            }
+        }
+        let lambda = best.1;
+        let t: Vec<f64> = y.iter().map(|&v| yeo_johnson(v, lambda)).collect();
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let var = t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+        let std = var.sqrt().max(1e-9);
+        OutputTransform { lambda, mean, std }
+    }
+
+    /// Identity transform (λ=1, no scaling) — for already-Gaussian data.
+    pub fn identity() -> OutputTransform {
+        OutputTransform { lambda: 1.0, mean: 0.0, std: 1.0 }
+    }
+
+    /// Raw → model space.
+    pub fn forward(&self, y: f64) -> f64 {
+        (yeo_johnson(y, self.lambda) - self.mean) / self.std
+    }
+
+    /// Model space → raw (inverse transform).
+    pub fn inverse(&self, z: f64) -> f64 {
+        let t = z * self.std + self.mean;
+        inv_yeo_johnson(t, self.lambda)
+    }
+}
+
+fn inv_yeo_johnson(t: f64, lambda: f64) -> f64 {
+    if t >= 0.0 {
+        if lambda.abs() > 1e-9 {
+            (t * lambda + 1.0).max(1e-12).powf(1.0 / lambda) - 1.0
+        } else {
+            t.exp() - 1.0
+        }
+    } else if (lambda - 2.0).abs() > 1e-9 {
+        1.0 - (1.0 - (2.0 - lambda) * t).max(1e-12).powf(1.0 / (2.0 - lambda))
+    } else {
+        1.0 - (-t).exp()
+    }
+}
+
+/// Profile log-likelihood of YJ-transformed data under a normal model,
+/// including the Jacobian term.
+fn yj_loglik(raw: &[f64], t: &[f64], lambda: f64) -> f64 {
+    let n = t.len() as f64;
+    let mean = t.iter().sum::<f64>() / n;
+    let var = t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    if var <= 0.0 || !var.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let jac: f64 = raw
+        .iter()
+        .map(|&y| (lambda - 1.0) * (y.signum() * (y.abs() + 1.0).ln()))
+        .sum();
+    -0.5 * n * var.ln() + jac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yj_is_monotone_and_invertible() {
+        for lambda in [-1.0, 0.0, 0.5, 1.0, 2.0, 2.5] {
+            let mut prev = f64::NEG_INFINITY;
+            for i in -20..=20 {
+                let y = i as f64 * 0.5;
+                let t = yeo_johnson(y, lambda);
+                assert!(t > prev, "not monotone at λ={lambda}");
+                prev = t;
+                let back = inv_yeo_johnson(t, lambda);
+                assert!((back - y).abs() < 1e-8, "λ={lambda}, y={y}: back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_one_is_identity() {
+        for y in [-3.0, 0.0, 2.5] {
+            assert!((yeo_johnson(y, 1.0) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_reduces_skew_of_exponential_data() {
+        // Heavily right-skewed data (like Rosenbrock values).
+        let y: Vec<f64> = (0..200).map(|i| ((i as f64 / 20.0).exp()) - 1.0).collect();
+        let t = OutputTransform::fit(&y);
+        assert!(t.lambda < 0.8, "skewed data should pick a compressive λ, got {}", t.lambda);
+        let z: Vec<f64> = y.iter().map(|&v| t.forward(v)).collect();
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-6);
+        // round-trip
+        for &v in y.iter().take(20) {
+            assert!((t.inverse(t.forward(v)) - v).abs() < 1e-5 * (1.0 + v.abs()));
+        }
+    }
+}

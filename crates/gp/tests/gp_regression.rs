@@ -1,0 +1,76 @@
+//! GP regression tests beyond the in-module unit tests: RBF variant,
+//! warm-started refits, and behaviour on larger dimensionality.
+
+use citroen_gp::{Gp, GpConfig, KernelKind, Mat};
+
+fn make_data(n: usize, d: usize, f: impl Fn(&[f64]) -> f64) -> (Mat, Vec<f64>) {
+    let mut s = 0xABCDu64;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rnd()).collect()).collect();
+    let y: Vec<f64> = rows.iter().map(|r| f(r)).collect();
+    (Mat::from_rows(rows), y)
+}
+
+#[test]
+fn rbf_kernel_fits_smooth_targets() {
+    let (x, y) = make_data(40, 2, |r| (4.0 * r[0]).sin() + r[1]);
+    let gp = Gp::fit(
+        x,
+        &y,
+        GpConfig { kernel: KernelKind::Rbf, fit_iters: 40, yeo_johnson: false, ..Default::default() },
+    );
+    let (m, _) = gp.predict(&[0.5, 0.5]);
+    let truth = (4.0f64 * 0.5).sin() + 0.5;
+    assert!((m - truth).abs() < 0.3, "RBF mean {m} vs truth {truth}");
+}
+
+#[test]
+fn warm_start_reproduces_cold_fit_quality() {
+    let (x, y) = make_data(30, 3, |r| r.iter().sum::<f64>().powi(2));
+    let cold = Gp::fit(x.clone(), &y, GpConfig { fit_iters: 40, ..Default::default() });
+    // Warm start from the cold fit with zero extra iterations: same hypers,
+    // so same predictions.
+    let warm = Gp::fit(
+        x,
+        &y,
+        GpConfig { fit_iters: 0, init: Some(cold.hypers()), ..Default::default() },
+    );
+    for q in [[0.2, 0.3, 0.4], [0.8, 0.1, 0.5]] {
+        let (mc, vc) = cold.predict(&q);
+        let (mw, vw) = warm.predict(&q);
+        assert!((mc - mw).abs() < 1e-9);
+        assert!((vc - vw).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn higher_dimensional_fits_stay_stable() {
+    // 40 points in 60-D (less data than dimensions) — the phase-ordering
+    // statistics regime. The fit must stay numerically sane.
+    let (x, y) = make_data(40, 60, |r| r[0] * 3.0 + r[1] - r[2] + 0.1 * r[10]);
+    let gp = Gp::fit(x, &y, GpConfig { fit_iters: 20, ..Default::default() });
+    let q = vec![0.5; 60];
+    let (m, v) = gp.predict(&q);
+    assert!(m.is_finite() && v.is_finite() && v >= 0.0);
+    let ls = gp.lengthscales();
+    assert_eq!(ls.len(), 60);
+    assert!(ls.iter().all(|l| l.is_finite() && *l > 0.0));
+}
+
+#[test]
+fn noise_floor_prevents_interpolation_blowup() {
+    // Duplicated inputs with different outputs (measurement noise) must not
+    // break the factorisation.
+    let rows = vec![vec![0.5, 0.5]; 12];
+    let y: Vec<f64> = (0..12).map(|i| 1.0 + 0.01 * (i % 3) as f64).collect();
+    let gp = Gp::fit(Mat::from_rows(rows), &y, GpConfig { fit_iters: 10, ..Default::default() });
+    let (m, v) = gp.predict(&[0.5, 0.5]);
+    assert!((m - gp.transform().forward(1.01)).abs() < 1.0);
+    assert!(v.is_finite());
+    assert!(gp.noise() > 0.0);
+}

@@ -1,0 +1,386 @@
+//! Ergonomic function construction, used by the benchmark suite and tests.
+
+use crate::inst::{BinOp, BlockId, CastKind, CmpOp, FuncId, Inst, Operand, Term, ValueId};
+use crate::module::Function;
+use crate::types::{ScalarTy, Ty, I1};
+
+/// Builds a [`Function`] block by block.
+///
+/// ```
+/// use citroen_ir::builder::FunctionBuilder;
+/// use citroen_ir::types::I64;
+/// use citroen_ir::inst::{BinOp, Operand};
+///
+/// let mut b = FunctionBuilder::new("add1", vec![I64], Some(I64));
+/// let x = b.param(0);
+/// let y = b.bin(BinOp::Add, I64, x, Operand::imm64(1));
+/// b.ret(Some(y));
+/// let f = b.finish();
+/// assert_eq!(f.num_insts(), 1);
+/// ```
+pub struct FunctionBuilder {
+    f: Function,
+    cur: BlockId,
+    terminated: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Start building a function; the cursor is at the entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Option<Ty>) -> FunctionBuilder {
+        let f = Function::new(name, params, ret);
+        FunctionBuilder { f, cur: BlockId(0), terminated: vec![false] }
+    }
+
+    /// Operand referring to parameter `i`.
+    pub fn param(&self, i: usize) -> Operand {
+        assert!(i < self.f.params.len(), "no parameter {i}");
+        Operand::Value(ValueId(i as u32))
+    }
+
+    /// Create a new (empty) block without moving the cursor.
+    pub fn block(&mut self) -> BlockId {
+        let b = self.f.new_block();
+        self.terminated.push(false);
+        b
+    }
+
+    /// Move the insertion cursor to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(!self.terminated[self.cur.idx()], "appending to terminated block {:?}", self.cur);
+        self.f.blocks[self.cur.idx()].insts.push(inst);
+    }
+
+    fn def(&mut self, ty: Ty) -> ValueId {
+        self.f.new_value(ty)
+    }
+
+    /// Emit a binary operation of result type `ty`.
+    pub fn bin(&mut self, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Operand {
+        let dst = self.def(ty);
+        self.push(Inst::Bin { dst, op, lhs, rhs });
+        Operand::Value(dst)
+    }
+
+    /// Emit an integer/float comparison; the result is `i1`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Operand, rhs: Operand) -> Operand {
+        let dst = self.def(I1);
+        self.push(Inst::Cmp { dst, op, lhs, rhs });
+        Operand::Value(dst)
+    }
+
+    /// Emit a cast to `to` of the given kind.
+    pub fn cast(&mut self, kind: CastKind, to: Ty, src: Operand) -> Operand {
+        let dst = self.def(to);
+        self.push(Inst::Cast { dst, kind, src });
+        Operand::Value(dst)
+    }
+
+    /// Emit an alloca of `bytes` bytes; the result is its byte address.
+    pub fn alloca(&mut self, bytes: u32) -> Operand {
+        let dst = self.def(Ty::scalar(ScalarTy::I64));
+        self.push(Inst::Alloca { dst, bytes });
+        Operand::Value(dst)
+    }
+
+    /// Emit a typed load.
+    pub fn load(&mut self, ty: Ty, addr: Operand) -> Operand {
+        let dst = self.def(ty);
+        self.push(Inst::Load { dst, addr });
+        Operand::Value(dst)
+    }
+
+    /// Emit a typed store.
+    pub fn store(&mut self, ty: Ty, val: Operand, addr: Operand) {
+        self.push(Inst::Store { ty, val, addr });
+    }
+
+    /// Emit a call; `ret` is the callee's return type if it has one.
+    pub fn call(&mut self, callee: FuncId, ret: Option<Ty>, args: Vec<Operand>) -> Option<Operand> {
+        let dst = ret.map(|ty| self.def(ty));
+        self.push(Inst::Call { dst, callee, args });
+        dst.map(Operand::Value)
+    }
+
+    /// Emit a φ-node of type `ty` with the given incoming edges.
+    pub fn phi(&mut self, ty: Ty, incoming: Vec<(BlockId, Operand)>) -> Operand {
+        let dst = self.def(ty);
+        // φ-nodes go before non-φ instructions.
+        let blk = &mut self.f.blocks[self.cur.idx()];
+        let pos = blk.insts.iter().take_while(|i| i.is_phi()).count();
+        blk.insts.insert(pos, Inst::Phi { dst, incoming });
+        Operand::Value(dst)
+    }
+
+    /// Emit a select of type `ty`.
+    pub fn select(&mut self, ty: Ty, cond: Operand, t: Operand, f: Operand) -> Operand {
+        let dst = self.def(ty);
+        self.push(Inst::Select { dst, cond, t, f });
+        Operand::Value(dst)
+    }
+
+    /// Emit a splat (scalar broadcast) producing a vector of type `ty`.
+    pub fn splat(&mut self, ty: Ty, src: Operand) -> Operand {
+        assert!(ty.is_vector());
+        let dst = self.def(ty);
+        self.push(Inst::Splat { dst, src });
+        Operand::Value(dst)
+    }
+
+    /// Emit a lane extraction; result has the vector's scalar type.
+    pub fn extract_lane(&mut self, scalar: ScalarTy, src: Operand, lane: u8) -> Operand {
+        let dst = self.def(Ty::scalar(scalar));
+        self.push(Inst::ExtractLane { dst, src, lane });
+        Operand::Value(dst)
+    }
+
+    /// Emit a horizontal reduction to a scalar of type `scalar`.
+    pub fn reduce(&mut self, op: BinOp, scalar: ScalarTy, src: Operand) -> Operand {
+        let dst = self.def(Ty::scalar(scalar));
+        self.push(Inst::Reduce { dst, op, src });
+        Operand::Value(dst)
+    }
+
+    /// Compute `base + index * elem_bytes` (address arithmetic helper).
+    /// Constant indices fold at build time, as a C front end would fold
+    /// constant GEPs.
+    pub fn gep(&mut self, base: Operand, index: Operand, elem_bytes: u32) -> Operand {
+        let i64t = Ty::scalar(ScalarTy::I64);
+        if let Some(c) = index.as_const_int() {
+            let off = c.wrapping_mul(elem_bytes as i64);
+            if off == 0 {
+                return base;
+            }
+            return self.bin(BinOp::Add, i64t, base, Operand::imm64(off));
+        }
+        let scaled = if elem_bytes == 1 {
+            index
+        } else {
+            self.bin(BinOp::Mul, i64t, index, Operand::imm64(elem_bytes as i64))
+        };
+        self.bin(BinOp::Add, i64t, base, scaled)
+    }
+
+    /// Terminate the current block with an unconditional branch.
+    pub fn br(&mut self, to: BlockId) {
+        self.terminate(Term::Br(to));
+    }
+
+    /// Terminate the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, t: BlockId, f: BlockId) {
+        self.terminate(Term::CondBr { cond, t, f });
+    }
+
+    /// Terminate the current block with a return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.terminate(Term::Ret(val));
+    }
+
+    fn terminate(&mut self, term: Term) {
+        assert!(!self.terminated[self.cur.idx()], "block {:?} already terminated", self.cur);
+        self.f.blocks[self.cur.idx()].term = term;
+        self.terminated[self.cur.idx()] = true;
+    }
+
+    /// Finish and return the function. Panics if any block lacks a terminator.
+    pub fn finish(self) -> Function {
+        for (i, t) in self.terminated.iter().enumerate() {
+            assert!(*t, "block b{i} in '{}' not terminated", self.f.name);
+        }
+        self.f
+    }
+}
+
+/// Records loop-carried values created inside a [`counted_loop_ssa`] body.
+pub struct LoopCarried {
+    pairs: Vec<(ValueId, Operand)>,
+}
+
+impl LoopCarried {
+    /// Register that φ `phi` (created by the body with a single incoming edge
+    /// from the guard block) receives `next` along the back edge.
+    pub fn feed(&mut self, phi: Operand, next: Operand) {
+        let v = phi.as_value().expect("loop-carried phi must be a value");
+        self.pairs.push((v, next));
+    }
+}
+
+/// Emit a guarded SSA `for i in 0..n { body }` (body runs `max(n, 0)` times).
+///
+/// The body receives the induction variable and a [`LoopCarried`] registry.
+/// For every `feed(phi, next)` call, the φ's back edge is patched and a
+/// *merged exit value* is created (φ at the exit block selecting the initial
+/// value when the loop was skipped and `next` otherwise). Returns the merged
+/// exit values in `feed` call order; the cursor is left at the exit block.
+pub fn counted_loop_ssa(
+    b: &mut FunctionBuilder,
+    n: Operand,
+    body: impl FnOnce(&mut FunctionBuilder, Operand, &mut LoopCarried),
+) -> Vec<Operand> {
+    let i64t = Ty::scalar(ScalarTy::I64);
+    let pre = b.current();
+    let header = b.block();
+    let exit = b.block();
+    // Guard: skip the loop entirely when n <= 0.
+    let enter = b.cmp(CmpOp::Sgt, n, Operand::imm64(0));
+    b.cond_br(enter, header, exit);
+
+    b.switch_to(header);
+    let iv = b.phi(i64t, vec![(pre, Operand::imm64(0))]);
+    let mut carried = LoopCarried { pairs: Vec::new() };
+    body(b, iv, &mut carried);
+    // i' = i + 1; continue while i' < n
+    let next = b.bin(BinOp::Add, i64t, iv, Operand::imm64(1));
+    let cont = b.cmp(CmpOp::Slt, next, n);
+    let latch = b.current();
+    b.cond_br(cont, header, exit);
+
+    // Patch back edges and build merged exit φs.
+    let pairs = std::mem::take(&mut carried.pairs);
+    let iv_v = iv.as_value().unwrap();
+    patch_phi_backedge(b, header, iv_v, latch, next);
+    let mut merged = Vec::with_capacity(pairs.len());
+    b.switch_to(exit);
+    for (phi, back) in pairs {
+        let init = patch_phi_backedge(b, header, phi, latch, back);
+        let ty = b.f.ty(phi);
+        merged.push(b.phi(ty, vec![(pre, init), (latch, back)]));
+    }
+    merged
+}
+
+/// Patch the back edge of `phi` and return its initial (guard-edge) operand.
+fn patch_phi_backedge(
+    b: &mut FunctionBuilder,
+    header: BlockId,
+    phi: ValueId,
+    latch: BlockId,
+    val: Operand,
+) -> Operand {
+    for inst in &mut b.f.blocks[header.idx()].insts {
+        if let Inst::Phi { dst, incoming } = inst {
+            if *dst == phi {
+                let init = incoming[0].1;
+                incoming.push((latch, val));
+                return init;
+            }
+        }
+    }
+    panic!("phi {phi:?} not found in loop header");
+}
+
+/// Emit an unoptimised (`-O0`-style) counted loop: the induction variable
+/// lives in an alloca slot, and the loop is in while-shape (test at the top),
+/// exactly as a C front end would emit it. `mem2reg` promotes the slot,
+/// `loop-rotate` converts the shape — which is what gives those passes their
+/// job in this IR. The body closure receives the loaded induction variable
+/// and must not write to the slot. Returns the exit block (cursor placed there).
+pub fn counted_loop_mem(
+    b: &mut FunctionBuilder,
+    n: Operand,
+    body: impl FnOnce(&mut FunctionBuilder, Operand),
+) -> BlockId {
+    let i64t = Ty::scalar(ScalarTy::I64);
+    let slot = b.alloca(8);
+    b.store(i64t, Operand::imm64(0), slot);
+    let check = b.block();
+    let body_blk = b.block();
+    let exit = b.block();
+    b.br(check);
+
+    b.switch_to(check);
+    let i = b.load(i64t, slot);
+    let c = b.cmp(CmpOp::Slt, i, n);
+    b.cond_br(c, body_blk, exit);
+
+    b.switch_to(body_blk);
+    body(b, i);
+    let i2 = b.load(i64t, slot);
+    let next = b.bin(BinOp::Add, i64t, i2, Operand::imm64(1));
+    b.store(i64t, next, slot);
+    b.br(check);
+
+    b.switch_to(exit);
+    exit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::I64;
+
+    #[test]
+    fn straight_line() {
+        let mut b = FunctionBuilder::new("f", vec![I64, I64], Some(I64));
+        let s = b.bin(BinOp::Add, I64, b.param(0), b.param(1));
+        let d = b.bin(BinOp::Mul, I64, s, Operand::imm64(3));
+        b.ret(Some(d));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.num_insts(), 2);
+    }
+
+    #[test]
+    fn counted_loop_ssa_shape() {
+        // sum = Σ i for i in 0..n
+        let mut b = FunctionBuilder::new("sum", vec![I64], Some(I64));
+        let n = b.param(0);
+        let pre = b.current();
+        let merged = counted_loop_ssa(&mut b, n, |b, iv, carried| {
+            let acc = b.phi(I64, vec![(pre, Operand::imm64(0))]);
+            let next = b.bin(BinOp::Add, I64, acc, iv);
+            carried.feed(acc, next);
+        });
+        b.ret(Some(merged[0]));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3); // entry, header, exit
+        // header has iv φ + acc φ, each with two incomings; exit has merge φ.
+        let header = &f.blocks[1];
+        assert_eq!(header.num_phis(), 2);
+        for inst in header.insts.iter().take(2) {
+            if let Inst::Phi { incoming, .. } = inst {
+                assert_eq!(incoming.len(), 2);
+            }
+        }
+        assert_eq!(f.blocks[2].num_phis(), 1);
+    }
+
+    #[test]
+    fn counted_loop_mem_shape() {
+        let mut b = FunctionBuilder::new("count", vec![I64], Some(I64));
+        let n = b.param(0);
+        counted_loop_mem(&mut b, n, |_, _| {});
+        b.ret(Some(Operand::imm64(0)));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4); // entry, check, body, exit
+        // No φs anywhere before mem2reg.
+        assert!(f.blocks.iter().all(|blk| blk.num_phis() == 0));
+        // One alloca, loads in check and body.
+        let allocas = f.blocks.iter().flat_map(|blk| &blk.insts)
+            .filter(|i| matches!(i, Inst::Alloca { .. })).count();
+        assert_eq!(allocas, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unterminated_block_panics() {
+        let b = FunctionBuilder::new("f", vec![], None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        b.ret(None);
+    }
+}

@@ -1,0 +1,573 @@
+//! Instructions, operands and block terminators.
+
+use crate::types::{ScalarTy, Ty};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an SSA value inside a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+/// Identifier of a basic block inside a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a function inside a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Identifier of a global inside a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+impl ValueId {
+    /// Index form for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl BlockId {
+    /// Index form for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl FuncId {
+    /// Index form for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl GlobalId {
+    /// Index form for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Instruction operand: an SSA value, an immediate, or a global's address.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Reference to an SSA value.
+    Value(ValueId),
+    /// Integer immediate with its scalar type (stored sign-extended).
+    ImmI(i64, ScalarTy),
+    /// Floating-point immediate.
+    ImmF(f64),
+    /// Byte address of a module global.
+    Global(GlobalId),
+}
+
+impl Operand {
+    /// Convenience `i64` immediate.
+    pub fn imm64(v: i64) -> Operand {
+        Operand::ImmI(v, ScalarTy::I64)
+    }
+    /// Convenience `i32` immediate.
+    pub fn imm32(v: i32) -> Operand {
+        Operand::ImmI(v as i64, ScalarTy::I32)
+    }
+    /// The value id, if this is an SSA reference.
+    pub fn as_value(self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+    /// The integer constant, if this is an integer immediate.
+    pub fn as_const_int(self) -> Option<i64> {
+        match self {
+            Operand::ImmI(v, _) => Some(v),
+            _ => None,
+        }
+    }
+    /// Whether the operand is any kind of constant (immediate or global address).
+    pub fn is_const(self) -> bool {
+        !matches!(self, Operand::Value(_))
+    }
+}
+
+/// Binary operators. Integer ops wrap at the result type's width; shifts mask
+/// the shift amount by `bits-1`; division by zero traps (interpreter error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Signed integer divide.
+    SDiv,
+    /// Signed remainder.
+    SRem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    AShr,
+    /// Logical shift right.
+    LShr,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Signed integer minimum.
+    SMin,
+    /// Signed integer maximum.
+    SMax,
+}
+
+impl BinOp {
+    /// Whether the operator is commutative.
+    pub fn commutative(self) -> bool {
+        use BinOp::*;
+        matches!(self, Add | Mul | And | Or | Xor | FAdd | FMul | SMin | SMax)
+    }
+    /// Whether this is a floating-point operator.
+    pub fn is_float(self) -> bool {
+        use BinOp::*;
+        matches!(self, FAdd | FSub | FMul | FDiv)
+    }
+    /// Whether `a op (b op c) == (a op b) op c` holds exactly (int only; we
+    /// treat FP as non-associative, like LLVM without fast-math).
+    pub fn associative(self) -> bool {
+        use BinOp::*;
+        matches!(self, Add | Mul | And | Or | Xor | SMin | SMax)
+    }
+    /// Printer mnemonic.
+    pub fn name(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            SDiv => "sdiv",
+            SRem => "srem",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            AShr => "ashr",
+            LShr => "lshr",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            SMin => "smin",
+            SMax => "smax",
+        }
+    }
+}
+
+/// Comparison predicates. Integer comparisons are signed; `F*` are ordered
+/// float comparisons (NaN compares false).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+impl CmpOp {
+    /// Predicate with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpOp {
+        use CmpOp::*;
+        match self {
+            Eq => Eq,
+            Ne => Ne,
+            Slt => Sgt,
+            Sle => Sge,
+            Sgt => Slt,
+            Sge => Sle,
+        }
+    }
+    /// Logical negation of the predicate.
+    pub fn inverse(self) -> CmpOp {
+        use CmpOp::*;
+        match self {
+            Eq => Ne,
+            Ne => Eq,
+            Slt => Sge,
+            Sle => Sgt,
+            Sgt => Sle,
+            Sge => Slt,
+        }
+    }
+    /// Printer mnemonic.
+    pub fn name(self) -> &'static str {
+        use CmpOp::*;
+        match self {
+            Eq => "eq",
+            Ne => "ne",
+            Slt => "slt",
+            Sle => "sle",
+            Sgt => "sgt",
+            Sge => "sge",
+        }
+    }
+}
+
+/// Cast kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CastKind {
+    /// Sign extension to a wider integer type.
+    SExt,
+    /// Zero extension to a wider integer type.
+    ZExt,
+    /// Truncation to a narrower integer type.
+    Trunc,
+    /// Signed integer to float.
+    SiToFp,
+    /// Float to signed integer (round toward zero; saturates at i64 bounds).
+    FpToSi,
+}
+
+impl CastKind {
+    /// Printer mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            CastKind::SExt => "sext",
+            CastKind::ZExt => "zext",
+            CastKind::Trunc => "trunc",
+            CastKind::SiToFp => "sitofp",
+            CastKind::FpToSi => "fptosi",
+        }
+    }
+}
+
+/// A single IR instruction. The destination's type lives in the enclosing
+/// function's value-type table; instructions that need an explicit type for
+/// memory access carry it inline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = op lhs, rhs` — element-wise for vectors.
+    Bin {
+        /// Result value.
+        dst: ValueId,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = cmp.pred lhs, rhs` — result is `i1` (or `<n x i1>`).
+    Cmp {
+        /// Result value.
+        dst: ValueId,
+        /// Predicate.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = cast.kind src` — dst type from the value-type table.
+    Cast {
+        /// Result value.
+        dst: ValueId,
+        /// Kind of conversion.
+        kind: CastKind,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = alloca bytes` — reserves stack storage, yields its address.
+    Alloca {
+        /// Resulting pointer value (type `i64`).
+        dst: ValueId,
+        /// Number of bytes reserved.
+        bytes: u32,
+    },
+    /// `dst = load ty, addr` — loads `dst`'s type from byte address `addr`.
+    /// Vector loads read `lanes` consecutive elements.
+    Load {
+        /// Result value.
+        dst: ValueId,
+        /// Byte address operand.
+        addr: Operand,
+    },
+    /// `store ty val, addr`.
+    Store {
+        /// Stored value's type (needed when `val` is an immediate).
+        ty: Ty,
+        /// Value to store.
+        val: Operand,
+        /// Byte address operand.
+        addr: Operand,
+    },
+    /// `dst? = call f(args...)`.
+    Call {
+        /// Result value if the callee returns one.
+        dst: Option<ValueId>,
+        /// Callee.
+        callee: FuncId,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// SSA φ-node; must appear at the start of a block.
+    Phi {
+        /// Result value.
+        dst: ValueId,
+        /// `(predecessor, value)` pairs, one per CFG predecessor.
+        incoming: Vec<(BlockId, Operand)>,
+    },
+    /// `dst = select cond, t, f`.
+    Select {
+        /// Result value.
+        dst: ValueId,
+        /// `i1` condition.
+        cond: Operand,
+        /// Value if true.
+        t: Operand,
+        /// Value if false.
+        f: Operand,
+    },
+    /// `dst = splat src` — broadcast a scalar into all lanes of `dst`'s vector type.
+    Splat {
+        /// Result vector value.
+        dst: ValueId,
+        /// Scalar source.
+        src: Operand,
+    },
+    /// `dst = extractlane src, lane`.
+    ExtractLane {
+        /// Result scalar value.
+        dst: ValueId,
+        /// Vector source.
+        src: Operand,
+        /// Lane index.
+        lane: u8,
+    },
+    /// `dst = reduce.op src` — horizontal reduction of a vector to a scalar.
+    Reduce {
+        /// Result scalar value.
+        dst: ValueId,
+        /// Reduction operator (must be associative or FAdd, treated as fast-math).
+        op: BinOp,
+        /// Vector source.
+        src: Operand,
+    },
+}
+
+impl Inst {
+    /// The value defined by this instruction, if any.
+    pub fn dst(&self) -> Option<ValueId> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Alloca { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Phi { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Splat { dst, .. }
+            | Inst::ExtractLane { dst, .. }
+            | Inst::Reduce { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// Visit every operand.
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Operand)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Cast { src, .. }
+            | Inst::Splat { src, .. }
+            | Inst::ExtractLane { src, .. }
+            | Inst::Reduce { src, .. } => f(src),
+            Inst::Alloca { .. } => {}
+            Inst::Load { addr, .. } => f(addr),
+            Inst::Store { val, addr, .. } => {
+                f(val);
+                f(addr);
+            }
+            Inst::Call { args, .. } => args.iter().for_each(f),
+            Inst::Phi { incoming, .. } => incoming.iter().for_each(|(_, op)| f(op)),
+            Inst::Select { cond, t, f: fv, .. } => {
+                f(cond);
+                f(t);
+                f(fv);
+            }
+        }
+    }
+
+    /// Visit every operand mutably (used by rewriting passes).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Cast { src, .. }
+            | Inst::Splat { src, .. }
+            | Inst::ExtractLane { src, .. }
+            | Inst::Reduce { src, .. } => f(src),
+            Inst::Alloca { .. } => {}
+            Inst::Load { addr, .. } => f(addr),
+            Inst::Store { val, addr, .. } => {
+                f(val);
+                f(addr);
+            }
+            Inst::Call { args, .. } => args.iter_mut().for_each(f),
+            Inst::Phi { incoming, .. } => incoming.iter_mut().for_each(|(_, op)| f(op)),
+            Inst::Select { cond, t, f: fv, .. } => {
+                f(cond);
+                f(t);
+                f(fv);
+            }
+        }
+    }
+
+    /// Whether the instruction may read or write memory or have other side
+    /// effects (calls are conservatively side-effecting unless the callee is
+    /// attributed; that refinement lives in the passes crate).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::Call { .. })
+    }
+
+    /// Whether the instruction reads memory.
+    pub fn reads_memory(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Call { .. })
+    }
+
+    /// Whether this is a φ-node.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Inst::Phi { .. })
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch on an `i1` operand.
+    CondBr {
+        /// Condition operand.
+        cond: Operand,
+        /// Target if true.
+        t: BlockId,
+        /// Target if false.
+        f: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+    /// Placeholder for unreachable code (created by simplify-cfg).
+    Unreachable,
+}
+
+impl Term {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Br(b) => vec![*b],
+            Term::CondBr { t, f, .. } => {
+                if t == f {
+                    vec![*t]
+                } else {
+                    vec![*t, *f]
+                }
+            }
+            Term::Ret(_) | Term::Unreachable => vec![],
+        }
+    }
+
+    /// Visit successor block ids mutably (used when renumbering blocks).
+    pub fn for_each_successor_mut(&mut self, mut fun: impl FnMut(&mut BlockId)) {
+        match self {
+            Term::Br(b) => fun(b),
+            Term::CondBr { t, f, .. } => {
+                fun(t);
+                fun(f);
+            }
+            Term::Ret(_) | Term::Unreachable => {}
+        }
+    }
+
+    /// Visit operands of the terminator.
+    pub fn for_each_operand(&self, mut fun: impl FnMut(&Operand)) {
+        match self {
+            Term::CondBr { cond, .. } => fun(cond),
+            Term::Ret(Some(op)) => fun(op),
+            _ => {}
+        }
+    }
+
+    /// Visit operands of the terminator mutably.
+    pub fn for_each_operand_mut(&mut self, mut fun: impl FnMut(&mut Operand)) {
+        match self {
+            Term::CondBr { cond, .. } => fun(cond),
+            Term::Ret(Some(op)) => fun(op),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_helpers() {
+        assert_eq!(Operand::imm64(7).as_const_int(), Some(7));
+        assert!(Operand::Global(GlobalId(0)).is_const());
+        assert_eq!(Operand::Value(ValueId(3)).as_value(), Some(ValueId(3)));
+        assert_eq!(Operand::Value(ValueId(3)).as_const_int(), None);
+    }
+
+    #[test]
+    fn cmp_algebra() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Slt, CmpOp::Sle, CmpOp::Sgt, CmpOp::Sge] {
+            assert_eq!(op.inverse().inverse(), op);
+            assert_eq!(op.swapped().swapped(), op);
+        }
+        assert_eq!(CmpOp::Slt.swapped(), CmpOp::Sgt);
+        assert_eq!(CmpOp::Slt.inverse(), CmpOp::Sge);
+    }
+
+    #[test]
+    fn successors() {
+        let t = Term::CondBr { cond: Operand::imm64(1), t: BlockId(1), f: BlockId(1) };
+        assert_eq!(t.successors(), vec![BlockId(1)]);
+        assert!(Term::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn inst_dst_and_operands() {
+        let i = Inst::Bin {
+            dst: ValueId(5),
+            op: BinOp::Add,
+            lhs: Operand::Value(ValueId(1)),
+            rhs: Operand::imm64(2),
+        };
+        assert_eq!(i.dst(), Some(ValueId(5)));
+        let mut n = 0;
+        i.for_each_operand(|_| n += 1);
+        assert_eq!(n, 2);
+        assert!(!i.has_side_effects());
+        assert!(Inst::Store { ty: crate::types::I64, val: Operand::imm64(0), addr: Operand::imm64(0) }
+            .has_side_effects());
+    }
+}

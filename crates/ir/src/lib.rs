@@ -1,0 +1,29 @@
+//! # citroen-ir
+//!
+//! The compiler substrate of the CITROEN reproduction: a small typed register
+//! IR with SSA values, an authoring [`builder`], standard [`analysis`] passes
+//! (CFG, dominators, loops, def/use), a [`verify`] pass, a textual printer (the [`mod@print`] module)
+//! with stable structural fingerprints, and a reference [`interp`]reter that
+//! streams dynamic events into a pluggable sink.
+//!
+//! The optimisation passes live in `citroen-passes`; the performance model in
+//! `citroen-sim`. See the workspace `DESIGN.md` for how this substitutes for
+//! LLVM in the paper's pipeline.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod inst;
+pub mod interp;
+pub mod link;
+pub mod module;
+pub mod parse;
+pub mod print;
+pub mod types;
+pub mod verify;
+
+pub use inst::{BinOp, BlockId, CastKind, CmpOp, FuncId, GlobalId, Inst, Operand, Term, ValueId};
+pub use link::{link, LinkError};
+pub use module::{Block, FnAttrs, Function, Global, GlobalInit, Module};
+pub use types::{ScalarTy, Ty};

@@ -1,0 +1,212 @@
+//! Module linking: combine separately-optimised modules into one executable
+//! module, resolving function and global *declarations* by symbol name.
+//!
+//! This is the substrate for the paper's multi-module programs (§1.2.3,
+//! §5.3.6): each source file is optimised with its own pass sequence, then
+//! everything is linked and the binary is measured.
+
+use crate::inst::{FuncId, GlobalId, Inst, Operand};
+use crate::module::{Function, GlobalInit, Module};
+use std::collections::HashMap;
+
+impl Function {
+    /// Create a declaration (signature only, no body). Calls to declarations
+    /// are resolved at link time by name.
+    pub fn decl(name: impl Into<String>, params: Vec<crate::types::Ty>, ret: Option<crate::types::Ty>) -> Function {
+        let mut f = Function::new(name, params, ret);
+        f.blocks.clear();
+        f
+    }
+
+    /// Whether this function is a declaration (no body).
+    pub fn is_decl(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Linking errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A symbol is defined in more than one module.
+    DuplicateSymbol(String),
+    /// A declaration has no matching definition.
+    Undefined(String),
+    /// Declaration and definition signatures disagree.
+    SignatureMismatch(String),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol '{s}'"),
+            LinkError::Undefined(s) => write!(f, "undefined symbol '{s}'"),
+            LinkError::SignatureMismatch(s) => write!(f, "signature mismatch for '{s}'"),
+        }
+    }
+}
+
+/// Link `modules` into a single module named `name`. Function and global
+/// definitions are unioned; declarations (functions without bodies, globals
+/// with `external == true`) bind to the definition with the same name.
+pub fn link(name: &str, modules: &[Module]) -> Result<Module, LinkError> {
+    let mut out = Module::new(name);
+    // First pass: place all definitions, recording symbol tables.
+    let mut func_sym: HashMap<String, FuncId> = HashMap::new();
+    let mut glob_sym: HashMap<String, GlobalId> = HashMap::new();
+    for m in modules {
+        for f in &m.funcs {
+            if !f.is_decl() {
+                if func_sym.contains_key(&f.name) {
+                    return Err(LinkError::DuplicateSymbol(f.name.clone()));
+                }
+                let id = out.add_func(f.clone());
+                func_sym.insert(f.name.clone(), id);
+            }
+        }
+        for g in &m.globals {
+            if !g.external {
+                if glob_sym.contains_key(&g.name) {
+                    return Err(LinkError::DuplicateSymbol(g.name.clone()));
+                }
+                let id = out.add_global(g.name.clone(), g.init.clone(), g.mutable);
+                glob_sym.insert(g.name.clone(), id);
+            }
+        }
+    }
+    // Second pass: compute per-module id remaps and rewrite bodies.
+    let mut out_fi = 0usize;
+    for m in modules {
+        let mut fmap: Vec<FuncId> = Vec::with_capacity(m.funcs.len());
+        for f in &m.funcs {
+            let target = func_sym
+                .get(&f.name)
+                .copied()
+                .ok_or_else(|| LinkError::Undefined(f.name.clone()))?;
+            // Signature check for declarations binding a definition.
+            let def = &out.funcs[target.idx()];
+            if def.params != f.params || def.ret != f.ret {
+                return Err(LinkError::SignatureMismatch(f.name.clone()));
+            }
+            fmap.push(target);
+        }
+        let mut gmap: Vec<GlobalId> = Vec::with_capacity(m.globals.len());
+        for g in &m.globals {
+            let target = glob_sym
+                .get(&g.name)
+                .copied()
+                .ok_or_else(|| LinkError::Undefined(g.name.clone()))?;
+            gmap.push(target);
+        }
+        for f in &m.funcs {
+            if f.is_decl() {
+                continue;
+            }
+            let nf = &mut out.funcs[out_fi];
+            debug_assert_eq!(nf.name, f.name);
+            for blk in &mut nf.blocks {
+                for inst in &mut blk.insts {
+                    if let Inst::Call { callee, .. } = inst {
+                        *callee = fmap[callee.idx()];
+                    }
+                    inst.for_each_operand_mut(|op| {
+                        if let Operand::Global(g) = op {
+                            *g = gmap[g.idx()];
+                        }
+                    });
+                }
+                blk.term.for_each_operand_mut(|op| {
+                    if let Operand::Global(g) = op {
+                        *g = gmap[g.idx()];
+                    }
+                });
+            }
+            out_fi += 1;
+        }
+    }
+    Ok(out)
+}
+
+impl Module {
+    /// Add an external global declaration (resolved at link time).
+    pub fn add_extern_global(&mut self, name: impl Into<String>) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(crate::module::Global {
+            name: name.into(),
+            init: GlobalInit::Zero(0),
+            mutable: true,
+            external: true,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::interp::{run_counting, Value};
+    use crate::types::I64;
+
+    fn lib_module() -> Module {
+        let mut m = Module::new("lib.c");
+        let g = m.add_global("shared", GlobalInit::I64s(vec![100]), true);
+        let mut b = FunctionBuilder::new("double_shared", vec![], Some(I64));
+        let x = b.load(I64, Operand::Global(g));
+        let d = b.bin(BinOp::Mul, I64, x, Operand::imm64(2));
+        b.store(I64, d, Operand::Global(g));
+        b.ret(Some(d));
+        m.add_func(b.finish());
+        m
+    }
+
+    fn main_module() -> Module {
+        let mut m = Module::new("main.c");
+        let shared = m.add_extern_global("shared");
+        let dbl = m.add_func(Function::decl("double_shared", vec![], Some(I64)));
+        let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+        let a = b.call(dbl, Some(I64), vec![]).unwrap();
+        let c = b.call(dbl, Some(I64), vec![]).unwrap();
+        let sum = b.bin(BinOp::Add, I64, a, c);
+        let v = b.load(I64, Operand::Global(shared));
+        let total = b.bin(BinOp::Add, I64, sum, v);
+        b.ret(Some(total));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn links_and_runs() {
+        let linked = link("prog", &[lib_module(), main_module()]).unwrap();
+        crate::verify::assert_valid(&linked);
+        let main = linked.func_by_name("main").unwrap();
+        let (out, _) = run_counting(&linked, main, &[]).unwrap();
+        // 200 + 400 + 400 = 1000
+        assert_eq!(out.ret, Some(Value::I(1000)));
+    }
+
+    #[test]
+    fn undefined_symbol_errors() {
+        let r = link("p", &[main_module()]);
+        assert!(matches!(r, Err(LinkError::Undefined(_))));
+    }
+
+    #[test]
+    fn duplicate_symbol_errors() {
+        let r = link("p", &[lib_module(), lib_module(), main_module()]);
+        assert!(matches!(r, Err(LinkError::DuplicateSymbol(_))));
+    }
+
+    #[test]
+    fn signature_mismatch_errors() {
+        let mut bad_main = Module::new("main.c");
+        bad_main.add_extern_global("shared");
+        let dbl = bad_main.add_func(Function::decl("double_shared", vec![I64], Some(I64)));
+        let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+        let a = b.call(dbl, Some(I64), vec![Operand::imm64(0)]).unwrap();
+        b.ret(Some(a));
+        bad_main.add_func(b.finish());
+        let r = link("p", &[lib_module(), bad_main]);
+        assert!(matches!(r, Err(LinkError::SignatureMismatch(_))));
+    }
+}

@@ -1,0 +1,257 @@
+//! Modules, functions, blocks and globals.
+
+use crate::inst::{BlockId, FuncId, GlobalId, Inst, Operand, Term, ValueId};
+use crate::types::{ScalarTy, Ty};
+use serde::{Deserialize, Serialize};
+
+/// Function attributes. Discovered by the `function-attrs` pass; they change
+/// what later passes may do (the paper's example of a transformation that is
+/// invisible to IR-syntax features, §3.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FnAttrs {
+    /// Function neither reads nor writes memory reachable from outside.
+    pub readnone: bool,
+    /// Function may read but never writes memory.
+    pub readonly: bool,
+    /// Do not inline this function.
+    pub noinline: bool,
+}
+
+/// A basic block: a straight-line run of instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Instructions in program order; φ-nodes must come first.
+    pub insts: Vec<Inst>,
+    /// The block terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// Empty block ending in `Unreachable` (builder fills it in).
+    pub fn new() -> Block {
+        Block { insts: Vec::new(), term: Term::Unreachable }
+    }
+
+    /// Number of leading φ-nodes.
+    pub fn num_phis(&self) -> usize {
+        self.insts.iter().take_while(|i| i.is_phi()).count()
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A function: CFG of blocks plus a value-type table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter types; parameters are values `0..params.len()`.
+    pub params: Vec<Ty>,
+    /// Return type, if the function returns a value.
+    pub ret: Option<Ty>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Type of each value, indexed by [`ValueId`].
+    pub value_ty: Vec<Ty>,
+    /// Attributes (possibly set by `function-attrs`).
+    pub attrs: FnAttrs,
+}
+
+impl Function {
+    /// Create an empty function with the given signature. Parameters become
+    /// values `0..params.len()`; an entry block is created.
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Option<Ty>) -> Function {
+        let value_ty = params.clone();
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            blocks: vec![Block::new()],
+            value_ty,
+            attrs: FnAttrs::default(),
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocate a fresh value of type `ty`.
+    pub fn new_value(&mut self, ty: Ty) -> ValueId {
+        let id = ValueId(self.value_ty.len() as u32);
+        self.value_ty.push(ty);
+        id
+    }
+
+    /// Allocate a fresh (empty) block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        id
+    }
+
+    /// Type of a value.
+    pub fn ty(&self, v: ValueId) -> Ty {
+        self.value_ty[v.idx()]
+    }
+
+    /// Type of an operand.
+    pub fn operand_ty(&self, op: &Operand) -> Ty {
+        match op {
+            Operand::Value(v) => self.ty(*v),
+            Operand::ImmI(_, s) => Ty::scalar(*s),
+            Operand::ImmF(_) => Ty::scalar(ScalarTy::F64),
+            Operand::Global(_) => Ty::scalar(ScalarTy::I64),
+        }
+    }
+
+    /// Whether `v` is a parameter.
+    pub fn is_param(&self, v: ValueId) -> bool {
+        v.idx() < self.params.len()
+    }
+
+    /// Total number of instructions (excluding terminators).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterate over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+}
+
+/// Initial contents of a global.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GlobalInit {
+    /// Zero-initialised region of the given size in bytes.
+    Zero(u32),
+    /// Array of 8-bit integers.
+    I8s(Vec<i8>),
+    /// Array of 16-bit integers.
+    I16s(Vec<i16>),
+    /// Array of 32-bit integers.
+    I32s(Vec<i32>),
+    /// Array of 64-bit integers.
+    I64s(Vec<i64>),
+    /// Array of doubles.
+    F64s(Vec<f64>),
+}
+
+impl GlobalInit {
+    /// Size of the region in bytes.
+    pub fn bytes(&self) -> u32 {
+        match self {
+            GlobalInit::Zero(n) => *n,
+            GlobalInit::I8s(v) => v.len() as u32,
+            GlobalInit::I16s(v) => (v.len() * 2) as u32,
+            GlobalInit::I32s(v) => (v.len() * 4) as u32,
+            GlobalInit::I64s(v) => (v.len() * 8) as u32,
+            GlobalInit::F64s(v) => (v.len() * 8) as u32,
+        }
+    }
+}
+
+/// A module global: named initialised storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Initial contents.
+    pub init: GlobalInit,
+    /// Whether any function may write to it (used by alias reasoning).
+    pub mutable: bool,
+    /// Declaration only — storage comes from another module at link time.
+    pub external: bool,
+}
+
+/// A compilation module: functions plus globals. This is the unit the paper
+/// calls a "module" (one source file); multi-module programs are collections
+/// of these linked by the suite crate.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (e.g. `long_term.c`).
+    pub name: String,
+    /// Functions; ids index this vector.
+    pub funcs: Vec<Function>,
+    /// Globals; ids index this vector.
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// Empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { name: name.into(), funcs: Vec::new(), globals: Vec::new() }
+    }
+
+    /// Add a function, returning its id.
+    pub fn add_func(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Add a global, returning its id.
+    pub fn add_global(&mut self, name: impl Into<String>, init: GlobalInit, mutable: bool) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global { name: name.into(), init, mutable, external: false });
+        id
+    }
+
+    /// Find a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Access a function.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.idx()]
+    }
+
+    /// Total instruction count across all functions.
+    pub fn num_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_insts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{I32, I64};
+
+    #[test]
+    fn function_values_and_blocks() {
+        let mut f = Function::new("f", vec![I64, I32], Some(I32));
+        assert_eq!(f.value_ty.len(), 2);
+        assert!(f.is_param(ValueId(1)));
+        let v = f.new_value(I32);
+        assert_eq!(v, ValueId(2));
+        assert!(!f.is_param(v));
+        assert_eq!(f.ty(v), I32);
+        let b = f.new_block();
+        assert_eq!(b, BlockId(1));
+        assert_eq!(f.entry(), BlockId(0));
+    }
+
+    #[test]
+    fn module_roundtrip() {
+        let mut m = Module::new("m");
+        let g = m.add_global("data", GlobalInit::I32s(vec![1, 2, 3]), false);
+        assert_eq!(m.globals[g.idx()].init.bytes(), 12);
+        let f = m.add_func(Function::new("main", vec![], Some(I64)));
+        assert_eq!(m.func_by_name("main"), Some(f));
+        assert_eq!(m.func_by_name("nope"), None);
+    }
+
+    #[test]
+    fn global_sizes() {
+        assert_eq!(GlobalInit::Zero(10).bytes(), 10);
+        assert_eq!(GlobalInit::I16s(vec![0; 4]).bytes(), 8);
+        assert_eq!(GlobalInit::F64s(vec![0.0; 2]).bytes(), 16);
+    }
+}

@@ -1,0 +1,564 @@
+//! Textual IR parser: reads the format produced by [`crate::print`], so
+//! modules can be dumped, hand-edited and reloaded. Round-tripping is
+//! property-tested (`print(parse(print(m))) == print(m)`).
+
+use crate::inst::{BinOp, BlockId, CastKind, CmpOp, FuncId, GlobalId, Inst, Operand, Term, ValueId};
+use crate::module::{Function, GlobalInit, Module};
+use crate::types::{ScalarTy, Ty};
+
+/// A parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+fn err<T>(line: usize, msg: impl Into<String>) -> PResult<T> {
+    Err(ParseError { line, msg: msg.into() })
+}
+
+fn parse_scalar(s: &str, line: usize) -> PResult<ScalarTy> {
+    match s {
+        "i1" => Ok(ScalarTy::I1),
+        "i8" => Ok(ScalarTy::I8),
+        "i16" => Ok(ScalarTy::I16),
+        "i32" => Ok(ScalarTy::I32),
+        "i64" => Ok(ScalarTy::I64),
+        "f64" => Ok(ScalarTy::F64),
+        other => err(line, format!("unknown scalar type '{other}'")),
+    }
+}
+
+fn parse_ty(s: &str, line: usize) -> PResult<Ty> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('<') {
+        // `<N x scalar>`
+        let inner = rest.strip_suffix('>').ok_or(ParseError {
+            line,
+            msg: "unterminated vector type".into(),
+        })?;
+        let mut parts = inner.split(" x ");
+        let lanes: u8 = parts
+            .next()
+            .and_then(|p| p.trim().parse().ok())
+            .ok_or(ParseError { line, msg: "bad lane count".into() })?;
+        let scalar = parse_scalar(
+            parts.next().ok_or(ParseError { line, msg: "missing vector scalar".into() })?.trim(),
+            line,
+        )?;
+        Ok(Ty::vector(scalar, lanes))
+    } else {
+        Ok(Ty::scalar(parse_scalar(s, line)?))
+    }
+}
+
+/// Operand grammar: `%N` | `@N` | `<ity> <int>` | `f64 <float>`.
+fn parse_operand(s: &str, line: usize) -> PResult<Operand> {
+    let s = s.trim();
+    if let Some(v) = s.strip_prefix('%') {
+        let id: u32 =
+            v.parse().map_err(|_| ParseError { line, msg: format!("bad value '%{v}'") })?;
+        return Ok(Operand::Value(ValueId(id)));
+    }
+    if let Some(g) = s.strip_prefix('@') {
+        let id: u32 =
+            g.parse().map_err(|_| ParseError { line, msg: format!("bad global '@{g}'") })?;
+        return Ok(Operand::Global(GlobalId(id)));
+    }
+    let mut parts = s.splitn(2, ' ');
+    let ty = parts.next().unwrap_or("");
+    let val = parts.next().ok_or(ParseError { line, msg: format!("bad operand '{s}'") })?;
+    if ty == "f64" {
+        let x: f64 =
+            val.trim().parse().map_err(|_| ParseError { line, msg: format!("bad float '{val}'") })?;
+        return Ok(Operand::ImmF(x));
+    }
+    let scalar = parse_scalar(ty, line)?;
+    let v: i64 =
+        val.trim().parse().map_err(|_| ParseError { line, msg: format!("bad int '{val}'") })?;
+    Ok(Operand::ImmI(scalar.sext(v), scalar))
+}
+
+fn bin_op_by_name(name: &str) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match name {
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "sdiv" => SDiv,
+        "srem" => SRem,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "ashr" => AShr,
+        "lshr" => LShr,
+        "fadd" => FAdd,
+        "fsub" => FSub,
+        "fmul" => FMul,
+        "fdiv" => FDiv,
+        "smin" => SMin,
+        "smax" => SMax,
+        _ => return None,
+    })
+}
+
+fn cmp_op_by_name(name: &str) -> Option<CmpOp> {
+    use CmpOp::*;
+    Some(match name {
+        "eq" => Eq,
+        "ne" => Ne,
+        "slt" => Slt,
+        "sle" => Sle,
+        "sgt" => Sgt,
+        "sge" => Sge,
+        _ => return None,
+    })
+}
+
+fn cast_by_name(name: &str) -> Option<CastKind> {
+    Some(match name {
+        "sext" => CastKind::SExt,
+        "zext" => CastKind::ZExt,
+        "trunc" => CastKind::Trunc,
+        "sitofp" => CastKind::SiToFp,
+        "fptosi" => CastKind::FpToSi,
+        _ => return None,
+    })
+}
+
+/// Split a comma-separated argument list at the top level (no nesting in our
+/// grammar except `[bN: op]` φ entries, handled separately).
+fn split_args(s: &str) -> Vec<&str> {
+    s.split(',').map(|p| p.trim()).filter(|p| !p.is_empty()).collect()
+}
+
+struct FnParser<'a> {
+    f: Function,
+    lines: &'a [(usize, String)],
+    pos: usize,
+}
+
+impl FnParser<'_> {
+    fn ensure_value(&mut self, id: ValueId, ty: Ty) {
+        while self.f.value_ty.len() <= id.idx() {
+            self.f.value_ty.push(Ty::scalar(ScalarTy::I64));
+        }
+        self.f.value_ty[id.idx()] = ty;
+    }
+
+    fn ensure_block(&mut self, b: BlockId) {
+        while self.f.blocks.len() <= b.idx() {
+            self.f.new_block();
+        }
+    }
+}
+
+/// Parse the textual form produced by [`crate::print::print_module`].
+pub fn parse_module(text: &str) -> PResult<Module> {
+    let lines: Vec<(usize, String)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim().to_string()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut i = 0;
+    let (ln0, first) = lines.first().ok_or(ParseError { line: 0, msg: "empty input".into() })?;
+    let name = first
+        .strip_prefix("module ")
+        .ok_or(ParseError { line: *ln0, msg: "expected 'module <name>'".into() })?;
+    let mut m = Module::new(name.trim());
+    i += 1;
+
+    // Globals: `global @N name : kind[len]` — contents are not round-tripped
+    // through the printer (it prints only shapes), so parse shape + zeros.
+    while i < lines.len() && lines[i].1.starts_with("global ") {
+        let (ln, l) = &lines[i];
+        let rest = l.strip_prefix("global ").unwrap();
+        let (head, kind) = rest
+            .split_once(" : ")
+            .ok_or(ParseError { line: *ln, msg: "bad global line".into() })?;
+        let mut parts = head.split_whitespace();
+        let _id = parts.next();
+        let gname = parts.next().unwrap_or("g");
+        let (kname, len_s) = kind
+            .split_once('[')
+            .ok_or(ParseError { line: *ln, msg: "bad global kind".into() })?;
+        let len: usize = len_s
+            .trim_end_matches(']')
+            .parse()
+            .map_err(|_| ParseError { line: *ln, msg: "bad global length".into() })?;
+        let init = match kname {
+            "zero" => GlobalInit::Zero(len as u32),
+            "i8" => GlobalInit::I8s(vec![0; len]),
+            "i16" => GlobalInit::I16s(vec![0; len]),
+            "i32" => GlobalInit::I32s(vec![0; len]),
+            "i64" => GlobalInit::I64s(vec![0; len]),
+            "f64" => GlobalInit::F64s(vec![0.0; len]),
+            other => return err(*ln, format!("unknown global kind '{other}'")),
+        };
+        m.add_global(gname, init, true);
+        i += 1;
+    }
+
+    // Functions.
+    while i < lines.len() {
+        let (ln, l) = &lines[i];
+        let sig = l
+            .strip_prefix("func @")
+            .ok_or(ParseError { line: *ln, msg: format!("expected function, got '{l}'") })?;
+        let open = sig.find('(').ok_or(ParseError { line: *ln, msg: "missing '('".into() })?;
+        let fname = &sig[..open];
+        let close =
+            sig.find(')').ok_or(ParseError { line: *ln, msg: "missing ')'".into() })?;
+        let params_s = &sig[open + 1..close];
+        let ret_s = sig[close + 1..]
+            .trim()
+            .strip_prefix("->")
+            .ok_or(ParseError { line: *ln, msg: "missing '->'".into() })?
+            .trim()
+            .trim_end_matches('{')
+            .trim();
+        let params: Vec<Ty> = split_args(params_s)
+            .into_iter()
+            .map(|p| {
+                let ty_s = p.split_whitespace().next().unwrap_or(p);
+                parse_ty(ty_s, *ln)
+            })
+            .collect::<PResult<_>>()?;
+        let ret = if ret_s == "void" { None } else { Some(parse_ty(ret_s, *ln)?) };
+        let mut fp = FnParser {
+            f: Function::new(fname, params, ret),
+            lines: &lines,
+            pos: i + 1,
+        };
+        fp.f.blocks.clear(); // blocks come from labels
+        parse_body(&mut fp)?;
+        i = fp.pos;
+        m.add_func(fp.f);
+    }
+    Ok(m)
+}
+
+fn parse_body(fp: &mut FnParser) -> PResult<()> {
+    let mut cur: Option<BlockId> = None;
+    while fp.pos < fp.lines.len() {
+        let (ln, l) = fp.lines[fp.pos].clone();
+        fp.pos += 1;
+        if l == "}" {
+            return Ok(());
+        }
+        if let Some(lbl) = l.strip_suffix(':') {
+            let id: u32 = lbl
+                .strip_prefix('b')
+                .and_then(|x| x.parse().ok())
+                .ok_or(ParseError { line: ln, msg: format!("bad label '{l}'") })?;
+            let b = BlockId(id);
+            fp.ensure_block(b);
+            cur = Some(b);
+            continue;
+        }
+        let b = cur.ok_or(ParseError { line: ln, msg: "instruction before label".into() })?;
+        if let Some(term) = parse_term(&l, ln)? {
+            fp.f.blocks[b.idx()].term = term;
+            continue;
+        }
+        let inst = parse_inst(fp, &l, ln)?;
+        fp.f.blocks[b.idx()].insts.push(inst);
+    }
+    err(fp.lines.last().map(|(n, _)| *n).unwrap_or(0), "missing closing '}'")
+}
+
+fn parse_term(l: &str, ln: usize) -> PResult<Option<Term>> {
+    if let Some(rest) = l.strip_prefix("br b") {
+        let id: u32 =
+            rest.parse().map_err(|_| ParseError { line: ln, msg: "bad br target".into() })?;
+        return Ok(Some(Term::Br(BlockId(id))));
+    }
+    if let Some(rest) = l.strip_prefix("condbr ") {
+        let args = split_args(rest);
+        if args.len() != 3 {
+            return err(ln, "condbr needs 3 args");
+        }
+        let cond = parse_operand(args[0], ln)?;
+        let t = parse_block_ref(args[1], ln)?;
+        let f = parse_block_ref(args[2], ln)?;
+        return Ok(Some(Term::CondBr { cond, t, f }));
+    }
+    if l == "ret" {
+        return Ok(Some(Term::Ret(None)));
+    }
+    if let Some(rest) = l.strip_prefix("ret ") {
+        return Ok(Some(Term::Ret(Some(parse_operand(rest, ln)?))));
+    }
+    if l == "unreachable" {
+        return Ok(Some(Term::Unreachable));
+    }
+    Ok(None)
+}
+
+fn parse_block_ref(s: &str, ln: usize) -> PResult<BlockId> {
+    s.trim()
+        .strip_prefix('b')
+        .and_then(|x| x.parse().ok())
+        .map(BlockId)
+        .ok_or(ParseError { line: ln, msg: format!("bad block ref '{s}'") })
+}
+
+fn parse_inst(fp: &mut FnParser, l: &str, ln: usize) -> PResult<Inst> {
+    // `store ty, val, addr` and `call f N(...)` have no destination.
+    if let Some(rest) = l.strip_prefix("store ") {
+        let args = split_args(rest);
+        if args.len() != 3 {
+            return err(ln, "store needs 3 args");
+        }
+        let ty = parse_ty(args[0], ln)?;
+        let val = parse_operand(args[1], ln)?;
+        let addr = parse_operand(args[2], ln)?;
+        return Ok(Inst::Store { ty, val, addr });
+    }
+    if let Some(rest) = l.strip_prefix("call f") {
+        let (callee, args) = parse_call(rest, ln)?;
+        return Ok(Inst::Call { dst: None, callee, args });
+    }
+    // `%N = ...`
+    let (dst_s, rhs) =
+        l.split_once(" = ").ok_or(ParseError { line: ln, msg: format!("bad inst '{l}'") })?;
+    let dst = ValueId(
+        dst_s
+            .trim()
+            .strip_prefix('%')
+            .and_then(|x| x.parse().ok())
+            .ok_or(ParseError { line: ln, msg: "bad destination".into() })?,
+    );
+    let rhs = rhs.trim();
+    let (head, tail) = rhs.split_once(' ').unwrap_or((rhs, ""));
+
+    // op.ty form: `add.i64 a, b`
+    if let Some((opname, tyname)) = head.split_once('.') {
+        if let Some(op) = bin_op_by_name(opname) {
+            let ty = parse_ty(tyname, ln)?;
+            let args = split_args(tail);
+            if args.len() != 2 {
+                return err(ln, "binop needs 2 args");
+            }
+            fp.ensure_value(dst, ty);
+            return Ok(Inst::Bin {
+                dst,
+                op,
+                lhs: parse_operand(args[0], ln)?,
+                rhs: parse_operand(args[1], ln)?,
+            });
+        }
+        if opname == "cmp" {
+            let op = cmp_op_by_name(tyname)
+                .ok_or(ParseError { line: ln, msg: format!("bad cmp '{tyname}'") })?;
+            let args = split_args(tail);
+            fp.ensure_value(dst, Ty::scalar(ScalarTy::I1));
+            return Ok(Inst::Cmp {
+                dst,
+                op,
+                lhs: parse_operand(args[0], ln)?,
+                rhs: parse_operand(args[1], ln)?,
+            });
+        }
+        if opname == "reduce" {
+            let op = bin_op_by_name(tyname)
+                .ok_or(ParseError { line: ln, msg: format!("bad reduce '{tyname}'") })?;
+            let src = parse_operand(tail, ln)?;
+            fp.ensure_value(dst, Ty::scalar(ScalarTy::I64));
+            return Ok(Inst::Reduce { dst, op, src });
+        }
+    }
+    match head {
+        "alloca" => {
+            let bytes: u32 = tail
+                .trim()
+                .parse()
+                .map_err(|_| ParseError { line: ln, msg: "bad alloca size".into() })?;
+            fp.ensure_value(dst, Ty::scalar(ScalarTy::I64));
+            Ok(Inst::Alloca { dst, bytes })
+        }
+        "load" => {
+            let args = split_args(tail);
+            if args.len() != 2 {
+                return err(ln, "load needs 2 args");
+            }
+            let ty = parse_ty(args[0], ln)?;
+            fp.ensure_value(dst, ty);
+            Ok(Inst::Load { dst, addr: parse_operand(args[1], ln)? })
+        }
+        "phi" => {
+            // `phi ty [bN: op], [bM: op]`
+            let (ty_s, rest) = tail
+                .split_once('[')
+                .ok_or(ParseError { line: ln, msg: "bad phi".into() })?;
+            let ty = parse_ty(ty_s.trim(), ln)?;
+            fp.ensure_value(dst, ty);
+            let mut incoming = Vec::new();
+            for entry in rest.split('[') {
+                let entry = entry.trim().trim_end_matches(',').trim();
+                let entry = entry.trim_end_matches(']');
+                if entry.is_empty() {
+                    continue;
+                }
+                let (b_s, op_s) = entry
+                    .split_once(':')
+                    .ok_or(ParseError { line: ln, msg: "bad phi entry".into() })?;
+                incoming.push((parse_block_ref(b_s, ln)?, parse_operand(op_s, ln)?));
+            }
+            Ok(Inst::Phi { dst, incoming })
+        }
+        "select" => {
+            let args = split_args(tail);
+            if args.len() != 3 {
+                return err(ln, "select needs 3 args");
+            }
+            // Result type is the type of the true operand when it's a value;
+            // default i64 for constants (refined by the verifier's users).
+            fp.ensure_value(dst, Ty::scalar(ScalarTy::I64));
+            Ok(Inst::Select {
+                dst,
+                cond: parse_operand(args[0], ln)?,
+                t: parse_operand(args[1], ln)?,
+                f: parse_operand(args[2], ln)?,
+            })
+        }
+        "splat" => {
+            let (ty_s, src_s) = tail
+                .trim()
+                .split_once(' ')
+                .ok_or(ParseError { line: ln, msg: "bad splat".into() })?;
+            let ty = parse_ty(ty_s, ln)?;
+            fp.ensure_value(dst, ty);
+            Ok(Inst::Splat { dst, src: parse_operand(src_s, ln)? })
+        }
+        "extractlane" => {
+            let args = split_args(tail);
+            if args.len() != 2 {
+                return err(ln, "extractlane needs 2 args");
+            }
+            let lane: u8 = args[1]
+                .parse()
+                .map_err(|_| ParseError { line: ln, msg: "bad lane".into() })?;
+            fp.ensure_value(dst, Ty::scalar(ScalarTy::I64));
+            Ok(Inst::ExtractLane { dst, src: parse_operand(args[0], ln)?, lane })
+        }
+        "call" => {
+            let rest = tail
+                .trim()
+                .strip_prefix('f')
+                .ok_or(ParseError { line: ln, msg: "bad call".into() })?;
+            let (callee, args) = parse_call(rest, ln)?;
+            fp.ensure_value(dst, Ty::scalar(ScalarTy::I64));
+            Ok(Inst::Call { dst: Some(dst), callee, args })
+        }
+        other => {
+            if let Some(kind) = cast_by_name(other) {
+                // `sext %a to i32`
+                let (src_s, to_s) = tail
+                    .split_once(" to ")
+                    .ok_or(ParseError { line: ln, msg: "bad cast".into() })?;
+                let to = parse_ty(to_s.trim(), ln)?;
+                fp.ensure_value(dst, to);
+                Ok(Inst::Cast { dst, kind, src: parse_operand(src_s, ln)? })
+            } else {
+                err(ln, format!("unknown instruction '{head}'"))
+            }
+        }
+    }
+}
+
+fn parse_call(rest: &str, ln: usize) -> PResult<(FuncId, Vec<Operand>)> {
+    let open = rest.find('(').ok_or(ParseError { line: ln, msg: "call missing '('".into() })?;
+    let id: u32 = rest[..open]
+        .trim()
+        .parse()
+        .map_err(|_| ParseError { line: ln, msg: "bad callee".into() })?;
+    let inner = rest[open + 1..]
+        .strip_suffix(')')
+        .ok_or(ParseError { line: ln, msg: "call missing ')'".into() })?;
+    let args = split_args(inner)
+        .into_iter()
+        .map(|a| parse_operand(a, ln))
+        .collect::<PResult<Vec<_>>>()?;
+    Ok((FuncId(id), args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{counted_loop_mem, FunctionBuilder};
+    use crate::print::print_module;
+
+    fn sample() -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global("a", GlobalInit::I32s(vec![0; 8]), true);
+        let mut b = FunctionBuilder::new("f", vec![Ty::scalar(ScalarTy::I64)], Some(Ty::scalar(ScalarTy::I64)));
+        let n = b.param(0);
+        let acc = b.alloca(8);
+        b.store(Ty::scalar(ScalarTy::I64), Operand::imm64(0), acc);
+        counted_loop_mem(&mut b, n, |b, iv| {
+            let a = b.gep(Operand::Global(g), iv, 4);
+            let x = b.load(Ty::scalar(ScalarTy::I32), a);
+            let w = b.cast(CastKind::SExt, Ty::scalar(ScalarTy::I64), x);
+            let c = b.load(Ty::scalar(ScalarTy::I64), acc);
+            let s = b.bin(BinOp::Add, Ty::scalar(ScalarTy::I64), c, w);
+            b.store(Ty::scalar(ScalarTy::I64), s, acc);
+        });
+        let r = b.load(Ty::scalar(ScalarTy::I64), acc);
+        b.ret(Some(r));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn print_parse_print_roundtrips() {
+        let m = sample();
+        let p1 = print_module(&m);
+        let parsed = parse_module(&p1).unwrap_or_else(|e| panic!("parse failed: {e}\n{p1}"));
+        let p2 = print_module(&parsed);
+        assert_eq!(p1, p2, "print→parse→print must be a fixpoint");
+        crate::verify::assert_valid(&parsed);
+    }
+
+    #[test]
+    fn parsed_module_runs_identically_modulo_global_data() {
+        // The printer doesn't serialise global *contents*, so compare a
+        // module with zeroed globals.
+        let mut m = sample();
+        m.globals[0].init = GlobalInit::I32s(vec![0; 8]);
+        let parsed = parse_module(&print_module(&m)).unwrap();
+        let a = crate::interp::run_counting(&m, FuncId(0), &[crate::interp::Value::I(8)]).unwrap().0;
+        let b = crate::interp::run_counting(&parsed, FuncId(0), &[crate::interp::Value::I(8)])
+            .unwrap()
+            .0;
+        assert_eq!(a.ret, b.ret);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "module m\nfunc @f() -> i64 {\nb0:\n  %0 = bogus 1, 2\n  ret %0\n}\n";
+        let e = parse_module(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_module("").is_err());
+        assert!(parse_module("not a module").is_err());
+        assert!(parse_module("module m\nfunc @f() -> i64 {\nb0:\n  ret\n").is_err()); // no '}'
+    }
+}

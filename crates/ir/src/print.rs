@@ -1,0 +1,217 @@
+//! Textual printing of the IR and stable structural fingerprinting.
+//!
+//! The fingerprint is what the tuners use to detect that two different pass
+//! sequences produced the *same binary* (Kulkarni-style redundancy pruning,
+//! and the coverage bookkeeping of CITROEN §5.3.4).
+
+use crate::inst::{Inst, Operand, Term};
+use crate::module::{Function, GlobalInit, Module};
+use std::fmt::Write as _;
+
+fn op_str(_f: &Function, op: &Operand) -> String {
+    match op {
+        Operand::Value(v) => format!("%{}", v.0),
+        Operand::ImmI(v, s) => format!("{} {v}", s.name()),
+        Operand::ImmF(v) => format!("f64 {v:?}"),
+        Operand::Global(g) => format!("@{}", g.0),
+    }
+}
+
+/// Render one function as text.
+pub fn print_function(f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<String> =
+        f.params.iter().enumerate().map(|(i, t)| format!("{t} %{i}")).collect();
+    let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+    let _ = writeln!(s, "func @{}({}) -> {} {{", f.name, params.join(", "), ret);
+    for (b, blk) in f.iter_blocks() {
+        let _ = writeln!(s, "b{}:", b.0);
+        for inst in &blk.insts {
+            let line = match inst {
+                Inst::Bin { dst, op, lhs, rhs } => format!(
+                    "%{} = {}.{} {}, {}",
+                    dst.0,
+                    op.name(),
+                    f.ty(*dst),
+                    op_str(f, lhs),
+                    op_str(f, rhs)
+                ),
+                Inst::Cmp { dst, op, lhs, rhs } => {
+                    format!("%{} = cmp.{} {}, {}", dst.0, op.name(), op_str(f, lhs), op_str(f, rhs))
+                }
+                Inst::Cast { dst, kind, src } => {
+                    format!("%{} = {} {} to {}", dst.0, kind.name(), op_str(f, src), f.ty(*dst))
+                }
+                Inst::Alloca { dst, bytes } => format!("%{} = alloca {}", dst.0, bytes),
+                Inst::Load { dst, addr } => {
+                    format!("%{} = load {}, {}", dst.0, f.ty(*dst), op_str(f, addr))
+                }
+                Inst::Store { ty, val, addr } => {
+                    format!("store {}, {}, {}", ty, op_str(f, val), op_str(f, addr))
+                }
+                Inst::Call { dst, callee, args } => {
+                    let a: Vec<String> = args.iter().map(|x| op_str(f, x)).collect();
+                    match dst {
+                        Some(d) => format!("%{} = call f{}({})", d.0, callee.0, a.join(", ")),
+                        None => format!("call f{}({})", callee.0, a.join(", ")),
+                    }
+                }
+                Inst::Phi { dst, incoming } => {
+                    let a: Vec<String> = incoming
+                        .iter()
+                        .map(|(b, o)| format!("[b{}: {}]", b.0, op_str(f, o)))
+                        .collect();
+                    format!("%{} = phi {} {}", dst.0, f.ty(*dst), a.join(", "))
+                }
+                Inst::Select { dst, cond, t, f: fv } => format!(
+                    "%{} = select {}, {}, {}",
+                    dst.0,
+                    op_str(f, cond),
+                    op_str(f, t),
+                    op_str(f, fv)
+                ),
+                Inst::Splat { dst, src } => {
+                    format!("%{} = splat {} {}", dst.0, f.ty(*dst), op_str(f, src))
+                }
+                Inst::ExtractLane { dst, src, lane } => {
+                    format!("%{} = extractlane {}, {}", dst.0, op_str(f, src), lane)
+                }
+                Inst::Reduce { dst, op, src } => {
+                    format!("%{} = reduce.{} {}", dst.0, op.name(), op_str(f, src))
+                }
+            };
+            let _ = writeln!(s, "  {line}");
+        }
+        let t = match &blk.term {
+            Term::Br(b) => format!("br b{}", b.0),
+            Term::CondBr { cond, t, f: fb } => {
+                format!("condbr {}, b{}, b{}", op_str(f, cond), t.0, fb.0)
+            }
+            Term::Ret(Some(op)) => format!("ret {}", op_str(f, op)),
+            Term::Ret(None) => "ret".into(),
+            Term::Unreachable => "unreachable".into(),
+        };
+        let _ = writeln!(s, "  {t}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render a whole module as text.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {}", m.name);
+    for (i, g) in m.globals.iter().enumerate() {
+        let kind = match &g.init {
+            GlobalInit::Zero(n) => format!("zero[{n}]"),
+            GlobalInit::I8s(v) => format!("i8[{}]", v.len()),
+            GlobalInit::I16s(v) => format!("i16[{}]", v.len()),
+            GlobalInit::I32s(v) => format!("i32[{}]", v.len()),
+            GlobalInit::I64s(v) => format!("i64[{}]", v.len()),
+            GlobalInit::F64s(v) => format!("f64[{}]", v.len()),
+        };
+        let _ = writeln!(s, "global @{i} {} : {kind}", g.name);
+    }
+    for f in &m.funcs {
+        s.push_str(&print_function(f));
+    }
+    s
+}
+
+/// 64-bit FNV-1a — stable across platforms and Rust releases, unlike
+/// `DefaultHasher`, so fingerprints can be persisted.
+#[derive(Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Fresh hasher with the standard offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf29ce484222325)
+    }
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    /// Absorb a u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    /// Final digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stable structural fingerprint of a module (the "binary hash"). Two modules
+/// print identically iff they are structurally identical, so hashing the text
+/// is a faithful structural hash while staying simple.
+pub fn fingerprint(m: &Module) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(print_module(m).as_bytes());
+    // Attributes affect codegen (call cost) but not the printed body; fold them in.
+    for f in &m.funcs {
+        h.write_u64(f.attrs.readnone as u64 | (f.attrs.readonly as u64) << 1 | (f.attrs.noinline as u64) << 2);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Operand};
+    use crate::types::I64;
+
+    fn sample() -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let x = b.bin(BinOp::Add, I64, b.param(0), Operand::imm64(1));
+        b.ret(Some(x));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn print_contains_expected_tokens() {
+        let m = sample();
+        let s = print_module(&m);
+        assert!(s.contains("func @f(i64 %0) -> i64"));
+        assert!(s.contains("add.i64"));
+        assert!(s.contains("ret %1"));
+    }
+
+    #[test]
+    fn fingerprint_stable_and_sensitive() {
+        let m1 = sample();
+        let m2 = sample();
+        assert_eq!(fingerprint(&m1), fingerprint(&m2));
+        let mut m3 = sample();
+        // Change the constant — fingerprint must change.
+        if let Inst::Bin { rhs, .. } = &mut m3.funcs[0].blocks[0].insts[0] {
+            *rhs = Operand::imm64(2);
+        }
+        assert_ne!(fingerprint(&m1), fingerprint(&m3));
+        // Changing attrs also changes the fingerprint.
+        let mut m4 = sample();
+        m4.funcs[0].attrs.readnone = true;
+        assert_ne!(fingerprint(&m1), fingerprint(&m4));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(Fnv64::new().finish(), 0xcbf29ce484222325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+}

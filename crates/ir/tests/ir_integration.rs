@@ -1,0 +1,197 @@
+//! IR crate integration tests: printer stability, memory model corner cases,
+//! vector semantics, linker + interpreter interplay, and event-sink hooks.
+
+use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+use citroen_ir::inst::{BinOp, CastKind, FuncId, Operand};
+use citroen_ir::interp::{run, run_counting, CountingSink, EventSink, Limits, OpClass, Trap, Value};
+use citroen_ir::module::{Function, GlobalInit, Module};
+use citroen_ir::print::{fingerprint, print_module};
+use citroen_ir::types::{ScalarTy, Ty, F64, I16, I64, I8};
+
+#[test]
+fn printer_is_stable_and_structural() {
+    let mut m = Module::new("m");
+    let g = m.add_global("data", GlobalInit::I16s(vec![1, 2, 3]), true);
+    let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+    let v = b.load(I16, Operand::Global(g));
+    let w = b.cast(CastKind::SExt, I64, v);
+    let s = b.bin(BinOp::Add, I64, w, b.param(0));
+    b.store(I64, s, Operand::Global(g));
+    b.ret(Some(s));
+    m.add_func(b.finish());
+
+    let p1 = print_module(&m);
+    let p2 = print_module(&m);
+    assert_eq!(p1, p2);
+    assert!(p1.contains("global @0 data : i16[3]"));
+    assert!(p1.contains("sext %1 to i64"));
+    // Fingerprint reflects structure, not identity.
+    let m2 = m.clone();
+    assert_eq!(fingerprint(&m), fingerprint(&m2));
+}
+
+#[test]
+fn memory_digest_ignores_immutable_globals() {
+    let mut m = Module::new("m");
+    let imm = m.add_global("ro", GlobalInit::I64s(vec![5]), false);
+    let mt = m.add_global("rw", GlobalInit::Zero(8), true);
+    let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+    let x = b.load(I64, Operand::Global(imm));
+    b.store(I64, b.param(0), Operand::Global(mt));
+    b.ret(Some(x));
+    m.add_func(b.finish());
+    let (o1, _) = run_counting(&m, FuncId(0), &[Value::I(1)]).unwrap();
+    let (o2, _) = run_counting(&m, FuncId(0), &[Value::I(2)]).unwrap();
+    assert_ne!(o1.mem_digest, o2.mem_digest, "mutable writes must be observable");
+}
+
+#[test]
+fn narrow_stores_roundtrip_with_sign() {
+    // store i8 -1 then load i8: canonical sign-extended -1.
+    let mut m = Module::new("m");
+    let g = m.add_global("b", GlobalInit::Zero(4), true);
+    let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+    b.store(I8, Operand::ImmI(-1, ScalarTy::I8), Operand::Global(g));
+    let v = b.load(I8, Operand::Global(g));
+    let w = b.cast(CastKind::SExt, I64, v);
+    b.ret(Some(w));
+    m.add_func(b.finish());
+    assert_eq!(run_counting(&m, FuncId(0), &[]).unwrap().0.ret, Some(Value::I(-1)));
+}
+
+#[test]
+fn float_vector_pipeline() {
+    let v2 = Ty::vector(ScalarTy::F64, 2);
+    let mut m = Module::new("m");
+    let g = m.add_global("a", GlobalInit::F64s(vec![1.5, 2.5]), false);
+    let mut b = FunctionBuilder::new("f", vec![], Some(F64));
+    let x = b.load(v2, Operand::Global(g));
+    let s = b.splat(v2, Operand::ImmF(2.0));
+    let p = b.bin(BinOp::FMul, v2, x, s);
+    let r = b.reduce(BinOp::FAdd, ScalarTy::F64, p);
+    b.ret(Some(r));
+    m.add_func(b.finish());
+    citroen_ir::verify::assert_valid(&m);
+    let (out, sink) = run_counting(&m, FuncId(0), &[]).unwrap();
+    assert_eq!(out.ret, Some(Value::F(8.0)));
+    assert_eq!(sink.count(OpClass::VecFp), 1);
+    assert_eq!(sink.count(OpClass::Splat), 1);
+}
+
+#[test]
+fn step_limit_and_call_depth_guards() {
+    // Direct infinite recursion trips the depth limit.
+    let mut m = Module::new("m");
+    let mut f = FunctionBuilder::new("rec", vec![], Some(I64));
+    let r = f.call(FuncId(0), Some(I64), vec![]).unwrap();
+    f.ret(Some(r));
+    m.add_func(f.finish());
+    let mut sink = CountingSink::new();
+    let err = run(&m, FuncId(0), &[], &mut sink, Limits::default()).unwrap_err();
+    assert_eq!(err, Trap::CallDepth);
+}
+
+#[test]
+fn event_sink_function_hooks_fire() {
+    struct Hooks {
+        enters: usize,
+        exits: usize,
+    }
+    impl EventSink for Hooks {
+        fn op(&mut self, _c: OpClass, _l: u8) {}
+        fn mem(&mut self, _a: u64, _b: u32, _s: bool) {}
+        fn branch(&mut self, _s: u32, _t: bool) {}
+        fn enter_function(&mut self, _f: FuncId) {
+            self.enters += 1;
+        }
+        fn exit_function(&mut self) {
+            self.exits += 1;
+        }
+    }
+    let mut m = Module::new("m");
+    let mut callee = FunctionBuilder::new("c", vec![], Some(I64));
+    callee.ret(Some(Operand::imm64(1)));
+    let cid = m.add_func(callee.finish());
+    let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+    let a = b.call(cid, Some(I64), vec![]).unwrap();
+    let c = b.call(cid, Some(I64), vec![]).unwrap();
+    let s = b.bin(BinOp::Add, I64, a, c);
+    b.ret(Some(s));
+    m.add_func(b.finish());
+    let mut hooks = Hooks { enters: 0, exits: 0 };
+    run(&m, FuncId(1), &[], &mut hooks, Limits::default()).unwrap();
+    assert_eq!(hooks.enters, 3); // main + 2 calls
+    assert_eq!(hooks.exits, 3);
+}
+
+#[test]
+fn linked_module_keeps_global_addresses_distinct() {
+    // Two modules each with a private buffer; after linking, writes to one
+    // must not clobber the other.
+    let mk = |name: &str, gname: &str, fname: &'static str, val: i64| {
+        let mut m = Module::new(name);
+        let g = m.add_global(gname, GlobalInit::Zero(8), true);
+        let mut b = FunctionBuilder::new(fname, vec![], Some(I64));
+        b.store(I64, Operand::imm64(val), Operand::Global(g));
+        let v = b.load(I64, Operand::Global(g));
+        b.ret(Some(v));
+        m.add_func(b.finish());
+        m
+    };
+    let m1 = mk("a.c", "buf_a", "fa", 11);
+    let m2 = mk("b.c", "buf_b", "fb", 22);
+    let mut main = Module::new("main.c");
+    let fa = main.add_func(Function::decl("fa", vec![], Some(I64)));
+    let fb = main.add_func(Function::decl("fb", vec![], Some(I64)));
+    let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+    let x = b.call(fa, Some(I64), vec![]).unwrap();
+    let y = b.call(fb, Some(I64), vec![]).unwrap();
+    let s = b.bin(BinOp::Add, I64, x, y);
+    b.ret(Some(s));
+    main.add_func(b.finish());
+    let linked = citroen_ir::link("p", &[m1, m2, main]).unwrap();
+    let entry = linked.func_by_name("main").unwrap();
+    let (out, _) = run_counting(&linked, entry, &[]).unwrap();
+    assert_eq!(out.ret, Some(Value::I(33)));
+}
+
+#[test]
+fn loop_helpers_compose_deeply() {
+    // Triple-nested memory loops: count iterations.
+    let mut m = Module::new("m");
+    let g = m.add_global("n", GlobalInit::Zero(8), true);
+    let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+    counted_loop_mem(&mut b, Operand::imm64(3), |b, _| {
+        counted_loop_mem(b, Operand::imm64(4), |b, _| {
+            counted_loop_mem(b, Operand::imm64(5), |b, _| {
+                let c = b.load(I64, Operand::Global(g));
+                let c1 = b.bin(BinOp::Add, I64, c, Operand::imm64(1));
+                b.store(I64, c1, Operand::Global(g));
+            });
+        });
+    });
+    let r = b.load(I64, Operand::Global(g));
+    b.ret(Some(r));
+    m.add_func(b.finish());
+    citroen_ir::verify::assert_valid(&m);
+    assert_eq!(run_counting(&m, FuncId(0), &[]).unwrap().0.ret, Some(Value::I(60)));
+}
+
+#[test]
+fn zero_and_negative_trip_counts_skip_loops() {
+    for n in [0i64, -5] {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let slot = b.alloca(8);
+        b.store(I64, Operand::imm64(7), slot);
+        let n_op = b.param(0);
+        counted_loop_mem(&mut b, n_op, |b, _| {
+            b.store(I64, Operand::imm64(0), slot);
+        });
+        let r = b.load(I64, slot);
+        b.ret(Some(r));
+        m.add_func(b.finish());
+        let (out, _) = run_counting(&m, FuncId(0), &[Value::I(n)]).unwrap();
+        assert_eq!(out.ret, Some(Value::I(7)), "trip count {n} must not execute the body");
+    }
+}

@@ -1,0 +1,187 @@
+//! Autophase-style static IR features (Huang et al. 2019), reproduced as the
+//! alternative feature-extraction baseline of the paper's Fig. 5.9/5.10.
+//!
+//! These are counts of syntactic IR properties of the *optimised* module. The
+//! paper's point: such features cannot see transformations like
+//! `function-attrs` and conflate distinct binaries that happen to share
+//! instruction mixes, so a cost model fitted on them underperforms one fitted
+//! on pass-related compilation statistics.
+
+use citroen_ir::analysis::{Cfg, DomTree, LoopInfo};
+use citroen_ir::inst::{BinOp, CastKind, Inst, Operand, Term};
+use citroen_ir::module::Module;
+use citroen_ir::types::ScalarTy;
+
+/// Number of Autophase-style features.
+pub const NUM_AUTOPHASE_FEATURES: usize = 40;
+
+/// Feature names, aligned with [`autophase_features`] output.
+pub const AUTOPHASE_NAMES: [&str; NUM_AUTOPHASE_FEATURES] = [
+    "TotalInsts",
+    "TotalBlocks",
+    "TotalFuncs",
+    "NumAddInst",
+    "NumSubInst",
+    "NumMulInst",
+    "NumDivInst",
+    "NumAndOrXor",
+    "NumShifts",
+    "NumFPArith",
+    "NumCmpInst",
+    "NumCastInst",
+    "NumSExt",
+    "NumZExt",
+    "NumTrunc",
+    "NumLoadInst",
+    "NumStoreInst",
+    "NumAllocaInst",
+    "NumPhiInst",
+    "NumSelectInst",
+    "NumCallInst",
+    "NumRetInst",
+    "NumBrInst",
+    "NumCondBrInst",
+    "NumVectorInsts",
+    "NumSplatInsts",
+    "NumReduceInsts",
+    "NumEdges",
+    "NumCriticalEdges",
+    "NumLoops",
+    "MaxLoopDepth",
+    "NumBlocksNoPreds",
+    "NumOneSuccBlocks",
+    "NumTwoSuccBlocks",
+    "NumPhiArgs",
+    "NumConstOperands",
+    "NumGlobalOperands",
+    "MaxBlockInsts",
+    "NumI16Values",
+    "NumI64Values",
+];
+
+/// Extract the feature vector from a module.
+pub fn autophase_features(m: &Module) -> Vec<f64> {
+    let mut v = [0f64; NUM_AUTOPHASE_FEATURES];
+    v[2] = m.funcs.len() as f64;
+    for f in &m.funcs {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let loops = LoopInfo::compute(f, &cfg, &dom);
+        v[29] += loops.loops.len() as f64;
+        v[30] = v[30].max(loops.loops.iter().map(|l| l.depth).max().unwrap_or(0) as f64);
+        v[1] += f.blocks.len() as f64;
+        for (b, blk) in f.iter_blocks() {
+            v[0] += blk.insts.len() as f64;
+            v[37] = v[37].max(blk.insts.len() as f64);
+            if cfg.preds[b.idx()].is_empty() {
+                v[31] += 1.0;
+            }
+            let succs = blk.term.successors();
+            v[27] += succs.len() as f64;
+            match succs.len() {
+                1 => v[32] += 1.0,
+                2 => {
+                    v[33] += 1.0;
+                    // critical edge: 2 succs and a succ with >1 preds
+                    for s in &succs {
+                        if cfg.preds[s.idx()].len() > 1 {
+                            v[28] += 1.0;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            match &blk.term {
+                Term::Br(_) => v[22] += 1.0,
+                Term::CondBr { .. } => v[23] += 1.0,
+                Term::Ret(_) => v[21] += 1.0,
+                Term::Unreachable => {}
+            }
+            for inst in &blk.insts {
+                if let Some(d) = inst.dst() {
+                    let ty = f.ty(d);
+                    if ty.is_vector() {
+                        v[24] += 1.0;
+                    }
+                    match ty.scalar {
+                        ScalarTy::I16 => v[38] += 1.0,
+                        ScalarTy::I64 => v[39] += 1.0,
+                        _ => {}
+                    }
+                }
+                inst.for_each_operand(|op| match op {
+                    Operand::ImmI(..) | Operand::ImmF(_) => v[35] += 1.0,
+                    Operand::Global(_) => v[36] += 1.0,
+                    _ => {}
+                });
+                match inst {
+                    Inst::Bin { op, .. } => match op {
+                        BinOp::Add => v[3] += 1.0,
+                        BinOp::Sub => v[4] += 1.0,
+                        BinOp::Mul => v[5] += 1.0,
+                        BinOp::SDiv | BinOp::SRem => v[6] += 1.0,
+                        BinOp::And | BinOp::Or | BinOp::Xor => v[7] += 1.0,
+                        BinOp::Shl | BinOp::AShr | BinOp::LShr => v[8] += 1.0,
+                        BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => v[9] += 1.0,
+                        BinOp::SMin | BinOp::SMax => v[3] += 1.0,
+                    },
+                    Inst::Cmp { .. } => v[10] += 1.0,
+                    Inst::Cast { kind, .. } => {
+                        v[11] += 1.0;
+                        match kind {
+                            CastKind::SExt => v[12] += 1.0,
+                            CastKind::ZExt => v[13] += 1.0,
+                            CastKind::Trunc => v[14] += 1.0,
+                            _ => {}
+                        }
+                    }
+                    Inst::Load { .. } => v[15] += 1.0,
+                    Inst::Store { .. } => v[16] += 1.0,
+                    Inst::Alloca { .. } => v[17] += 1.0,
+                    Inst::Phi { incoming, .. } => {
+                        v[18] += 1.0;
+                        v[34] += incoming.len() as f64;
+                    }
+                    Inst::Select { .. } => v[19] += 1.0,
+                    Inst::Call { .. } => v[20] += 1.0,
+                    Inst::Splat { .. } => v[25] += 1.0,
+                    Inst::Reduce { .. } => v[26] += 1.0,
+                    Inst::ExtractLane { .. } => v[24] += 1.0,
+                }
+            }
+        }
+    }
+    v.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_ir::builder::FunctionBuilder;
+    use citroen_ir::inst::Operand;
+    use citroen_ir::types::I64;
+
+    #[test]
+    fn counts_basic_shapes() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let x = b.bin(BinOp::Add, I64, b.param(0), Operand::imm64(1));
+        let y = b.bin(BinOp::Mul, I64, x, x);
+        b.ret(Some(y));
+        m.add_func(b.finish());
+        let v = autophase_features(&m);
+        assert_eq!(v.len(), NUM_AUTOPHASE_FEATURES);
+        assert_eq!(v[0], 2.0); // TotalInsts
+        assert_eq!(v[2], 1.0); // TotalFuncs
+        assert_eq!(v[3], 1.0); // adds
+        assert_eq!(v[5], 1.0); // muls
+        assert_eq!(v[21], 1.0); // rets
+    }
+
+    #[test]
+    fn names_align() {
+        assert_eq!(AUTOPHASE_NAMES.len(), NUM_AUTOPHASE_FEATURES);
+        assert_eq!(AUTOPHASE_NAMES[0], "TotalInsts");
+        assert_eq!(AUTOPHASE_NAMES[39], "NumI64Values");
+    }
+}

@@ -1,0 +1,285 @@
+//! Pass registry, pass manager and the reference optimisation pipelines.
+//!
+//! The tuners search over *sequences of pass ids* ([`PassSeq`]); the manager
+//! applies a sequence to a module, collecting per-pass [`Stats`]. This is the
+//! stand-in for driving `opt -stats -stats-json` (DESIGN.md §1).
+
+use crate::passes;
+use crate::stats::Stats;
+use citroen_ir::module::Module;
+use citroen_ir::verify;
+
+/// A transformation pass.
+pub trait Pass: Sync + Send {
+    /// Stable pass name (used in statistics keys and pipelines).
+    fn name(&self) -> &'static str;
+    /// Transform `m`, recording statistics.
+    fn run(&self, m: &mut Module, stats: &mut Stats);
+}
+
+/// Index of a pass in the [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PassId(pub u16);
+
+/// A pass sequence — the genome the phase-ordering tuners search over.
+pub type PassSeq = Vec<PassId>;
+
+/// The set of passes available to the tuner.
+pub struct Registry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Registry {
+    /// The full registry (every pass in this crate), mirroring the paper's
+    /// "76 passes of LLVM 17 -O3" universe (Table 5.3).
+    pub fn full() -> Registry {
+        Registry { passes: passes::all_passes() }
+    }
+
+    /// A reduced registry standing in for the older "LLVM 10" pass universe
+    /// used in Fig. 5.10 (no vectorisers beyond basic SLP, no aggressive
+    /// combines, no modern loop passes).
+    pub fn llvm10() -> Registry {
+        let keep = [
+            "mem2reg",
+            "sroa",
+            "simplifycfg",
+            "instcombine",
+            "instsimplify",
+            "early-cse",
+            "gvn",
+            "sccp",
+            "dce",
+            "adce",
+            "dse",
+            "reassociate",
+            "licm",
+            "loop-simplify",
+            "loop-rotate",
+            "loop-unroll",
+            "loop-deletion",
+            "indvars",
+            "inline",
+            "jump-threading",
+            "constprop",
+            "sink",
+            "slp-vectorizer",
+            "tailcallelim",
+        ];
+        let passes = passes::all_passes()
+            .into_iter()
+            .filter(|p| keep.contains(&p.name()))
+            .collect();
+        Registry { passes }
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Pass by id.
+    pub fn pass(&self, id: PassId) -> &dyn Pass {
+        self.passes[id.0 as usize].as_ref()
+    }
+
+    /// Name of a pass id.
+    pub fn name(&self, id: PassId) -> &'static str {
+        self.pass(id).name()
+    }
+
+    /// Find a pass id by name.
+    pub fn by_name(&self, name: &str) -> Option<PassId> {
+        self.passes.iter().position(|p| p.name() == name).map(|i| PassId(i as u16))
+    }
+
+    /// All pass ids.
+    pub fn ids(&self) -> Vec<PassId> {
+        (0..self.passes.len()).map(|i| PassId(i as u16)).collect()
+    }
+
+    /// All pass names, in id order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Parse a comma/space separated list of pass names into a sequence.
+    pub fn parse_seq(&self, s: &str) -> Result<PassSeq, String> {
+        s.split(|c| c == ',' || c == ' ')
+            .filter(|t| !t.is_empty())
+            .map(|t| self.by_name(t).ok_or_else(|| format!("unknown pass '{t}'")))
+            .collect()
+    }
+
+    /// Render a sequence as comma-separated names.
+    pub fn seq_to_string(&self, seq: &[PassId]) -> String {
+        seq.iter().map(|id| self.name(*id)).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// Outcome of compiling a module with a pass sequence.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The optimised module.
+    pub module: Module,
+    /// Compilation statistics collected across the sequence.
+    pub stats: Stats,
+    /// Structural fingerprint of the optimised module (the "binary hash").
+    pub fingerprint: u64,
+}
+
+/// Applies pass sequences to modules.
+pub struct PassManager<'r> {
+    registry: &'r Registry,
+    /// Verify the module after every pass (slower; used by tests and fuzzing).
+    pub verify_each: bool,
+}
+
+impl<'r> PassManager<'r> {
+    /// Manager over `registry`. Verification between passes is enabled in
+    /// debug builds by default.
+    pub fn new(registry: &'r Registry) -> PassManager<'r> {
+        PassManager { registry, verify_each: cfg!(debug_assertions) }
+    }
+
+    /// Apply `seq` to a copy of `m`, returning the optimised module, the
+    /// collected statistics, and the binary fingerprint.
+    pub fn compile(&self, m: &Module, seq: &[PassId]) -> CompileResult {
+        let mut module = m.clone();
+        let mut stats = Stats::new();
+        let trace = std::env::var_os("CITROEN_TRACE_PASS").is_some();
+        for &id in seq {
+            let pass = self.registry.pass(id);
+            if trace {
+                let max_blocks = module.funcs.iter().map(|f| f.blocks.len()).max().unwrap_or(0);
+                let max_vals = module.funcs.iter().map(|f| f.value_ty.len()).max().unwrap_or(0);
+                eprintln!(
+                    "[pass] {} (insts {}, max blocks {}, max vals {})",
+                    pass.name(),
+                    module.num_insts(),
+                    max_blocks,
+                    max_vals
+                );
+            }
+            pass.run(&mut module, &mut stats);
+            if self.verify_each {
+                let errs = verify::verify_module(&module);
+                assert!(
+                    errs.is_empty(),
+                    "pass '{}' broke the IR: {}",
+                    pass.name(),
+                    errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+                );
+            }
+        }
+        let fingerprint = citroen_ir::print::fingerprint(&module);
+        CompileResult { module, stats, fingerprint }
+    }
+
+    /// Apply a sequence given by pass names.
+    pub fn compile_named(&self, m: &Module, names: &str) -> Result<CompileResult, String> {
+        let seq = self.registry.parse_seq(names)?;
+        Ok(self.compile(m, &seq))
+    }
+}
+
+/// The reference `-O3`-style pipeline over the full registry. This is the
+/// baseline every speedup in the experiments is measured against, mirroring
+/// the structure (not the exact content) of LLVM's -O3: scalar cleanup,
+/// inlining, loop canonicalisation + transforms, redundancy elimination,
+/// vectorisation, late cleanup.
+pub fn o3_pipeline(reg: &Registry) -> PassSeq {
+    const NAMES: &[&str] = &[
+        "mem2reg",
+        "early-cse",
+        "simplifycfg",
+        "instcombine",
+        "inline",
+        "function-attrs",
+        "sroa",
+        "mem2reg",
+        "early-cse",
+        "jump-threading",
+        "correlated-propagation",
+        "simplifycfg",
+        "instcombine",
+        "tailcallelim",
+        "reassociate",
+        "loop-simplify",
+        "loop-rotate",
+        "licm",
+        "simplifycfg",
+        "instcombine",
+        "indvars",
+        "loop-idiom",
+        "loop-deletion",
+        "loop-unroll",
+        "gvn",
+        "sccp",
+        "instcombine",
+        "jump-threading",
+        "correlated-propagation",
+        "dse",
+        "licm",
+        "adce",
+        "simplifycfg",
+        "instcombine",
+        "loop-vectorize",
+        "slp-vectorizer",
+        "vector-combine",
+        "instcombine",
+        "strength-reduce",
+        "div-rem-pairs",
+        "simplifycfg",
+        "sink",
+        "adce",
+        "constprop",
+    ];
+    // Passes absent from a reduced registry (e.g. the LLVM-10-style subset)
+    // are simply skipped — that registry's own "-O3".
+    NAMES.iter().filter_map(|n| reg.by_name(n)).collect()
+}
+
+/// A shorter `-O1`-style cleanup pipeline.
+pub fn o1_pipeline(reg: &Registry) -> PassSeq {
+    const NAMES: &[&str] =
+        &["mem2reg", "simplifycfg", "instcombine", "early-cse", "dce", "simplifycfg"];
+    NAMES.iter().map(|n| reg.by_name(n).expect("O1 pass missing")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_everything_o3_needs() {
+        let reg = Registry::full();
+        assert!(reg.len() >= 30, "registry too small: {}", reg.len());
+        let o3 = o3_pipeline(&reg);
+        assert!(o3.len() >= 40);
+        // names round-trip
+        let s = reg.seq_to_string(&o3);
+        let back = reg.parse_seq(&s).unwrap();
+        assert_eq!(back, o3);
+    }
+
+    #[test]
+    fn llvm10_registry_is_a_subset() {
+        let full = Registry::full();
+        let old = Registry::llvm10();
+        assert!(old.len() < full.len());
+        assert!(old.by_name("loop-vectorize").is_none());
+        assert!(old.by_name("mem2reg").is_some());
+    }
+
+    #[test]
+    fn unknown_pass_is_an_error() {
+        let reg = Registry::full();
+        assert!(reg.parse_seq("mem2reg,bogus").is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! The transformation-pass collection. `all_passes` builds the registry used
+//! by the tuners (the stand-in for the paper's 76-pass LLVM 17 universe).
+
+pub mod combine;
+pub mod ipo;
+pub mod loops;
+pub mod mem2reg;
+pub mod redundancy;
+pub mod simplifycfg;
+pub mod vectorize;
+
+use crate::manager::Pass;
+
+/// All passes in this crate, in a stable order (the registry id order).
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(mem2reg::Mem2Reg),
+        Box::new(mem2reg::Sroa),
+        Box::new(simplifycfg::SimplifyCfg),
+        Box::new(simplifycfg::JumpThreading),
+        Box::new(combine::InstCombine),
+        Box::new(combine::InstSimplify),
+        Box::new(combine::ConstProp),
+        Box::new(combine::Reassociate),
+        Box::new(combine::DivRemPairs),
+        Box::new(combine::VectorCombine),
+        Box::new(combine::AggressiveInstCombine),
+        Box::new(redundancy::Gvn),
+        Box::new(redundancy::EarlyCse),
+        Box::new(redundancy::Sccp),
+        Box::new(redundancy::Dce),
+        Box::new(redundancy::Adce),
+        Box::new(redundancy::Dse),
+        Box::new(redundancy::Sink),
+        Box::new(redundancy::CorrelatedPropagation),
+        Box::new(loops::LoopSimplify),
+        Box::new(loops::LoopRotate),
+        Box::new(loops::Licm),
+        Box::new(loops::IndVars),
+        Box::new(loops::LoopUnroll),
+        Box::new(loops::LoopDeletion),
+        Box::new(loops::StrengthReduce),
+        Box::new(vectorize::SlpVectorizer),
+        Box::new(vectorize::LoopVectorize),
+        Box::new(vectorize::LoopIdiom),
+        Box::new(ipo::Inline),
+        Box::new(ipo::FunctionAttrs),
+        Box::new(ipo::TailCallElim),
+    ]
+}

@@ -1,0 +1,141 @@
+//! Pass-related compilation statistics — the feature source CITROEN is built
+//! around (paper §5.2, Table 5.1).
+//!
+//! Every pass increments named counters while it transforms the IR, exactly
+//! like LLVM's `-stats`. [`Stats::to_json`] mirrors the `-stats-json` format
+//! the paper's tooling consumes: a list of `{ "pass.stat": value }` entries.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A bag of `pass.statistic → count` entries collected during compilation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    map: BTreeMap<(String, String), u64>,
+}
+
+impl Stats {
+    /// Empty statistics.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Increment `pass.stat` by `n`.
+    pub fn inc(&mut self, pass: &str, stat: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.map.entry((pass.to_string(), stat.to_string())).or_insert(0) += n;
+    }
+
+    /// Current value of `pass.stat` (0 if never incremented).
+    pub fn get(&self, pass: &str, stat: &str) -> u64 {
+        self.map.get(&(pass.to_string(), stat.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct counters recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no counter was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate `(pass, stat, value)` in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.map.iter().map(|((p, s), v)| (p.as_str(), s.as_str(), *v))
+    }
+
+    /// Merge another stats bag into this one (summing counters). Used when a
+    /// pass sequence applies the same pass several times, and when multi-module
+    /// programs concatenate per-module statistics.
+    pub fn merge(&mut self, other: &Stats) {
+        for ((p, s), v) in &other.map {
+            *self.map.entry((p.clone(), s.clone())).or_insert(0) += v;
+        }
+    }
+
+    /// Sorted list of `pass.stat` keys.
+    pub fn keys(&self) -> Vec<String> {
+        self.map.keys().map(|(p, s)| format!("{p}.{s}")).collect()
+    }
+
+    /// Value by dotted key `pass.stat`.
+    pub fn get_dotted(&self, key: &str) -> u64 {
+        match key.split_once('.') {
+            Some((p, s)) => self.get(p, s),
+            None => 0,
+        }
+    }
+
+    /// Dense feature vector aligned to a caller-provided key universe (the
+    /// union-alignment step of CITROEN's feature pipeline): missing keys are 0.
+    pub fn to_vector(&self, keys: &[String]) -> Vec<f64> {
+        keys.iter().map(|k| self.get_dotted(k) as f64).collect()
+    }
+
+    /// Serialise in LLVM `-stats-json` style:
+    /// `{ "mem2reg.NumPromoted": 21, ... }`.
+    pub fn to_json(&self) -> String {
+        let obj: BTreeMap<String, u64> =
+            self.map.iter().map(|((p, s), v)| (format!("{p}.{s}"), *v)).collect();
+        serde_json::to_string_pretty(&obj).expect("stats serialise")
+    }
+
+    /// Parse the `-stats-json` style object produced by [`Stats::to_json`].
+    pub fn from_json(s: &str) -> Result<Stats, serde_json::Error> {
+        let obj: BTreeMap<String, u64> = serde_json::from_str(s)?;
+        let mut out = Stats::new();
+        for (k, v) in obj {
+            if let Some((p, st)) = k.split_once('.') {
+                out.inc(p, st, v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_get_merge() {
+        let mut s = Stats::new();
+        s.inc("mem2reg", "NumPromoted", 3);
+        s.inc("mem2reg", "NumPromoted", 2);
+        s.inc("slp", "NumVectorInstructions", 0); // no-op
+        assert_eq!(s.get("mem2reg", "NumPromoted"), 5);
+        assert_eq!(s.get("slp", "NumVectorInstructions"), 0);
+        assert_eq!(s.len(), 1);
+
+        let mut t = Stats::new();
+        t.inc("mem2reg", "NumPromoted", 1);
+        t.inc("gvn", "NumGVNInstr", 7);
+        s.merge(&t);
+        assert_eq!(s.get("mem2reg", "NumPromoted"), 6);
+        assert_eq!(s.get("gvn", "NumGVNInstr"), 7);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut s = Stats::new();
+        s.inc("mem2reg", "NumPromoted", 21);
+        s.inc("slp", "NumVectorInstructions", 14);
+        let j = s.to_json();
+        assert!(j.contains("\"mem2reg.NumPromoted\": 21"));
+        let back = Stats::from_json(&j).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn feature_vector_alignment() {
+        let mut s = Stats::new();
+        s.inc("a", "X", 2);
+        s.inc("b", "Y", 5);
+        let keys = vec!["b.Y".to_string(), "missing.Z".to_string(), "a.X".to_string()];
+        assert_eq!(s.to_vector(&keys), vec![5.0, 0.0, 2.0]);
+    }
+}

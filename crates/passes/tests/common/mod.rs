@@ -1,0 +1,260 @@
+// Shared corpus of mini-programs for pass testing. Each program is built in
+// the unoptimised (`-O0`-style) shape a C front end would produce: locals in
+// allocas, while-shaped loops, no φs.
+
+use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+use citroen_ir::inst::{BinOp, CastKind, CmpOp, Operand};
+use citroen_ir::interp::Value;
+use citroen_ir::module::{GlobalInit, Module};
+use citroen_ir::types::{I16, I32, I64};
+
+/// A corpus entry: module, entry function name, and arguments to run with.
+pub struct Program {
+    pub module: Module,
+    pub args: Vec<Value>,
+}
+
+/// GSM-style i16 dot product over two 8-element windows (the paper's Fig. 5.1
+/// kernel shape): result += w[i] * d[i], accumulated in i32.
+pub fn gsm_dot() -> Program {
+    let mut m = Module::new("gsm_dot");
+    let w = m.add_global(
+        "w",
+        GlobalInit::I16s(vec![3, -1, 4, 1, -5, 9, 2, -6, 5, 3, 5, 8, -9, 7, 9, 3]),
+        false,
+    );
+    let d = m.add_global(
+        "d",
+        GlobalInit::I16s(vec![2, 7, -1, 8, 2, -8, 1, 8, 2, -8, 4, 5, 9, 0, -4, 5]),
+        false,
+    );
+    // Fixed 16-tap window, like the real GSM long-term predictor.
+    let mut b = FunctionBuilder::new("dot", vec![], Some(I32));
+    let n = Operand::imm64(16);
+    let acc = b.alloca(4);
+    b.store(I32, Operand::imm32(0), acc);
+    counted_loop_mem(&mut b, n, |b, iv| {
+        let wa = b.gep(Operand::Global(w), iv, 2);
+        let da = b.gep(Operand::Global(d), iv, 2);
+        let wv = b.load(I16, wa);
+        let dv = b.load(I16, da);
+        let we = b.cast(CastKind::SExt, I32, wv);
+        let de = b.cast(CastKind::SExt, I32, dv);
+        let p = b.bin(BinOp::Mul, I32, we, de);
+        let a0 = b.load(I32, acc);
+        let a1 = b.bin(BinOp::Add, I32, a0, p);
+        b.store(I32, a1, acc);
+    });
+    let r = b.load(I32, acc);
+    b.ret(Some(r));
+    m.add_func(b.finish());
+    Program { module: m, args: vec![] }
+}
+
+/// Array sum with a branch inside the loop (sum positives only).
+pub fn branchy_sum() -> Program {
+    let mut m = Module::new("branchy_sum");
+    let data: Vec<i32> = (0..64).map(|i| ((i * 37 + 11) % 41) - 20).collect();
+    let g = m.add_global("a", GlobalInit::I32s(data), false);
+    let mut b = FunctionBuilder::new("sum_pos", vec![I64], Some(I64));
+    let n = b.param(0);
+    let acc = b.alloca(8);
+    b.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut b, n, |b, iv| {
+        let addr = b.gep(Operand::Global(g), iv, 4);
+        let x = b.load(I32, addr);
+        let x64 = b.cast(CastKind::SExt, I64, x);
+        let pos = b.cmp(CmpOp::Sgt, x64, Operand::imm64(0));
+        let add_blk = b.block();
+        let cont = b.block();
+        b.cond_br(pos, add_blk, cont);
+        b.switch_to(add_blk);
+        let a0 = b.load(I64, acc);
+        let a1 = b.bin(BinOp::Add, I64, a0, x64);
+        b.store(I64, a1, acc);
+        b.br(cont);
+        b.switch_to(cont);
+    });
+    let r = b.load(I64, acc);
+    b.ret(Some(r));
+    m.add_func(b.finish());
+    Program { module: m, args: vec![Value::I(64)] }
+}
+
+/// Nested loops writing a multiplication table into a mutable global.
+pub fn nested_table() -> Program {
+    let mut m = Module::new("nested_table");
+    let out = m.add_global("out", GlobalInit::Zero(8 * 8 * 8), true);
+    let mut b = FunctionBuilder::new("table", vec![I64], Some(I64));
+    let n = b.param(0);
+    counted_loop_mem(&mut b, n, |b, i| {
+        let n_inner = b.param(0);
+        counted_loop_mem(b, n_inner, |b, j| {
+            let prod = b.bin(BinOp::Mul, I64, i, j);
+            let row = b.bin(BinOp::Mul, I64, i, Operand::imm64(8));
+            let idx = b.bin(BinOp::Add, I64, row, j);
+            let addr = b.gep(Operand::Global(out), idx, 8);
+            b.store(I64, prod, addr);
+        });
+    });
+    b.ret(Some(Operand::imm64(0)));
+    m.add_func(b.finish());
+    Program { module: m, args: vec![Value::I(8)] }
+}
+
+/// Call-heavy: helper functions, one pure, one writing a global.
+pub fn call_chain() -> Program {
+    let mut m = Module::new("call_chain");
+    let g = m.add_global("counter", GlobalInit::Zero(8), true);
+
+    // pure helper: square(x) = x*x
+    let mut sq = FunctionBuilder::new("square", vec![I64], Some(I64));
+    let s = sq.bin(BinOp::Mul, I64, sq.param(0), sq.param(0));
+    sq.ret(Some(s));
+    let square = m.add_func(sq.finish());
+
+    // impure helper: bump() increments @counter, returns new value
+    let mut bp = FunctionBuilder::new("bump", vec![], Some(I64));
+    let c0 = bp.load(I64, Operand::Global(g));
+    let c1 = bp.bin(BinOp::Add, I64, c0, Operand::imm64(1));
+    bp.store(I64, c1, Operand::Global(g));
+    bp.ret(Some(c1));
+    let bump = m.add_func(bp.finish());
+
+    let mut b = FunctionBuilder::new("main", vec![I64], Some(I64));
+    let n = b.param(0);
+    let acc = b.alloca(8);
+    b.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut b, n, |b, iv| {
+        let s = b.call(square, Some(I64), vec![iv]).unwrap();
+        let t = b.call(bump, Some(I64), vec![]).unwrap();
+        let a0 = b.load(I64, acc);
+        let a1 = b.bin(BinOp::Add, I64, a0, s);
+        let a2 = b.bin(BinOp::Add, I64, a1, t);
+        b.store(I64, a2, acc);
+    });
+    let r = b.load(I64, acc);
+    b.ret(Some(r));
+    m.add_func(b.finish());
+    Program { module: m, args: vec![Value::I(20)] }
+}
+
+/// Tail-recursive triangular-number computation (tailcallelim fodder).
+pub fn tail_recursion() -> Program {
+    let mut m = Module::new("tail_rec");
+    // tri(n, acc) = n <= 0 ? acc : tri(n-1, acc+n)
+    let mut f = FunctionBuilder::new("tri", vec![I64, I64], Some(I64));
+    let base = f.block();
+    let rec = f.block();
+    let n = f.param(0);
+    let acc = f.param(1);
+    let done = f.cmp(CmpOp::Sle, n, Operand::imm64(0));
+    f.cond_br(done, base, rec);
+    f.switch_to(base);
+    f.ret(Some(acc));
+    f.switch_to(rec);
+    let n1 = f.bin(BinOp::Sub, I64, n, Operand::imm64(1));
+    let a1 = f.bin(BinOp::Add, I64, acc, n);
+    // self call: FuncId 0 (tri is the first function added)
+    let r = f.call(citroen_ir::inst::FuncId(0), Some(I64), vec![n1, a1]).unwrap();
+    f.ret(Some(r));
+    m.add_func(f.finish());
+    Program { module: m, args: vec![Value::I(40), Value::I(0)] }
+}
+
+/// memset-style fill + re-read (loop-idiom fodder), with div/rem mixed in.
+pub fn fill_and_sum() -> Program {
+    let mut m = Module::new("fill_and_sum");
+    let buf = m.add_global("buf", GlobalInit::Zero(4 * 64), true);
+    let mut b = FunctionBuilder::new("go", vec![I64], Some(I64));
+    let n = b.param(0);
+    counted_loop_mem(&mut b, n, |b, iv| {
+        let addr = b.gep(Operand::Global(buf), iv, 4);
+        b.store(I32, Operand::imm32(7), addr);
+        let _ = iv;
+    });
+    let acc = b.alloca(8);
+    b.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut b, n, |b, iv| {
+        let addr = b.gep(Operand::Global(buf), iv, 4);
+        let x = b.load(I32, addr);
+        let x64 = b.cast(CastKind::SExt, I64, x);
+        let q = b.bin(BinOp::SDiv, I64, x64, Operand::imm64(3));
+        let r = b.bin(BinOp::SRem, I64, x64, Operand::imm64(3));
+        let a0 = b.load(I64, acc);
+        let a1 = b.bin(BinOp::Add, I64, a0, q);
+        let a2 = b.bin(BinOp::Add, I64, a1, r);
+        b.store(I64, a2, acc);
+    });
+    let r = b.load(I64, acc);
+    b.ret(Some(r));
+    m.add_func(b.finish());
+    Program { module: m, args: vec![Value::I(64)] }
+}
+
+/// Constant-heavy straight-line code with selects and narrow types
+/// (constprop/sccp/instcombine fodder).
+pub fn const_maze() -> Program {
+    let mut m = Module::new("const_maze");
+    let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+    let x = b.param(0);
+    let a = b.bin(BinOp::Mul, I64, Operand::imm64(6), Operand::imm64(7));
+    let c = b.cmp(CmpOp::Sgt, a, Operand::imm64(40));
+    let t1 = b.block();
+    let t2 = b.block();
+    let j = b.block();
+    b.cond_br(c, t1, t2);
+    b.switch_to(t1);
+    let y1 = b.bin(BinOp::Add, I64, x, a);
+    b.br(j);
+    b.switch_to(t2);
+    let y2 = b.bin(BinOp::Sub, I64, x, a);
+    b.br(j);
+    b.switch_to(j);
+    let p = b.phi(I64, vec![(t1, y1), (t2, y2)]);
+    let nar = b.cast(CastKind::Trunc, I16, p);
+    let wid = b.cast(CastKind::SExt, I64, nar);
+    let sh = b.bin(BinOp::Mul, I64, wid, Operand::imm64(8)); // -> shl
+    let sel = b.select(I64, c, sh, Operand::imm64(0));
+    b.ret(Some(sel));
+    m.add_func(b.finish());
+    Program { module: m, args: vec![Value::I(5)] }
+}
+
+/// i16 multiply-accumulate whose sums are sign-extended to i64 — the exact
+/// chain the Fig. 5.1 instcombine widening targets.
+pub fn widening_bait() -> Program {
+    let mut m = Module::new("widening_bait");
+    let w = m.add_global("w", GlobalInit::I16s((0..8).map(|i| 100 + i).collect()), false);
+    let d = m.add_global("d", GlobalInit::I16s((0..8).map(|i| 200 - 3 * i).collect()), false);
+    let mut b = FunctionBuilder::new("mac", vec![], Some(I64));
+    let mut total = Operand::imm64(0);
+    for i in 0..8i64 {
+        let wa = b.gep(Operand::Global(w), Operand::imm64(i), 2);
+        let da = b.gep(Operand::Global(d), Operand::imm64(i), 2);
+        let wv = b.load(I16, wa);
+        let dv = b.load(I16, da);
+        let we = b.cast(CastKind::SExt, I32, wv);
+        let de = b.cast(CastKind::SExt, I32, dv);
+        let p = b.bin(BinOp::Mul, I32, we, de);
+        let p64 = b.cast(CastKind::SExt, I64, p);
+        total = b.bin(BinOp::Add, I64, total, p64);
+    }
+    b.ret(Some(total));
+    m.add_func(b.finish());
+    Program { module: m, args: vec![] }
+}
+
+/// All corpus programs.
+pub fn corpus() -> Vec<Program> {
+    vec![
+        gsm_dot(),
+        branchy_sum(),
+        nested_table(),
+        call_chain(),
+        tail_recursion(),
+        fill_and_sum(),
+        const_maze(),
+        widening_bait(),
+    ]
+}

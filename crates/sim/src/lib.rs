@@ -1,0 +1,15 @@
+//! # citroen-sim
+//!
+//! The hardware substrate standing in for the paper's evaluation platforms:
+//! trace-based performance simulation with per-op-class costs, an L1/L2
+//! cache hierarchy, a branch predictor, and a log-normal measurement-noise
+//! model. See DESIGN.md §1 for why this substitution preserves the paper's
+//! experimental structure.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod platform;
+
+pub use machine::{all_models, amd_x86, tx2_a57, BranchPredictor, CacheConfig, CacheSim, MachineModel};
+pub use platform::{sample_standard_normal, CostSink, Execution, Platform};

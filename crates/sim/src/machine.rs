@@ -1,0 +1,292 @@
+//! Machine models: per-op-class costs, cache geometry, branch prediction.
+//!
+//! Two profiles stand in for the paper's evaluation platforms (§5.4.2):
+//! an ARM Cortex-A57 (NVIDIA Jetson TX2) and an AMD x86 server core. The
+//! numbers are public-microarchitecture-guide approximations; what matters
+//! for reproducing the paper's *shape* is that vector ops amortise lanes,
+//! divisions are expensive, calls have overhead, and memory behaviour is
+//! level-dependent.
+
+use citroen_ir::interp::{OpClass, NUM_OP_CLASSES};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Extra cycles on a miss at this level (added to the access).
+    pub miss_penalty: f64,
+}
+
+/// A complete machine model.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Core frequency in GHz (cycles → seconds).
+    pub freq_ghz: f64,
+    /// Cycles per dynamic operation, per op class. Vector classes are per
+    /// *operation* (lanes amortised) — the vectorisation payoff.
+    pub cost: [f64; NUM_OP_CLASSES],
+    /// Branch mispredict penalty in cycles.
+    pub mispredict_penalty: f64,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L2 cache.
+    pub l2: CacheConfig,
+}
+
+fn cost_table(entries: &[(OpClass, f64)]) -> [f64; NUM_OP_CLASSES] {
+    let mut t = [1.0; NUM_OP_CLASSES];
+    for (c, v) in entries {
+        t[c.idx()] = *v;
+    }
+    t
+}
+
+/// ARM Cortex-A57-class core (Jetson TX2 profile): in-order-ish costs, slow
+/// divide, 15-cycle mispredict, 32 KiB L1 / 2 MiB L2.
+pub fn tx2_a57() -> MachineModel {
+    use OpClass::*;
+    MachineModel {
+        name: "tx2_a57",
+        freq_ghz: 2.0,
+        cost: cost_table(&[
+            (IntAlu, 1.0),
+            (IntMul, 3.5),
+            (IntDiv, 18.0),
+            (FpAlu, 3.0),
+            (FpMul, 3.5),
+            (FpDiv, 17.0),
+            (Cast, 1.0),
+            (Load, 2.0),
+            (Store, 1.0),
+            (Br, 1.0),
+            (CondBr, 1.0),
+            (Call, 9.0),
+            (Ret, 3.0),
+            (Phi, 0.4),
+            (Select, 1.0),
+            (VecIntAlu, 1.4),
+            (VecIntMul, 4.5),
+            (VecFp, 4.5),
+            (VecLoad, 2.5),
+            (VecStore, 1.5),
+            (Reduce, 4.0),
+            (Splat, 1.2),
+            (Alloca, 1.0),
+        ]),
+        mispredict_penalty: 15.0,
+        l1: CacheConfig { size: 32 * 1024, line: 64, ways: 2, miss_penalty: 18.0 },
+        l2: CacheConfig { size: 2 * 1024 * 1024, line: 64, ways: 16, miss_penalty: 130.0 },
+    }
+}
+
+/// AMD Zen-class x86 server core: faster divide/mul, better memory, 17-cycle
+/// mispredict, 32 KiB L1 / 512 KiB L2.
+pub fn amd_x86() -> MachineModel {
+    use OpClass::*;
+    MachineModel {
+        name: "amd_x86",
+        freq_ghz: 2.25,
+        cost: cost_table(&[
+            (IntAlu, 0.8),
+            (IntMul, 2.8),
+            (IntDiv, 13.0),
+            (FpAlu, 2.6),
+            (FpMul, 3.0),
+            (FpDiv, 12.0),
+            (Cast, 0.8),
+            (Load, 1.6),
+            (Store, 0.9),
+            (Br, 0.7),
+            (CondBr, 0.8),
+            (Call, 7.0),
+            (Ret, 2.2),
+            (Phi, 0.3),
+            (Select, 0.8),
+            (VecIntAlu, 1.1),
+            (VecIntMul, 3.4),
+            (VecFp, 3.6),
+            (VecLoad, 2.0),
+            (VecStore, 1.2),
+            (Reduce, 3.2),
+            (Splat, 1.0),
+            (Alloca, 0.9),
+        ]),
+        mispredict_penalty: 17.0,
+        l1: CacheConfig { size: 32 * 1024, line: 64, ways: 8, miss_penalty: 14.0 },
+        l2: CacheConfig { size: 512 * 1024, line: 64, ways: 8, miss_penalty: 46.0 },
+    }
+}
+
+/// All built-in machine models.
+pub fn all_models() -> Vec<MachineModel> {
+    vec![tx2_a57(), amd_x86()]
+}
+
+/// A set-associative LRU cache simulator.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    cfg: CacheConfig,
+    /// `tags[set * ways + way]`; u64::MAX = invalid. LRU order per set is
+    /// kept via per-slot timestamps.
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    sets: u32,
+    /// Number of accesses.
+    pub accesses: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl CacheSim {
+    /// New cold cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> CacheSim {
+        let sets = (cfg.size / (cfg.line * cfg.ways)).max(1);
+        let slots = (sets * cfg.ways) as usize;
+        CacheSim {
+            cfg,
+            tags: vec![u64::MAX; slots],
+            stamps: vec![0; slots],
+            clock: 0,
+            sets,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access `bytes` at `addr`; returns the number of line misses.
+    pub fn access(&mut self, addr: u64, bytes: u32) -> u32 {
+        let first = addr / self.cfg.line as u64;
+        let last = (addr + bytes.max(1) as u64 - 1) / self.cfg.line as u64;
+        let mut misses = 0;
+        for line in first..=last {
+            self.accesses += 1;
+            if !self.touch(line) {
+                misses += 1;
+                self.misses += 1;
+            }
+        }
+        misses
+    }
+
+    fn touch(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        let set = (line % self.sets as u64) as usize;
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.tags[base..base + ways];
+        if let Some(w) = slots.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.clock;
+            return true;
+        }
+        // Miss: evict LRU.
+        let lru = (0..ways).min_by_key(|w| self.stamps[base + w]).unwrap();
+        self.tags[base + lru] = line;
+        self.stamps[base + lru] = self.clock;
+        false
+    }
+}
+
+/// A table of 2-bit saturating counters indexed by branch-site hash.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    table: Vec<u8>,
+    /// Number of predictions made.
+    pub predictions: u64,
+    /// Number of mispredictions.
+    pub mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Predictor with `2^bits` counters initialised weakly-taken.
+    pub fn new(bits: u32) -> BranchPredictor {
+        BranchPredictor {
+            table: vec![2; 1 << bits],
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Record a branch outcome; returns whether it was mispredicted.
+    pub fn observe(&mut self, site: u32, taken: bool) -> bool {
+        let idx = (site as usize).wrapping_mul(0x9E37_79B9) % self.table.len();
+        let c = &mut self.table[idx];
+        let predicted_taken = *c >= 2;
+        self.predictions += 1;
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        let miss = predicted_taken != taken;
+        if miss {
+            self.mispredictions += 1;
+        }
+        miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_basics() {
+        let mut c = CacheSim::new(CacheConfig { size: 1024, line: 64, ways: 2, miss_penalty: 10.0 });
+        assert_eq!(c.access(0, 8), 1); // cold miss
+        assert_eq!(c.access(8, 8), 0); // same line
+        assert_eq!(c.access(64, 8), 1); // next line
+        assert_eq!(c.access(0, 8), 0); // still resident
+        // A straddling access touches two lines.
+        assert_eq!(c.access(127, 2), 1); // line1 resident, line2 miss
+    }
+
+    #[test]
+    fn cache_evicts_lru() {
+        // 2 sets × 2 ways, 64B lines → lines mapping to set 0: 0, 2, 4...
+        let mut c = CacheSim::new(CacheConfig { size: 256, line: 64, ways: 2, miss_penalty: 1.0 });
+        assert_eq!(c.access(0, 1), 1); // line 0 -> set 0
+        assert_eq!(c.access(128, 1), 1); // line 2 -> set 0
+        assert_eq!(c.access(0, 1), 0); // hit, refreshes line 0
+        assert_eq!(c.access(256, 1), 1); // line 4 -> set 0, evicts line 2 (LRU)
+        assert_eq!(c.access(0, 1), 0); // line 0 still resident
+        assert_eq!(c.access(128, 1), 1); // line 2 was evicted
+    }
+
+    #[test]
+    fn predictor_learns_biased_branches() {
+        let mut p = BranchPredictor::new(10);
+        for _ in 0..100 {
+            p.observe(42, true);
+        }
+        let before = p.mispredictions;
+        for _ in 0..100 {
+            p.observe(42, true);
+        }
+        assert_eq!(p.mispredictions, before, "steady taken branch mispredicts no more");
+        // Alternating pattern mispredicts a lot.
+        let mut p2 = BranchPredictor::new(10);
+        for i in 0..100 {
+            p2.observe(7, i % 2 == 0);
+        }
+        assert!(p2.mispredictions > 30);
+    }
+
+    #[test]
+    fn models_are_sane() {
+        for m in all_models() {
+            assert!(m.freq_ghz > 0.5);
+            assert!(m.cost[OpClass::IntDiv.idx()] > m.cost[OpClass::IntAlu.idx()]);
+            assert!(m.cost[OpClass::VecIntAlu.idx()] < 4.0 * m.cost[OpClass::IntAlu.idx()]);
+            assert!(m.l2.size > m.l1.size);
+            assert!(m.l2.miss_penalty > m.l1.miss_penalty);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulator integration tests: cost-model sensitivity to code quality,
+//! platform ordering, and noise accounting.
+
+use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+use citroen_ir::inst::{BinOp, CastKind, Operand};
+use citroen_ir::module::{GlobalInit, Module};
+use citroen_ir::types::{ScalarTy, Ty, I32, I64};
+use citroen_ir::FuncId;
+use citroen_sim::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scalar_vs_vector_module() -> Module {
+    // Two functions computing the same 64-element i32 sum: scalar loop vs
+    // 4-wide vector loop.
+    let mut m = Module::new("m");
+    let g = m.add_global("a", GlobalInit::I32s((0..64).collect()), false);
+
+    let mut s = FunctionBuilder::new("scalar", vec![], Some(I64));
+    let acc = s.alloca(8);
+    s.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut s, Operand::imm64(64), |b, iv| {
+        let a = b.gep(Operand::Global(g), iv, 4);
+        let x = b.load(I32, a);
+        let x64 = b.cast(CastKind::SExt, I64, x);
+        let c = b.load(I64, acc);
+        let n = b.bin(BinOp::Add, I64, c, x64);
+        b.store(I64, n, acc);
+    });
+    let r = s.load(I64, acc);
+    s.ret(Some(r));
+    m.add_func(s.finish());
+
+    let v4 = Ty::vector(ScalarTy::I32, 4);
+    let mut v = FunctionBuilder::new("vector", vec![], Some(I64));
+    let acc = v.alloca(8);
+    v.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut v, Operand::imm64(16), |b, iv| {
+        let off = b.bin(BinOp::Mul, I64, iv, Operand::imm64(16));
+        let a = b.bin(BinOp::Add, I64, Operand::Global(g), off);
+        let x = b.load(v4, a);
+        let red = b.reduce(BinOp::Add, ScalarTy::I32, x);
+        let r64 = b.cast(CastKind::SExt, I64, red);
+        let c = b.load(I64, acc);
+        let n = b.bin(BinOp::Add, I64, c, r64);
+        b.store(I64, n, acc);
+    });
+    let r = v.load(I64, acc);
+    v.ret(Some(r));
+    m.add_func(v.finish());
+    m
+}
+
+#[test]
+fn vector_code_is_cheaper_and_equivalent() {
+    let m = scalar_vs_vector_module();
+    citroen_ir::verify::assert_valid(&m);
+    for p in [Platform::tx2(), Platform::amd()] {
+        let s = p.execute(&m, FuncId(0), &[]).unwrap();
+        let v = p.execute(&m, FuncId(1), &[]).unwrap();
+        assert_eq!(s.output.ret, v.output.ret, "same result on {}", p.model.name);
+        assert!(
+            v.cycles < s.cycles * 0.7,
+            "{}: vector {} !<< scalar {}",
+            p.model.name,
+            v.cycles,
+            s.cycles
+        );
+    }
+}
+
+#[test]
+fn division_heavy_code_is_penalised() {
+    let mut m = Module::new("m");
+    let mut a = FunctionBuilder::new("divs", vec![], Some(I64));
+    let acc = a.alloca(8);
+    a.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut a, Operand::imm64(100), |b, iv| {
+        let x = b.bin(BinOp::Add, I64, iv, Operand::imm64(100));
+        let d = b.bin(BinOp::SDiv, I64, x, Operand::imm64(7));
+        let c = b.load(I64, acc);
+        let n = b.bin(BinOp::Add, I64, c, d);
+        b.store(I64, n, acc);
+    });
+    let r = a.load(I64, acc);
+    a.ret(Some(r));
+    m.add_func(a.finish());
+
+    let mut b2 = FunctionBuilder::new("adds", vec![], Some(I64));
+    let acc = b2.alloca(8);
+    b2.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut b2, Operand::imm64(100), |b, iv| {
+        let x = b.bin(BinOp::Add, I64, iv, Operand::imm64(100));
+        let d = b.bin(BinOp::AShr, I64, x, Operand::imm64(3));
+        let c = b.load(I64, acc);
+        let n = b.bin(BinOp::Add, I64, c, d);
+        b.store(I64, n, acc);
+    });
+    let r = b2.load(I64, acc);
+    b2.ret(Some(r));
+    m.add_func(b2.finish());
+
+    let p = Platform::tx2();
+    let divs = p.execute(&m, FuncId(0), &[]).unwrap();
+    let adds = p.execute(&m, FuncId(1), &[]).unwrap();
+    // Same dynamic op count, very different cycles.
+    assert!(divs.cycles > adds.cycles * 1.5, "{} !> {}", divs.cycles, adds.cycles);
+}
+
+#[test]
+fn measurement_noise_is_seeded_and_bounded() {
+    let m = scalar_vs_vector_module();
+    let p = Platform::tx2();
+    let e = p.execute(&m, FuncId(0), &[]).unwrap();
+    let mut r1 = StdRng::seed_from_u64(7);
+    let mut r2 = StdRng::seed_from_u64(7);
+    let a: Vec<f64> = (0..5).map(|_| p.measure(&e, &mut r1)).collect();
+    let b: Vec<f64> = (0..5).map(|_| p.measure(&e, &mut r2)).collect();
+    assert_eq!(a, b, "same seed, same measurements");
+    for s in &a {
+        assert!((s / e.seconds - 1.0).abs() < 0.1);
+    }
+    let avg = p.measure_avg(&e, &mut r1, 10);
+    assert!((avg / e.seconds - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn branchy_code_pays_for_unpredictability() {
+    // Same work, predictable vs data-dependent branches.
+    let mut m = Module::new("m");
+    let noise: Vec<i32> = (0..256).map(|i: i32| (i.wrapping_mul(2654435761i64 as i32)) & 1).collect();
+    let g = m.add_global("bits", GlobalInit::I32s(noise), false);
+    for (name, use_data) in [("predictable", false), ("unpredictable", true)] {
+        let mut f = FunctionBuilder::new(name, vec![], Some(I64));
+        let acc = f.alloca(8);
+        f.store(I64, Operand::imm64(0), acc);
+        counted_loop_mem(&mut f, Operand::imm64(256), |b, iv| {
+            let bit = if use_data {
+                let a = b.gep(Operand::Global(g), iv, 4);
+                let x = b.load(I32, a);
+                let x64 = b.cast(CastKind::SExt, I64, x);
+                b.cmp(citroen_ir::CmpOp::Eq, x64, Operand::imm64(1))
+            } else {
+                b.cmp(citroen_ir::CmpOp::Sge, iv, Operand::imm64(0)) // always true
+            };
+            let t = b.block();
+            let j = b.block();
+            b.cond_br(bit, t, j);
+            b.switch_to(t);
+            let c = b.load(I64, acc);
+            let n = b.bin(BinOp::Add, I64, c, Operand::imm64(1));
+            b.store(I64, n, acc);
+            b.br(j);
+            b.switch_to(j);
+            // Balance the memory work on both paths.
+            let _ = b.load(I64, acc);
+        });
+        let r = f.load(I64, acc);
+        f.ret(Some(r));
+        m.add_func(f.finish());
+    }
+    let p = Platform::tx2();
+    let pred = p.execute(&m, m.func_by_name("predictable").unwrap(), &[]).unwrap();
+    let unpred = p.execute(&m, m.func_by_name("unpredictable").unwrap(), &[]).unwrap();
+    assert!(unpred.mispredict_rate > pred.mispredict_rate + 0.05);
+    // Note: per-cycle comparison isn't meaningful here because the loads differ.
+}

@@ -1,0 +1,155 @@
+//! Perf-style hot-module profiling (paper §5.3.1): run the `-O3` binary once,
+//! attribute self-cycles to functions, aggregate per source module, and pick
+//! the "hot" modules whose accumulated time covers ≥90% of the program.
+
+use crate::Benchmark;
+use citroen_ir::interp::{self, EventSink, OpClass};
+use citroen_ir::module::Module;
+use citroen_ir::FuncId;
+use citroen_sim::{CostSink, Platform};
+use std::collections::HashMap;
+
+/// Sink that attributes cycles to the function currently executing
+/// (self time, like `perf` with leaf attribution).
+pub struct ProfilingSink<'m> {
+    inner: CostSink<'m>,
+    stack: Vec<u32>,
+    /// Self-cycles per function id.
+    pub self_cycles: Vec<f64>,
+}
+
+impl<'m> ProfilingSink<'m> {
+    /// New sink for a module with `nfuncs` functions.
+    pub fn new(platform: &'m Platform, nfuncs: usize) -> ProfilingSink<'m> {
+        ProfilingSink {
+            inner: CostSink::new(&platform.model),
+            stack: Vec::new(),
+            self_cycles: vec![0.0; nfuncs],
+        }
+    }
+
+    fn attribute(&mut self, delta: f64) {
+        if let Some(&f) = self.stack.last() {
+            self.self_cycles[f as usize] += delta;
+        }
+    }
+}
+
+impl EventSink for ProfilingSink<'_> {
+    fn op(&mut self, class: OpClass, lanes: u8) {
+        let before = self.inner.cycles;
+        self.inner.op(class, lanes);
+        let d = self.inner.cycles - before;
+        self.attribute(d);
+    }
+    fn mem(&mut self, addr: u64, bytes: u32, store: bool) {
+        let before = self.inner.cycles;
+        self.inner.mem(addr, bytes, store);
+        let d = self.inner.cycles - before;
+        self.attribute(d);
+    }
+    fn branch(&mut self, site: u32, taken: bool) {
+        let before = self.inner.cycles;
+        self.inner.branch(site, taken);
+        let d = self.inner.cycles - before;
+        self.attribute(d);
+    }
+    fn enter_function(&mut self, f: FuncId) {
+        self.stack.push(f.0);
+    }
+    fn exit_function(&mut self) {
+        self.stack.pop();
+    }
+}
+
+/// Per-module profile of a benchmark.
+#[derive(Debug, Clone)]
+pub struct ModuleProfile {
+    /// Fraction of total cycles attributed to each source module.
+    pub fraction: Vec<f64>,
+    /// Indices of modules covering ≥ `coverage` of runtime, hottest first.
+    pub hot: Vec<usize>,
+}
+
+/// Profile `bench` on `platform` (using the given compiled modules, typically
+/// the `-O3` binaries, or the sources when `None`) and return per-module
+/// runtime fractions plus the hot set covering `coverage` of the runtime.
+pub fn profile_modules(
+    bench: &Benchmark,
+    compiled: Option<&[Module]>,
+    platform: &Platform,
+    coverage: f64,
+) -> ModuleProfile {
+    let linked = bench.link_with(compiled);
+    let entry = bench.entry_in(&linked);
+    let mut sink = ProfilingSink::new(platform, linked.funcs.len());
+    interp::run(&linked, entry, &bench.args, &mut sink, platform.limits)
+        .unwrap_or_else(|t| panic!("{} trapped while profiling: {t}", bench.name));
+
+    // Map linked function names back to source modules.
+    let mut func_module: HashMap<&str, usize> = HashMap::new();
+    for (mi, m) in bench.modules.iter().enumerate() {
+        for f in &m.funcs {
+            if !f.is_decl() {
+                func_module.insert(f.name.as_str(), mi);
+            }
+        }
+    }
+    let mut per_module = vec![0.0; bench.modules.len()];
+    for (fi, cyc) in sink.self_cycles.iter().enumerate() {
+        let name = linked.funcs[fi].name.as_str();
+        if let Some(&mi) = func_module.get(name) {
+            per_module[mi] += cyc;
+        }
+    }
+    let total: f64 = per_module.iter().sum::<f64>().max(1e-12);
+    let fraction: Vec<f64> = per_module.iter().map(|c| c / total).collect();
+    let mut order: Vec<usize> = (0..fraction.len()).collect();
+    order.sort_by(|a, b| fraction[*b].partial_cmp(&fraction[*a]).unwrap());
+    let mut hot = Vec::new();
+    let mut covered = 0.0;
+    for mi in order {
+        if covered >= coverage {
+            break;
+        }
+        hot.push(mi);
+        covered += fraction[mi];
+    }
+    ModuleProfile { fraction, hot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_programs_have_skewed_hotness() {
+        let p = Platform::tx2();
+        for b in crate::spec() {
+            let prof = profile_modules(&b, None, &p, 0.9);
+            let max = prof.fraction.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max > 0.35,
+                "{}: expected a dominant module, fractions {:?}",
+                b.name,
+                prof.fraction
+            );
+            assert!(
+                prof.hot.len() < b.modules.len(),
+                "{}: hot set should exclude cold modules ({:?})",
+                b.name,
+                prof.fraction
+            );
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let p = Platform::amd();
+        let b = crate::speclike::spec_compress();
+        let prof = profile_modules(&b, None, &p, 0.9);
+        let sum: f64 = prof.fraction.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(!prof.hot.is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! SPEC-CPU-like multi-module programs (paper Table 5.4): several source
+//! modules with skewed hotness, cross-module calls and shared globals. These
+//! drive the multi-module adaptive budget allocation experiments.
+
+use crate::kernels::lcg;
+use crate::{Benchmark, SuiteKind};
+use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+use citroen_ir::inst::{BinOp, CastKind, CmpOp, Operand};
+use citroen_ir::module::{Function, GlobalInit, Module};
+use citroen_ir::types::{F64, I16, I32, I64, I8};
+
+/// `spec_compress` — an LZ-style compressor split across five modules:
+/// `hash.c` (rolling hash), `match.c` (longest-match search — the hot spot),
+/// `encode.c` (bit packing), `io.c` (buffer copy), `main.c` (driver).
+pub fn spec_compress() -> Benchmark {
+    const N: i64 = 1536;
+    let input: Vec<i8> = lcg(111, N as usize).into_iter().map(|v| (v % 17) as i8).collect();
+
+    // hash.c: hash3(pos) = (in[pos]*33 + in[pos+1])*33 + in[pos+2], masked.
+    let mut hash_m = Module::new("hash.c");
+    let inp_h = hash_m.add_extern_global("input");
+    let mut h = FunctionBuilder::new("hash3", vec![I64], Some(I64));
+    let pos = h.param(0);
+    let a0 = h.gep(Operand::Global(inp_h), pos, 1);
+    let c0 = h.load(I8, a0);
+    let p1 = h.bin(BinOp::Add, I64, pos, Operand::imm64(1));
+    let a1 = h.gep(Operand::Global(inp_h), p1, 1);
+    let c1 = h.load(I8, a1);
+    let p2 = h.bin(BinOp::Add, I64, pos, Operand::imm64(2));
+    let a2 = h.gep(Operand::Global(inp_h), p2, 1);
+    let c2 = h.load(I8, a2);
+    let e0 = h.cast(CastKind::ZExt, I64, c0);
+    let e1 = h.cast(CastKind::ZExt, I64, c1);
+    let e2 = h.cast(CastKind::ZExt, I64, c2);
+    let m1 = h.bin(BinOp::Mul, I64, e0, Operand::imm64(33));
+    let s1 = h.bin(BinOp::Add, I64, m1, e1);
+    let m2 = h.bin(BinOp::Mul, I64, s1, Operand::imm64(33));
+    let s2 = h.bin(BinOp::Add, I64, m2, e2);
+    let masked = h.bin(BinOp::And, I64, s2, Operand::imm64(255));
+    h.ret(Some(masked));
+    hash_m.add_func(h.finish());
+
+    // match.c: match_len(a, b, max) — byte-compare loop (hot).
+    let mut match_m = Module::new("match.c");
+    let inp_m = match_m.add_extern_global("input");
+    let mut mf = FunctionBuilder::new("match_len", vec![I64, I64, I64], Some(I64));
+    let pa = mf.param(0);
+    let pb = mf.param(1);
+    let maxl = mf.param(2);
+    let len = mf.alloca(8);
+    mf.store(I64, Operand::imm64(0), len);
+    let check = mf.block();
+    let body = mf.block();
+    let done = mf.block();
+    mf.br(check);
+    mf.switch_to(check);
+    let lv = mf.load(I64, len);
+    let more = mf.cmp(CmpOp::Slt, lv, maxl);
+    mf.cond_br(more, body, done);
+    mf.switch_to(body);
+    let ia = mf.bin(BinOp::Add, I64, pa, lv);
+    let ib = mf.bin(BinOp::Add, I64, pb, lv);
+    let aa = mf.gep(Operand::Global(inp_m), ia, 1);
+    let ab = mf.gep(Operand::Global(inp_m), ib, 1);
+    let ca = mf.load(I8, aa);
+    let cb = mf.load(I8, ab);
+    let eq = mf.cmp(CmpOp::Eq, ca, cb);
+    let cont = mf.block();
+    mf.cond_br(eq, cont, done);
+    mf.switch_to(cont);
+    let l1 = mf.bin(BinOp::Add, I64, lv, Operand::imm64(1));
+    mf.store(I64, l1, len);
+    mf.br(check);
+    mf.switch_to(done);
+    let r = mf.load(I64, len);
+    mf.ret(Some(r));
+    match_m.add_func(mf.finish());
+
+    // encode.c: pack (len, dist) into a bit stream checksum.
+    let mut enc_m = Module::new("encode.c");
+    let mut ef = FunctionBuilder::new("encode_pair", vec![I64, I64, I64], Some(I64));
+    let acc = ef.param(0);
+    let l = ef.param(1);
+    let d = ef.param(2);
+    let sh = ef.bin(BinOp::Shl, I64, acc, Operand::imm64(5));
+    let x1 = ef.bin(BinOp::Xor, I64, sh, l);
+    let rot = ef.bin(BinOp::LShr, I64, x1, Operand::imm64(13));
+    let x2 = ef.bin(BinOp::Xor, I64, x1, rot);
+    let x3 = ef.bin(BinOp::Add, I64, x2, d);
+    ef.ret(Some(x3));
+    enc_m.add_func(ef.finish());
+
+    // io.c: copy input into the window buffer once (cold).
+    let mut io_m = Module::new("io.c");
+    let inp_io = io_m.add_extern_global("input");
+    let win_io = io_m.add_extern_global("window");
+    let mut iof = FunctionBuilder::new("fill_window", vec![], None);
+    counted_loop_mem(&mut iof, Operand::imm64(N), |f, i| {
+        let sa = f.gep(Operand::Global(inp_io), i, 1);
+        let v = f.load(I8, sa);
+        let da = f.gep(Operand::Global(win_io), i, 1);
+        f.store(I8, v, da);
+    });
+    iof.ret(None);
+    io_m.add_func(iof.finish());
+
+    // main.c: driver with the hash table.
+    let mut main_m = Module::new("main.c");
+    main_m.add_global("input", GlobalInit::I8s(input), false);
+    main_m.add_global("window", GlobalInit::Zero(N as u32), true);
+    let head = main_m.add_global("head", GlobalInit::Zero(8 * 256), true);
+    let hash3 = main_m.add_func(Function::decl("hash3", vec![I64], Some(I64)));
+    let match_len = main_m.add_func(Function::decl("match_len", vec![I64, I64, I64], Some(I64)));
+    let encode_pair =
+        main_m.add_func(Function::decl("encode_pair", vec![I64, I64, I64], Some(I64)));
+    let fill_window = main_m.add_func(Function::decl("fill_window", vec![], None));
+    let mut e = FunctionBuilder::new("compress_main", vec![], Some(I64));
+    e.call(fill_window, None, vec![]);
+    let acc = e.alloca(8);
+    e.store(I64, Operand::imm64(0), acc);
+    counted_loop_mem(&mut e, Operand::imm64(N - 16), |e, pos| {
+        let hv = e.call(hash3, Some(I64), vec![pos]).unwrap();
+        let ha = e.gep(Operand::Global(head), hv, 8);
+        let cand = e.load(I64, ha);
+        e.store(I64, pos, ha);
+        // only search when the candidate is a strictly earlier position
+        let earlier = e.cmp(CmpOp::Slt, cand, pos);
+        let search = e.block();
+        let cont = e.block();
+        e.cond_br(earlier, search, cont);
+        e.switch_to(search);
+        let len = e.call(match_len, Some(I64), vec![cand, pos, Operand::imm64(12)]).unwrap();
+        let dist = e.bin(BinOp::Sub, I64, pos, cand);
+        let a0 = e.load(I64, acc);
+        let a1 = e.call(encode_pair, Some(I64), vec![a0, len, dist]).unwrap();
+        e.store(I64, a1, acc);
+        e.br(cont);
+        e.switch_to(cont);
+    });
+    let r = e.load(I64, acc);
+    e.ret(Some(r));
+    main_m.add_func(e.finish());
+
+    Benchmark {
+        name: "spec_compress",
+        suite: SuiteKind::Spec,
+        modules: vec![hash_m, match_m, enc_m, io_m, main_m],
+        entry: "compress_main",
+        args: vec![],
+    }
+}
+
+/// `spec_imgproc` — image pipeline across five modules: `decode.c` (unpack),
+/// `filter.c` (5-tap separable stencil — hot), `quant.c` (divide/round),
+/// `hist.c` (histogram), `main.c` (driver).
+pub fn spec_imgproc() -> Benchmark {
+    const W: i64 = 48;
+    const H: i64 = 32;
+    let raw: Vec<i8> = lcg(131, (W * H) as usize).into_iter().map(|v| (v % 127) as i8).collect();
+
+    let mut dec_m = Module::new("decode.c");
+    let raw_d = dec_m.add_extern_global("raw");
+    let img_d = dec_m.add_extern_global("img");
+    let mut df = FunctionBuilder::new("decode", vec![], None);
+    counted_loop_mem(&mut df, Operand::imm64(W * H), |f, i| {
+        let sa = f.gep(Operand::Global(raw_d), i, 1);
+        let v = f.load(I8, sa);
+        let v16 = f.cast(CastKind::SExt, I16, v);
+        let da = f.gep(Operand::Global(img_d), i, 2);
+        f.store(I16, v16, da);
+    });
+    df.ret(None);
+    dec_m.add_func(df.finish());
+
+    // filter.c: 1-D 5-tap horizontal filter per row (hot).
+    let mut fil_m = Module::new("filter.c");
+    let img_f = fil_m.add_extern_global("img");
+    let flt_f = fil_m.add_extern_global("filtered");
+    let mut ff = FunctionBuilder::new("filter_row", vec![I64], None);
+    let y = ff.param(0);
+    let row = ff.bin(BinOp::Mul, I64, y, Operand::imm64(W));
+    let rbase = ff.gep(Operand::Global(img_f), row, 2);
+    let obase = ff.gep(Operand::Global(flt_f), row, 2);
+    counted_loop_mem(&mut ff, Operand::imm64(W - 4), |f, x| {
+        let acc = f.alloca(8);
+        f.store(I64, Operand::imm64(0), acc);
+        let taps = [1i64, 4, 6, 4, 1];
+        let sbase = f.gep(rbase, x, 2);
+        for (k, t) in taps.iter().enumerate() {
+            let ta = f.gep(sbase, Operand::imm64(k as i64), 2);
+            let p = f.load(I16, ta);
+            let p32 = f.cast(CastKind::SExt, I32, p);
+            let prod = f.bin(BinOp::Mul, I32, p32, Operand::imm32(*t as i32));
+            let p64 = f.cast(CastKind::SExt, I64, prod);
+            let a0 = f.load(I64, acc);
+            let a1 = f.bin(BinOp::Add, I64, a0, p64);
+            f.store(I64, a1, acc);
+        }
+        let total = f.load(I64, acc);
+        let norm = f.bin(BinOp::AShr, I64, total, Operand::imm64(4));
+        let n16 = f.cast(CastKind::Trunc, I16, norm);
+        let oa = f.gep(obase, x, 2);
+        f.store(I16, n16, oa);
+    });
+    ff.ret(None);
+    fil_m.add_func(ff.finish());
+
+    // quant.c: q[i] = filtered[i] / 7 (division-heavy).
+    let mut q_m = Module::new("quant.c");
+    let flt_q = q_m.add_extern_global("filtered");
+    let qnt_q = q_m.add_extern_global("quant");
+    let mut qf = FunctionBuilder::new("quantise", vec![], None);
+    counted_loop_mem(&mut qf, Operand::imm64(W * H), |f, i| {
+        let sa = f.gep(Operand::Global(flt_q), i, 2);
+        let v = f.load(I16, sa);
+        let v64 = f.cast(CastKind::SExt, I64, v);
+        let q = f.bin(BinOp::SDiv, I64, v64, Operand::imm64(7));
+        let q8 = f.cast(CastKind::Trunc, I8, q);
+        let da = f.gep(Operand::Global(qnt_q), i, 1);
+        f.store(I8, q8, da);
+    });
+    qf.ret(None);
+    q_m.add_func(qf.finish());
+
+    // hist.c: histogram of quantised values (data-dependent stores).
+    let mut h_m = Module::new("hist.c");
+    let qnt_h = h_m.add_extern_global("quant");
+    let hist_h = h_m.add_extern_global("hist");
+    let mut hf = FunctionBuilder::new("histogram", vec![], Some(I64));
+    counted_loop_mem(&mut hf, Operand::imm64(W * H), |f, i| {
+        let sa = f.gep(Operand::Global(qnt_h), i, 1);
+        let v = f.load(I8, sa);
+        let v64 = f.cast(CastKind::SExt, I64, v);
+        let bin = f.bin(BinOp::And, I64, v64, Operand::imm64(31));
+        let ba = f.gep(Operand::Global(hist_h), bin, 8);
+        let c0 = f.load(I64, ba);
+        let c1 = f.bin(BinOp::Add, I64, c0, Operand::imm64(1));
+        f.store(I64, c1, ba);
+    });
+    // checksum: Σ hist[i]*(i+3)
+    let ck = hf.alloca(8);
+    hf.store(I64, Operand::imm64(0), ck);
+    counted_loop_mem(&mut hf, Operand::imm64(32), |f, i| {
+        let ba = f.gep(Operand::Global(hist_h), i, 8);
+        let c = f.load(I64, ba);
+        let w = f.bin(BinOp::Add, I64, i, Operand::imm64(3));
+        let p = f.bin(BinOp::Mul, I64, c, w);
+        let c0 = f.load(I64, ck);
+        let c1 = f.bin(BinOp::Add, I64, c0, p);
+        f.store(I64, c1, ck);
+    });
+    let r = hf.load(I64, ck);
+    hf.ret(Some(r));
+    h_m.add_func(hf.finish());
+
+    let mut main_m = Module::new("main.c");
+    main_m.add_global("raw", GlobalInit::I8s(raw), false);
+    main_m.add_global("img", GlobalInit::Zero((2 * W * H) as u32), true);
+    main_m.add_global("filtered", GlobalInit::Zero((2 * W * H) as u32), true);
+    main_m.add_global("quant", GlobalInit::Zero((W * H) as u32), true);
+    main_m.add_global("hist", GlobalInit::Zero(8 * 32), true);
+    let decode = main_m.add_func(Function::decl("decode", vec![], None));
+    let filter_row = main_m.add_func(Function::decl("filter_row", vec![I64], None));
+    let quantise = main_m.add_func(Function::decl("quantise", vec![], None));
+    let histogram = main_m.add_func(Function::decl("histogram", vec![], Some(I64)));
+    let mut e = FunctionBuilder::new("imgproc_main", vec![], Some(I64));
+    e.call(decode, None, vec![]);
+    // run the filter several times (multi-frame) to skew hotness
+    counted_loop_mem(&mut e, Operand::imm64(6), |e, _| {
+        counted_loop_mem(e, Operand::imm64(H), |e, y| {
+            e.call(filter_row, None, vec![y]);
+        });
+    });
+    e.call(quantise, None, vec![]);
+    let r = e.call(histogram, Some(I64), vec![]).unwrap();
+    e.ret(Some(r));
+    main_m.add_func(e.finish());
+
+    Benchmark {
+        name: "spec_imgproc",
+        suite: SuiteKind::Spec,
+        modules: vec![dec_m, fil_m, q_m, h_m, main_m],
+        entry: "imgproc_main",
+        args: vec![],
+    }
+}
+
+/// `spec_simul` — a particle simulation across four modules: `init.c`,
+/// `force.c` (O(n²) pairwise forces, float-heavy — hot), `integrate.c`,
+/// `energy.c`. Exercises the F64 side of the machine model.
+pub fn spec_simul() -> Benchmark {
+    const N: i64 = 40;
+    const STEPS: i64 = 6;
+
+    let mut init_m = Module::new("init.c");
+    let pos_i = init_m.add_extern_global("pos");
+    let vel_i = init_m.add_extern_global("vel");
+    let mut inf = FunctionBuilder::new("init_particles", vec![], None);
+    counted_loop_mem(&mut inf, Operand::imm64(N), |f, i| {
+        let i32v = f.cast(CastKind::Trunc, I32, i);
+        let fi = f.cast(CastKind::SiToFp, F64, i32v);
+        let x = f.bin(BinOp::FMul, F64, fi, Operand::ImmF(0.37));
+        let pa = f.gep(Operand::Global(pos_i), i, 8);
+        f.store(F64, x, pa);
+        let va = f.gep(Operand::Global(vel_i), i, 8);
+        f.store(F64, Operand::ImmF(0.0), va);
+    });
+    inf.ret(None);
+    init_m.add_func(inf.finish());
+
+    // force.c: f[i] = Σ_j (pos[j]-pos[i]) / (1 + (pos[j]-pos[i])^2)  (hot)
+    let mut force_m = Module::new("force.c");
+    let pos_f = force_m.add_extern_global("pos");
+    let frc_f = force_m.add_extern_global("frc");
+    let mut ff = FunctionBuilder::new("compute_forces", vec![], None);
+    counted_loop_mem(&mut ff, Operand::imm64(N), |f, i| {
+        let acc = f.alloca(8);
+        f.store(F64, Operand::ImmF(0.0), acc);
+        let pia = f.gep(Operand::Global(pos_f), i, 8);
+        let pi = f.load(F64, pia);
+        counted_loop_mem(f, Operand::imm64(N), |f, j| {
+            let pja = f.gep(Operand::Global(pos_f), j, 8);
+            let pj = f.load(F64, pja);
+            let d = f.bin(BinOp::FSub, F64, pj, pi);
+            let d2 = f.bin(BinOp::FMul, F64, d, d);
+            let denom = f.bin(BinOp::FAdd, F64, d2, Operand::ImmF(1.0));
+            let fij = f.bin(BinOp::FDiv, F64, d, denom);
+            let a0 = f.load(F64, acc);
+            let a1 = f.bin(BinOp::FAdd, F64, a0, fij);
+            f.store(F64, a1, acc);
+        });
+        let total = f.load(F64, acc);
+        let fa = f.gep(Operand::Global(frc_f), i, 8);
+        f.store(F64, total, fa);
+    });
+    ff.ret(None);
+    force_m.add_func(ff.finish());
+
+    // integrate.c: vel += f*dt; pos += vel*dt
+    let mut int_m = Module::new("integrate.c");
+    let pos_n = int_m.add_extern_global("pos");
+    let vel_n = int_m.add_extern_global("vel");
+    let frc_n = int_m.add_extern_global("frc");
+    let mut itf = FunctionBuilder::new("integrate", vec![], None);
+    counted_loop_mem(&mut itf, Operand::imm64(N), |f, i| {
+        let fa = f.gep(Operand::Global(frc_n), i, 8);
+        let fo = f.load(F64, fa);
+        let va = f.gep(Operand::Global(vel_n), i, 8);
+        let v0 = f.load(F64, va);
+        let dv = f.bin(BinOp::FMul, F64, fo, Operand::ImmF(0.01));
+        let v1 = f.bin(BinOp::FAdd, F64, v0, dv);
+        f.store(F64, v1, va);
+        let pa = f.gep(Operand::Global(pos_n), i, 8);
+        let p0 = f.load(F64, pa);
+        let dp = f.bin(BinOp::FMul, F64, v1, Operand::ImmF(0.01));
+        let p1 = f.bin(BinOp::FAdd, F64, p0, dp);
+        f.store(F64, p1, pa);
+    });
+    itf.ret(None);
+    int_m.add_func(itf.finish());
+
+    // energy.c: E = Σ vel², returned as a fixed-point i64 checksum.
+    let mut en_m = Module::new("energy.c");
+    let vel_e = en_m.add_extern_global("vel");
+    let mut ef = FunctionBuilder::new("energy", vec![], Some(I64));
+    let acc = ef.alloca(8);
+    ef.store(F64, Operand::ImmF(0.0), acc);
+    counted_loop_mem(&mut ef, Operand::imm64(N), |f, i| {
+        let va = f.gep(Operand::Global(vel_e), i, 8);
+        let v = f.load(F64, va);
+        let v2 = f.bin(BinOp::FMul, F64, v, v);
+        let a0 = f.load(F64, acc);
+        let a1 = f.bin(BinOp::FAdd, F64, a0, v2);
+        f.store(F64, a1, acc);
+    });
+    let e = ef.load(F64, acc);
+    let scaled = ef.bin(BinOp::FMul, F64, e, Operand::ImmF(1e6));
+    let fixed = ef.cast(CastKind::FpToSi, I64, scaled);
+    ef.ret(Some(fixed));
+    en_m.add_func(ef.finish());
+
+    let mut main_m = Module::new("main.c");
+    main_m.add_global("pos", GlobalInit::F64s(vec![0.0; N as usize]), true);
+    main_m.add_global("vel", GlobalInit::F64s(vec![0.0; N as usize]), true);
+    main_m.add_global("frc", GlobalInit::F64s(vec![0.0; N as usize]), true);
+    let init = main_m.add_func(Function::decl("init_particles", vec![], None));
+    let forces = main_m.add_func(Function::decl("compute_forces", vec![], None));
+    let integrate = main_m.add_func(Function::decl("integrate", vec![], None));
+    let energy = main_m.add_func(Function::decl("energy", vec![], Some(I64)));
+    let mut e = FunctionBuilder::new("simul_main", vec![], Some(I64));
+    e.call(init, None, vec![]);
+    counted_loop_mem(&mut e, Operand::imm64(STEPS), |e, _| {
+        e.call(forces, None, vec![]);
+        e.call(integrate, None, vec![]);
+    });
+    let r = e.call(energy, Some(I64), vec![]).unwrap();
+    e.ret(Some(r));
+    main_m.add_func(e.finish());
+
+    Benchmark {
+        name: "spec_simul",
+        suite: SuiteKind::Spec,
+        modules: vec![init_m, force_m, int_m, en_m, main_m],
+        entry: "simul_main",
+        args: vec![],
+    }
+}

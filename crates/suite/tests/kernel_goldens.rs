@@ -1,0 +1,59 @@
+//! Golden checksums for every benchmark, at `-O0` and under `-O3`. Any
+//! semantic drift in the kernels, the interpreter, the linker or the pass
+//! pipeline shows up here as a changed value.
+
+use citroen_ir::interp::{run_counting, Value};
+use citroen_passes::{o3_pipeline, PassManager, Registry};
+
+const GOLDENS: &[(&str, i64)] = &[
+    ("telecom_gsm", 21049706),
+    ("telecom_crc32", 1276884025),
+    ("telecom_adpcm", 8647),
+    ("automotive_bitcount", 18507),
+    ("automotive_susan", 2153),
+    ("automotive_shellsort", 620826783),
+    ("security_sha", -536367801),
+    ("network_dijkstra", 692),
+    ("office_stringsearch", 3),
+    ("consumer_jpeg_dct", 518),
+    ("spec_compress", 5057293020656831133),
+    ("spec_imgproc", 16590),
+    ("spec_simul", 2152347),
+];
+
+#[test]
+fn o0_checksums_match_goldens() {
+    for b in citroen_suite::all_benchmarks() {
+        let expect = GOLDENS
+            .iter()
+            .find(|(n, _)| *n == b.name)
+            .unwrap_or_else(|| panic!("no golden for {}", b.name))
+            .1;
+        let linked = b.link();
+        let (out, _) = run_counting(&linked, b.entry_in(&linked), &b.args).unwrap();
+        assert_eq!(out.ret, Some(Value::I(expect)), "{} drifted", b.name);
+    }
+}
+
+#[test]
+fn o3_checksums_match_goldens() {
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    let o3 = o3_pipeline(&reg);
+    for b in citroen_suite::all_benchmarks() {
+        let expect = GOLDENS.iter().find(|(n, _)| *n == b.name).unwrap().1;
+        let opt: Vec<_> = b.modules.iter().map(|m| pm.compile(m, &o3).module).collect();
+        let linked = b.link_with(Some(&opt));
+        let (out, _) = run_counting(&linked, b.entry_in(&linked), &b.args).unwrap();
+        assert_eq!(out.ret, Some(Value::I(expect)), "{} mis-optimised by -O3", b.name);
+    }
+}
+
+#[test]
+fn every_golden_has_a_benchmark() {
+    let names: Vec<&str> = citroen_suite::all_benchmarks().iter().map(|b| b.name).collect();
+    for (n, _) in GOLDENS {
+        assert!(names.contains(n), "golden for unknown benchmark {n}");
+    }
+    assert_eq!(names.len(), GOLDENS.len());
+}

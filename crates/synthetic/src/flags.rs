@@ -1,0 +1,91 @@
+//! The compiler-flag-selection task of thesis §4.2.2: each flag
+//! enables/disables one pass of the `-O3` pipeline (binary space, order
+//! fixed), embedded into `[0,1]^d` with a 0.5 threshold so continuous BO can
+//! operate directly — exactly the paper's reformulation.
+
+use citroen_bo::Bounds;
+use citroen_core::Task;
+use citroen_passes::{o3_pipeline, PassId};
+
+/// A flag-selection problem over a task's `-O3` pipeline.
+pub struct FlagSelection {
+    /// The fixed `-O3` pipeline being gated.
+    pub pipeline: Vec<PassId>,
+    /// Continuous search bounds (`[0,1]^d`).
+    pub bounds: Bounds,
+}
+
+impl FlagSelection {
+    /// Build from a task (uses its registry's `-O3` pipeline).
+    pub fn new(task: &Task) -> FlagSelection {
+        let pipeline = o3_pipeline(&task.registry);
+        let bounds = Bounds::cube(pipeline.len(), 0.0, 1.0);
+        FlagSelection { pipeline, bounds }
+    }
+
+    /// Threshold a continuous point into the enabled-pass subsequence
+    /// (values ≥ 0.5 enable the corresponding pipeline slot).
+    pub fn decode(&self, x: &[f64]) -> Vec<PassId> {
+        self.pipeline
+            .iter()
+            .zip(x)
+            .filter(|(_, v)| **v >= 0.5)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Evaluate one flag configuration: compile the gated pipeline and
+    /// measure the binary. Returns runtime seconds (minimised).
+    pub fn evaluate(&self, task: &mut Task, x: &[f64]) -> f64 {
+        let seq = self.decode(x);
+        match task.measure_seq(&seq) {
+            Ok(t) => t,
+            // Should not happen (passes are verified); worst-case penalty.
+            Err(_) => task.o0_seconds * 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_core::TaskConfig;
+    use citroen_passes::Registry;
+    use citroen_sim::Platform;
+
+    #[test]
+    fn decode_thresholds() {
+        let task = Task::new(
+            citroen_suite::kernels::telecom_crc32(),
+            Registry::full(),
+            Platform::tx2(),
+            TaskConfig::default(),
+        );
+        let fs = FlagSelection::new(&task);
+        let d = fs.bounds.dim();
+        assert!(d >= 40, "O3 pipeline should give a wide flag space, got {d}");
+        let all_on = fs.decode(&vec![1.0; d]);
+        assert_eq!(all_on.len(), d);
+        let all_off = fs.decode(&vec![0.0; d]);
+        assert!(all_off.is_empty());
+        let half = fs.decode(&(0..d).map(|i| if i % 2 == 0 { 0.9 } else { 0.1 }).collect::<Vec<_>>());
+        assert_eq!(half.len(), d.div_ceil(2));
+    }
+
+    #[test]
+    fn all_flags_on_equals_o3() {
+        let mut task = Task::new(
+            citroen_suite::kernels::telecom_crc32(),
+            Registry::full(),
+            Platform::tx2(),
+            TaskConfig::default(),
+        );
+        let fs = FlagSelection::new(&task);
+        let d = fs.bounds.dim();
+        let t_on = fs.evaluate(&mut task, &vec![1.0; d]);
+        assert!((t_on / task.o3_seconds - 1.0).abs() < 0.05);
+        // All-off ≈ O0 (slower).
+        let t_off = fs.evaluate(&mut task, &vec![0.0; d]);
+        assert!(t_off > t_on);
+    }
+}

@@ -1,0 +1,107 @@
+//! The heavily-studied synthetic test functions of thesis Table 4.1, at any
+//! dimensionality, with their standard search ranges and global minimum 0.
+
+use citroen_bo::Bounds;
+
+/// A named synthetic function with its standard bounds.
+#[derive(Clone)]
+pub struct SyntheticFn {
+    /// Name (e.g. `Ackley100`).
+    pub name: String,
+    /// Search bounds.
+    pub bounds: Bounds,
+    /// The function (global minimum value 0).
+    pub f: fn(&[f64]) -> f64,
+}
+
+fn ackley_f(x: &[f64]) -> f64 {
+    let d = x.len() as f64;
+    let s1 = x.iter().map(|v| v * v).sum::<f64>() / d;
+    let s2 = x.iter().map(|v| (2.0 * std::f64::consts::PI * v).cos()).sum::<f64>() / d;
+    -20.0 * (-0.2 * s1.sqrt()).exp() - s2.exp() + 20.0 + std::f64::consts::E
+}
+
+fn rosenbrock_f(x: &[f64]) -> f64 {
+    x.windows(2)
+        .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+        .sum()
+}
+
+fn rastrigin_f(x: &[f64]) -> f64 {
+    10.0 * x.len() as f64
+        + x.iter()
+            .map(|v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos())
+            .sum::<f64>()
+}
+
+fn griewank_f(x: &[f64]) -> f64 {
+    let s: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
+    let p: f64 =
+        x.iter().enumerate().map(|(i, v)| (v / ((i + 1) as f64).sqrt()).cos()).product();
+    s - p + 1.0
+}
+
+/// Ackley in `d` dimensions over `[-5, 10]^d` (Table 4.1).
+pub fn ackley(d: usize) -> SyntheticFn {
+    SyntheticFn { name: format!("Ackley{d}"), bounds: Bounds::cube(d, -5.0, 10.0), f: ackley_f }
+}
+
+/// Rosenbrock in `d` dimensions over `[-5, 10]^d`.
+pub fn rosenbrock(d: usize) -> SyntheticFn {
+    SyntheticFn {
+        name: format!("Rosenbrock{d}"),
+        bounds: Bounds::cube(d, -5.0, 10.0),
+        f: rosenbrock_f,
+    }
+}
+
+/// Rastrigin in `d` dimensions over `[-5.12, 5.12]^d`.
+pub fn rastrigin(d: usize) -> SyntheticFn {
+    SyntheticFn {
+        name: format!("Rastrigin{d}"),
+        bounds: Bounds::cube(d, -5.12, 5.12),
+        f: rastrigin_f,
+    }
+}
+
+/// Griewank in `d` dimensions over `[-10, 10]^d` (the restricted range of
+/// Table 4.1, which keeps the problem multimodal at low dimensionality).
+pub fn griewank(d: usize) -> SyntheticFn {
+    SyntheticFn { name: format!("Griewank{d}"), bounds: Bounds::cube(d, -10.0, 10.0), f: griewank_f }
+}
+
+/// The standard benchmark set at a given dimensionality.
+pub fn standard_set(d: usize) -> Vec<SyntheticFn> {
+    vec![ackley(d), rosenbrock(d), rastrigin(d), griewank(d)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_minima_are_zero() {
+        assert!((ackley_f(&[0.0; 10])).abs() < 1e-9);
+        assert!((rosenbrock_f(&[1.0; 10])).abs() < 1e-9);
+        assert!((rastrigin_f(&[0.0; 10])).abs() < 1e-9);
+        assert!((griewank_f(&[0.0; 10])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn functions_are_positive_away_from_minimum() {
+        for f in standard_set(20) {
+            let x = vec![2.3; 20];
+            assert!((f.f)(&x) > 0.1, "{} should be positive at 2.3", f.name);
+            assert_eq!(f.bounds.dim(), 20);
+        }
+    }
+
+    #[test]
+    fn rastrigin_is_multimodal() {
+        // local minimum near integer lattice away from 0
+        let near_local = rastrigin_f(&[0.994, 0.994]);
+        let barrier = rastrigin_f(&[0.5, 0.5]);
+        assert!(near_local < barrier);
+        assert!(near_local > 0.5); // but worse than the global
+    }
+}

@@ -1,0 +1,17 @@
+//! # citroen-synthetic
+//!
+//! Chapter 4's benchmark problems: the four synthetic functions (Table 4.1)
+//! at any dimensionality, stand-ins for the real-world tasks (rover
+//! trajectory planning, robot pushing, Lasso-DNA, a HalfCheetah-like linear
+//! policy control task — see DESIGN.md §1 for the substitution rationale),
+//! and the compiler-flag-selection task of §4.2.2.
+
+#![warn(missing_docs)]
+
+pub mod flags;
+pub mod functions;
+pub mod realworld;
+
+pub use flags::FlagSelection;
+pub use functions::{ackley, griewank, rastrigin, rosenbrock, SyntheticFn};
+pub use realworld::{all_tasks, cheetah_like, lasso_dna, robot_push, rover_trajectory, RealWorldTask};

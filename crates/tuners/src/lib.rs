@@ -1,0 +1,462 @@
+//! # citroen-tuners
+//!
+//! The competing baselines of the paper's evaluation (§5.4.4): random search,
+//! a sequence genetic algorithm, hill climbing, simulated annealing, an
+//! OpenTuner-style bandit ensemble, and thin wrappers exposing the
+//! standard-BO feature ablations (raw-sequence and Autophase features) via
+//! the CITROEN engine.
+
+#![warn(missing_docs)]
+
+use citroen_core::{run_citroen, CitroenConfig, FeatureKind, GeneratorKind, Task, TuneTrace};
+use citroen_passes::PassId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A phase-ordering tuner: consumes a measurement budget on a [`Task`].
+pub trait SeqTuner {
+    /// Tuner name for reports.
+    fn name(&self) -> &'static str;
+    /// Run for `budget` runtime measurements.
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace;
+}
+
+fn random_genome(rng: &mut StdRng, len: usize, npasses: usize) -> Vec<u16> {
+    (0..len).map(|_| rng.gen_range(0..npasses) as u16).collect()
+}
+
+fn to_seq(g: &[u16]) -> Vec<PassId> {
+    g.iter().map(|&v| PassId(v)).collect()
+}
+
+fn measure_genome(task: &mut Task, g: &[u16], trace: &mut TuneTrace) -> Option<f64> {
+    let seq = to_seq(g);
+    match task.measure_seq(&seq) {
+        Ok(t) => {
+            trace.record(t, vec![seq]);
+            Some(t)
+        }
+        Err(_) => None,
+    }
+}
+
+/// Mutate a genome: point substitutions plus an occasional swap.
+fn mutate(rng: &mut StdRng, g: &[u16], npasses: usize, rate: f64) -> Vec<u16> {
+    let mut out = g.to_vec();
+    let mut changed = false;
+    for v in out.iter_mut() {
+        if rng.gen_bool(rate) {
+            *v = rng.gen_range(0..npasses) as u16;
+            changed = true;
+        }
+    }
+    if rng.gen_bool(0.3) && out.len() >= 2 {
+        let a = rng.gen_range(0..out.len());
+        let b = rng.gen_range(0..out.len());
+        out.swap(a, b);
+        changed = true;
+    }
+    if !changed {
+        let i = rng.gen_range(0..out.len());
+        out[i] = rng.gen_range(0..npasses) as u16;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Random search
+// ---------------------------------------------------------------------------
+
+/// Uniform random sequences (the paper's `RS` baseline).
+pub struct RandomTuner {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SeqTuner for RandomTuner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = TuneTrace::default();
+        let (len, np) = (task.seq_len(), task.registry.len());
+        let mut guard = 0;
+        while task.measurements < budget && guard < budget * 50 {
+            let g = random_genome(&mut rng, len, np);
+            measure_genome(task, &g, &mut trace);
+            guard += 1;
+        }
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence GA
+// ---------------------------------------------------------------------------
+
+/// Genetic algorithm over pass sequences: tournament selection, two-point
+/// crossover, point/swap mutation (Cooper-style GA phase ordering).
+pub struct GeneticTuner {
+    /// RNG seed.
+    pub seed: u64,
+    /// Population size.
+    pub pop: usize,
+}
+
+impl Default for GeneticTuner {
+    fn default() -> GeneticTuner {
+        GeneticTuner { seed: 0, pop: 16 }
+    }
+}
+
+impl SeqTuner for GeneticTuner {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = TuneTrace::default();
+        let (len, np) = (task.seq_len(), task.registry.len());
+        // population of (genome, fitness) kept best-first
+        let mut pop: Vec<(Vec<u16>, f64)> = Vec::new();
+        let mut guard = 0;
+        while task.measurements < budget && guard < budget * 50 {
+            guard += 1;
+            let child = if pop.len() < self.pop {
+                random_genome(&mut rng, len, np)
+            } else {
+                // tournament of 2, two-point crossover, mutation
+                let pick = |rng: &mut StdRng, pop: &[(Vec<u16>, f64)]| {
+                    let a = rng.gen_range(0..pop.len());
+                    let b = rng.gen_range(0..pop.len());
+                    pop[a.min(b)].0.clone()
+                };
+                let p1 = pick(&mut rng, &pop);
+                let p2 = pick(&mut rng, &pop);
+                let (mut lo, mut hi) = (rng.gen_range(0..len), rng.gen_range(0..len));
+                if lo > hi {
+                    std::mem::swap(&mut lo, &mut hi);
+                }
+                let mut child: Vec<u16> = p1.clone();
+                child[lo..=hi].copy_from_slice(&p2[lo..=hi]);
+                mutate(&mut rng, &child, np, 1.5 / len as f64)
+            };
+            if let Some(t) = measure_genome(task, &child, &mut trace) {
+                let pos = pop.partition_point(|(_, f)| *f <= t);
+                pop.insert(pos, (child, t));
+                pop.truncate(self.pop.max(2));
+            }
+        }
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hill climbing
+// ---------------------------------------------------------------------------
+
+/// First-improvement hill climbing from a random start with restarts.
+pub struct HillClimbTuner {
+    /// RNG seed.
+    pub seed: u64,
+    /// Non-improving steps before a restart.
+    pub patience: usize,
+}
+
+impl Default for HillClimbTuner {
+    fn default() -> HillClimbTuner {
+        HillClimbTuner { seed: 0, patience: 12 }
+    }
+}
+
+impl SeqTuner for HillClimbTuner {
+    fn name(&self) -> &'static str {
+        "hill-climb"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = TuneTrace::default();
+        let (len, np) = (task.seq_len(), task.registry.len());
+        let mut cur = random_genome(&mut rng, len, np);
+        let mut cur_fit = f64::INFINITY;
+        let mut stale = 0;
+        let mut guard = 0;
+        while task.measurements < budget && guard < budget * 50 {
+            guard += 1;
+            let cand = if stale > self.patience {
+                stale = 0;
+                cur_fit = f64::INFINITY;
+                random_genome(&mut rng, len, np)
+            } else {
+                mutate(&mut rng, &cur, np, 1.0 / len as f64)
+            };
+            if let Some(t) = measure_genome(task, &cand, &mut trace) {
+                if t < cur_fit {
+                    cur = cand;
+                    cur_fit = t;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                }
+            }
+        }
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated annealing
+// ---------------------------------------------------------------------------
+
+/// Simulated annealing with a geometric cooling schedule.
+pub struct AnnealingTuner {
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial acceptance temperature (relative runtime units).
+    pub t0: f64,
+    /// Cooling factor per step.
+    pub cooling: f64,
+}
+
+impl Default for AnnealingTuner {
+    fn default() -> AnnealingTuner {
+        AnnealingTuner { seed: 0, t0: 0.05, cooling: 0.97 }
+    }
+}
+
+impl SeqTuner for AnnealingTuner {
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = TuneTrace::default();
+        let (len, np) = (task.seq_len(), task.registry.len());
+        let mut cur = random_genome(&mut rng, len, np);
+        let mut cur_fit = f64::INFINITY;
+        let mut temp = self.t0 * task.o3_seconds;
+        let mut guard = 0;
+        while task.measurements < budget && guard < budget * 50 {
+            guard += 1;
+            let cand = mutate(&mut rng, &cur, np, 1.5 / len as f64);
+            if let Some(t) = measure_genome(task, &cand, &mut trace) {
+                let accept = t < cur_fit
+                    || rng.gen_bool(((cur_fit - t) / temp.max(1e-12)).exp().clamp(0.0, 1.0));
+                if accept {
+                    cur = cand;
+                    cur_fit = t;
+                }
+                temp *= self.cooling;
+            }
+        }
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OpenTuner-style ensemble
+// ---------------------------------------------------------------------------
+
+/// Bandit ensemble over {random, GA-step, HC-step, SA-step} with sliding-
+/// window credit assignment — the mechanism of OpenTuner's AUC bandit (§3.1.1).
+pub struct EnsembleTuner {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SeqTuner for EnsembleTuner {
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = TuneTrace::default();
+        let (len, np) = (task.seq_len(), task.registry.len());
+        const ARMS: usize = 3; // random / mutate-best / crossover
+        let mut rewards = [1.0f64; ARMS]; // optimistic init
+        let mut pulls = [1.0f64; ARMS];
+        let mut archive: Vec<(Vec<u16>, f64)> = Vec::new();
+        let mut guard = 0;
+        while task.measurements < budget && guard < budget * 50 {
+            guard += 1;
+            // UCB1 arm choice.
+            let total: f64 = pulls.iter().sum();
+            let arm = (0..ARMS)
+                .max_by(|&a, &b| {
+                    let ua = rewards[a] / pulls[a] + (2.0 * total.ln() / pulls[a]).sqrt();
+                    let ub = rewards[b] / pulls[b] + (2.0 * total.ln() / pulls[b]).sqrt();
+                    ua.partial_cmp(&ub).unwrap()
+                })
+                .unwrap();
+            let cand = match arm {
+                0 => random_genome(&mut rng, len, np),
+                1 if !archive.is_empty() => {
+                    mutate(&mut rng, &archive[0].0, np, 1.5 / len as f64)
+                }
+                2 if archive.len() >= 2 => {
+                    let cut = rng.gen_range(0..len);
+                    let mut c = archive[0].0.clone();
+                    c[cut..].copy_from_slice(&archive[1].0[cut..]);
+                    mutate(&mut rng, &c, np, 0.5 / len as f64)
+                }
+                _ => random_genome(&mut rng, len, np),
+            };
+            let best_before = trace.best();
+            if let Some(t) = measure_genome(task, &cand, &mut trace) {
+                pulls[arm] += 1.0;
+                if t < best_before {
+                    rewards[arm] += 1.0;
+                }
+                let pos = archive.partition_point(|(_, f)| *f <= t);
+                archive.insert(pos, (cand, t));
+                archive.truncate(8);
+            }
+        }
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Standard-BO feature ablations via the CITROEN engine
+// ---------------------------------------------------------------------------
+
+/// Standard BO on raw sequence features (the "previous BO works use raw
+/// tuning parameters" baseline, §5.1/Fig. 5.9).
+pub struct BoSeqTuner {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SeqTuner for BoSeqTuner {
+    fn name(&self) -> &'static str {
+        "bo-seq"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let cfg = CitroenConfig {
+            features: FeatureKind::RawSequence,
+            seed: self.seed,
+            ..Default::default()
+        };
+        run_citroen(task, budget, &cfg).0
+    }
+}
+
+/// BO on Autophase static IR features (Fig. 5.9/5.10's comparison).
+pub struct BoAutophaseTuner {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SeqTuner for BoAutophaseTuner {
+    fn name(&self) -> &'static str {
+        "bo-autophase"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let cfg = CitroenConfig {
+            features: FeatureKind::Autophase,
+            seed: self.seed,
+            ..Default::default()
+        };
+        run_citroen(task, budget, &cfg).0
+    }
+}
+
+/// CITROEN itself, as a [`SeqTuner`] for uniform comparisons.
+pub struct CitroenTuner {
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional config override.
+    pub cfg: Option<CitroenConfig>,
+}
+
+impl SeqTuner for CitroenTuner {
+    fn name(&self) -> &'static str {
+        "citroen"
+    }
+    fn run(&self, task: &mut Task, budget: usize) -> TuneTrace {
+        let cfg = self.cfg.clone().unwrap_or(CitroenConfig {
+            seed: self.seed,
+            ..Default::default()
+        });
+        run_citroen(task, budget, &cfg).0
+    }
+}
+
+/// CITROEN without the compilation-statistics features / without the DES
+/// generator / without coverage filtering — Fig. 5.8's ablations.
+pub fn ablation(name: &str, seed: u64) -> CitroenConfig {
+    let base = CitroenConfig { seed, ..Default::default() };
+    match name {
+        "no-stats" => CitroenConfig { features: FeatureKind::RawSequence, ..base },
+        "no-des" => CitroenConfig { generator: GeneratorKind::Random, ..base },
+        "no-coverage" => CitroenConfig { coverage_filter: false, ..base },
+        "full" => base,
+        other => panic!("unknown ablation '{other}'"),
+    }
+}
+
+/// Every baseline tuner, seeded.
+pub fn baselines(seed: u64) -> Vec<Box<dyn SeqTuner>> {
+    vec![
+        Box::new(RandomTuner { seed }),
+        Box::new(GeneticTuner { seed, ..Default::default() }),
+        Box::new(HillClimbTuner { seed, ..Default::default() }),
+        Box::new(AnnealingTuner { seed, ..Default::default() }),
+        Box::new(EnsembleTuner { seed }),
+        Box::new(BoSeqTuner { seed }),
+        Box::new(BoAutophaseTuner { seed }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_core::TaskConfig;
+    use citroen_passes::Registry;
+    use citroen_sim::Platform;
+
+    fn task(seed: u64) -> Task {
+        Task::new(
+            citroen_suite::kernels::telecom_crc32(),
+            Registry::full(),
+            Platform::tx2(),
+            TaskConfig { seq_len: 12, seed, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn all_baselines_consume_exact_budget() {
+        for tuner in baselines(3) {
+            let mut t = task(3);
+            let trace = tuner.run(&mut t, 10);
+            assert_eq!(t.measurements, 10, "{} missed budget", tuner.name());
+            assert!(trace.best().is_finite());
+            assert!(trace.best_history.len() >= 10);
+        }
+    }
+
+    #[test]
+    fn ga_beats_or_matches_random_with_budget() {
+        // Averaged over seeds, GA should not lose badly to random on crc32.
+        let mut ga_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..3 {
+            let mut t1 = task(seed);
+            let g = GeneticTuner { seed, ..Default::default() }.run(&mut t1, 25);
+            let mut t2 = task(seed);
+            let r = RandomTuner { seed }.run(&mut t2, 25);
+            ga_total += g.best() / t1.o3_seconds;
+            rnd_total += r.best() / t2.o3_seconds;
+        }
+        assert!(ga_total < rnd_total * 1.15, "GA {ga_total} vs random {rnd_total}");
+    }
+
+    #[test]
+    fn ablation_configs_differ() {
+        assert_eq!(ablation("no-stats", 0).features, FeatureKind::RawSequence);
+        assert_eq!(ablation("no-des", 0).generator, GeneratorKind::Random);
+        assert!(!ablation("no-coverage", 0).coverage_filter);
+        assert_eq!(ablation("full", 0).features, FeatureKind::CompilationStats);
+    }
+}

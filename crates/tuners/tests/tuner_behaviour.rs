@@ -1,0 +1,75 @@
+//! Behavioural tests for the baseline tuners: determinism, trace invariants,
+//! and ensemble credit assignment.
+
+use citroen_core::{Task, TaskConfig};
+use citroen_passes::Registry;
+use citroen_sim::Platform;
+use citroen_tuners::{
+    AnnealingTuner, BoAutophaseTuner, EnsembleTuner, GeneticTuner, HillClimbTuner, RandomTuner,
+    SeqTuner,
+};
+
+fn task(seed: u64) -> Task {
+    Task::new(
+        citroen_suite::kernels::automotive_bitcount(),
+        Registry::full(),
+        Platform::tx2(),
+        TaskConfig { seq_len: 12, seed, ..Default::default() },
+    )
+}
+
+#[test]
+fn traces_are_monotone_and_sized() {
+    let tuners: Vec<Box<dyn SeqTuner>> = vec![
+        Box::new(RandomTuner { seed: 1 }),
+        Box::new(GeneticTuner { seed: 1, pop: 8 }),
+        Box::new(HillClimbTuner { seed: 1, patience: 6 }),
+        Box::new(AnnealingTuner { seed: 1, ..Default::default() }),
+        Box::new(EnsembleTuner { seed: 1 }),
+    ];
+    for t in tuners {
+        let mut task = task(1);
+        let trace = t.run(&mut task, 8);
+        assert_eq!(task.measurements, 8, "{}", t.name());
+        assert!(
+            trace.best_history.windows(2).all(|w| w[1] <= w[0] + 1e-15),
+            "{}: best history must be monotone",
+            t.name()
+        );
+        assert!(!trace.best_seqs.is_empty(), "{}", t.name());
+    }
+}
+
+#[test]
+fn same_seed_same_trace() {
+    for mk in [|s| -> Box<dyn SeqTuner> { Box::new(RandomTuner { seed: s }) }, |s| -> Box<dyn SeqTuner> {
+        Box::new(GeneticTuner { seed: s, pop: 8 })
+    }] {
+        let t1 = mk(42);
+        let t2 = mk(42);
+        let mut a = task(42);
+        let mut b = task(42);
+        let ra = t1.run(&mut a, 6);
+        let rb = t2.run(&mut b, 6);
+        assert_eq!(ra.runtimes, rb.runtimes, "{} must be seed-deterministic", t1.name());
+    }
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let mut a = task(1);
+    let mut b = task(2);
+    let ra = RandomTuner { seed: 1 }.run(&mut a, 6);
+    let rb = RandomTuner { seed: 2 }.run(&mut b, 6);
+    assert_ne!(ra.best_seqs, rb.best_seqs);
+}
+
+#[test]
+fn bo_autophase_uses_the_model_loop() {
+    let mut t = task(3);
+    let trace = BoAutophaseTuner { seed: 3 }.run(&mut t, 8);
+    assert_eq!(t.measurements, 8);
+    // The model loop compiles many candidates per measurement.
+    assert!(t.compilations > 4 * t.measurements);
+    assert!(trace.candidates_generated > 0);
+}

@@ -1,0 +1,47 @@
+//! Phase-ordering mechanics: compile one kernel under different pass orders,
+//! inspect the compilation statistics (`-stats-json` style) and watch the
+//! Fig. 5.1 interaction — `instcombine` between `mem2reg` and
+//! `slp-vectorizer` defeats vectorisation.
+//!
+//! ```sh
+//! cargo run --release --example phase_ordering_basics
+//! ```
+
+use citroen::ir::interp::run_counting;
+use citroen::passes::{PassManager, Registry};
+
+fn main() {
+    let bench = citroen::suite::kernels::telecom_gsm();
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    println!("registry: {} passes: {:?}\n", reg.len(), reg.names());
+
+    let orders = [
+        ("good (slp before instcombine)",
+         "mem2reg,loop-rotate,loop-unroll,instsimplify,slp-vectorizer,instcombine"),
+        ("bad (instcombine widens first)",
+         "mem2reg,loop-rotate,loop-unroll,instsimplify,instcombine,slp-vectorizer"),
+    ];
+    for (label, seq) in orders {
+        let res = pm.compile_named(&bench.modules[0], seq).expect("valid sequence");
+        let linked = bench.link_with(Some(std::slice::from_ref(&res.module)));
+        let entry = bench.entry_in(&linked);
+        let (out, sink) = run_counting(&linked, entry, &bench.args).unwrap();
+        println!("== {label} ==");
+        println!("sequence      : {seq}");
+        println!("stats (json)  : {}", res.stats.to_json());
+        println!("dynamic ops   : {}", out.steps);
+        println!(
+            "vector insts  : {} loads, {} muls, {} reduces",
+            sink.count(citroen::ir::interp::OpClass::VecLoad),
+            sink.count(citroen::ir::interp::OpClass::VecIntMul),
+            sink.count(citroen::ir::interp::OpClass::Reduce),
+        );
+        println!("fingerprint   : {:#018x}\n", res.fingerprint);
+    }
+    println!(
+        "Both orders contain identical passes; only their order differs.\n\
+         The SLP statistics expose the difference before any profiling —\n\
+         the observation CITROEN's cost model is built on (paper §5.2)."
+    );
+}

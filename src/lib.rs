@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the CITROEN workspace public API.
+pub use citroen_bo as bo;
+pub use citroen_core as core;
+pub use citroen_gp as gp;
+pub use citroen_ir as ir;
+pub use citroen_passes as passes;
+pub use citroen_sim as sim;
+pub use citroen_suite as suite;
+pub use citroen_synthetic as synthetic;
+pub use citroen_tuners as tuners;

@@ -1,0 +1,98 @@
+//! Cross-crate fuzz testing: randomly generated programs × random pass
+//! sequences must preserve observable behaviour, keep the verifier happy,
+//! and compile deterministically. This is the widest correctness net over
+//! the whole compiler substrate.
+
+use citroen::ir::interp::run_counting;
+use citroen::passes::{o3_pipeline, PassManager, Registry};
+use citroen::suite::generator::{generate, GenConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn generated_programs_survive_random_pipelines() {
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for seed in 0..12u64 {
+        let m = generate(seed, &GenConfig::default());
+        let entry = m.func_by_name("gen_main").unwrap();
+        let (base, _) = run_counting(&m, entry, &[]).unwrap();
+        for trial in 0..6 {
+            let len = rng.gen_range(1..=20);
+            let seq: Vec<_> = (0..len).map(|_| reg.ids()[rng.gen_range(0..reg.len())]).collect();
+            let res = pm.compile(&m, &seq);
+            citroen::ir::verify::assert_valid(&res.module);
+            let (out, _) = run_counting(&res.module, entry, &[]).unwrap_or_else(|t| {
+                panic!(
+                    "seed {seed} trial {trial} trapped ({t}) under [{}]",
+                    reg.seq_to_string(&seq)
+                )
+            });
+            assert_eq!(
+                (base.ret, base.mem_digest),
+                (out.ret, out.mem_digest),
+                "seed {seed}: behaviour changed under [{}]",
+                reg.seq_to_string(&seq)
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_programs_survive_o3() {
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    let o3 = o3_pipeline(&reg);
+    for seed in 100..115u64 {
+        let m = generate(seed, &GenConfig::default());
+        let entry = m.func_by_name("gen_main").unwrap();
+        let (base, _) = run_counting(&m, entry, &[]).unwrap();
+        let res = pm.compile(&m, &o3);
+        let (out, _) = run_counting(&res.module, entry, &[])
+            .unwrap_or_else(|t| panic!("seed {seed} trapped under O3: {t}"));
+        assert_eq!((base.ret, base.mem_digest), (out.ret, out.mem_digest), "seed {seed}");
+    }
+}
+
+#[test]
+fn compilation_is_deterministic_across_programs() {
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    let o3 = o3_pipeline(&reg);
+    for seed in 0..6u64 {
+        let m = generate(seed, &GenConfig::default());
+        let a = pm.compile(&m, &o3);
+        let b = pm.compile(&m, &o3);
+        assert_eq!(a.fingerprint, b.fingerprint, "seed {seed}: nondeterministic compile");
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn suite_benchmarks_survive_random_pipelines() {
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for b in citroen::suite::cbench().into_iter().take(5) {
+        let linked0 = b.link();
+        let entry = b.entry_in(&linked0);
+        let (base, _) = run_counting(&linked0, entry, &b.args).unwrap();
+        for _ in 0..4 {
+            let len = rng.gen_range(4..=16);
+            let seq: Vec<_> = (0..len).map(|_| reg.ids()[rng.gen_range(0..reg.len())]).collect();
+            let opt: Vec<_> = b.modules.iter().map(|m| pm.compile(m, &seq).module).collect();
+            let linked = b.link_with(Some(&opt));
+            let (out, _) = run_counting(&linked, entry, &b.args).unwrap_or_else(|t| {
+                panic!("{} trapped under [{}]: {t}", b.name, reg.seq_to_string(&seq))
+            });
+            assert_eq!(
+                (base.ret, base.mem_digest),
+                (out.ret, out.mem_digest),
+                "{} changed behaviour under [{}]",
+                b.name,
+                reg.seq_to_string(&seq)
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) on core data structures and invariants:
+//! IR scalar semantics, the linear-algebra kernel, the Yeo–Johnson
+//! transform, symbolic address decomposition, and pass-pipeline semantic
+//! preservation on arbitrary straight-line programs.
+
+use citroen::gp::linalg::{chol_solve, cholesky, Mat};
+use citroen::gp::transform::{yeo_johnson, OutputTransform};
+use citroen::ir::builder::FunctionBuilder;
+use citroen::ir::interp::{run_counting, Value};
+use citroen::ir::types::{ScalarTy, I64};
+use citroen::ir::{BinOp, Module, Operand};
+use citroen::passes::{PassManager, Registry};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// IR scalar semantics: canonical sign-extension form is closed under ops.
+// ---------------------------------------------------------------------------
+
+fn scalar_tys() -> impl Strategy<Value = ScalarTy> {
+    prop_oneof![
+        Just(ScalarTy::I8),
+        Just(ScalarTy::I16),
+        Just(ScalarTy::I32),
+        Just(ScalarTy::I64),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wrap_is_idempotent_and_canonical(v in any::<i64>(), ty in scalar_tys()) {
+        let w = ty.wrap(v);
+        prop_assert_eq!(ty.wrap(w), w, "wrap must be idempotent");
+        prop_assert_eq!(ty.sext(w), w, "wrapped values are canonical");
+        // zext then sext of low bits round-trips the canonical form.
+        prop_assert_eq!(ty.wrap(ty.zext(w)), w);
+    }
+
+    #[test]
+    fn interpreter_matches_rust_semantics(a in any::<i32>(), b in any::<i32>()) {
+        // Build `f(a, b) = (a + b) * a - (b ^ a)` in i32 and compare with Rust.
+        let mut m = Module::new("p");
+        let i32t = citroen::ir::types::I32;
+        let mut f = FunctionBuilder::new("f", vec![i32t, i32t], Some(i32t));
+        let s = f.bin(BinOp::Add, i32t, f.param(0), f.param(1));
+        let p = f.bin(BinOp::Mul, i32t, s, f.param(0));
+        let x = f.bin(BinOp::Xor, i32t, f.param(1), f.param(0));
+        let r = f.bin(BinOp::Sub, i32t, p, x);
+        f.ret(Some(r));
+        m.add_func(f.finish());
+        let (out, _) = run_counting(&m, citroen::ir::FuncId(0), &[Value::I(a as i64), Value::I(b as i64)]).unwrap();
+        let expect = a.wrapping_add(b).wrapping_mul(a).wrapping_sub(b ^ a);
+        prop_assert_eq!(out.ret, Some(Value::I(expect as i64)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra: Cholesky solves random SPD systems.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn cholesky_solves_random_spd(seed in 0u64..1000, n in 2usize..7) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A = M Mᵀ + n·I is SPD.
+        let mmat = Mat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let a = Mat::from_fn(n, n, |i, j| {
+            (0..n).map(|k| mmat.get(i, k) * mmat.get(j, k)).sum::<f64>()
+                + if i == j { n as f64 } else { 0.0 }
+        });
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let l = cholesky(&a).unwrap();
+        let x = chol_solve(&l, &b);
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-7, "residual {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn yeo_johnson_monotone_and_invertible(
+        lambda in -2.0f64..3.0,
+        a in -50.0f64..50.0,
+        b in -50.0f64..50.0,
+    ) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assume!(hi - lo > 1e-9);
+        let (ta, tb) = (yeo_johnson(lo, lambda), yeo_johnson(hi, lambda));
+        prop_assert!(ta < tb, "YJ must be strictly monotone: {ta} !< {tb}");
+    }
+
+    #[test]
+    fn output_transform_roundtrips(values in prop::collection::vec(-100.0f64..100.0, 4..20)) {
+        let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let t = OutputTransform::fit(&values);
+        for &v in &values {
+            let back = t.inverse(t.forward(v));
+            prop_assert!((back - v).abs() < 1e-4 * (1.0 + v.abs()), "{v} -> {back}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass semantic preservation on arbitrary straight-line integer programs.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum OpPick {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    SMin,
+    SMax,
+}
+
+fn op_strategy() -> impl Strategy<Value = OpPick> {
+    prop_oneof![
+        Just(OpPick::Add),
+        Just(OpPick::Sub),
+        Just(OpPick::Mul),
+        Just(OpPick::And),
+        Just(OpPick::Or),
+        Just(OpPick::Xor),
+        Just(OpPick::Shl),
+        Just(OpPick::SMin),
+        Just(OpPick::SMax),
+    ]
+}
+
+fn to_binop(p: &OpPick) -> BinOp {
+    match p {
+        OpPick::Add => BinOp::Add,
+        OpPick::Sub => BinOp::Sub,
+        OpPick::Mul => BinOp::Mul,
+        OpPick::And => BinOp::And,
+        OpPick::Or => BinOp::Or,
+        OpPick::Xor => BinOp::Xor,
+        OpPick::Shl => BinOp::Shl,
+        OpPick::SMin => BinOp::SMin,
+        OpPick::SMax => BinOp::SMax,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn pipelines_preserve_straightline_programs(
+        arg in any::<i64>(),
+        ops in prop::collection::vec((op_strategy(), 0usize..8, -64i64..64), 1..24),
+        pipeline in prop::collection::vec(0usize..32, 0..12),
+    ) {
+        // Build a straight-line i64 program: each step applies an op to a
+        // previously-defined value and a small constant (shift amounts masked).
+        let mut m = Module::new("p");
+        let mut f = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let mut vals = vec![f.param(0)];
+        for (op, src, konst) in &ops {
+            let op = to_binop(op);
+            let lhs = vals[src % vals.len()];
+            let rhs = if op == BinOp::Shl {
+                Operand::imm64((konst & 31).abs())
+            } else {
+                Operand::imm64(*konst)
+            };
+            let v = f.bin(op, I64, lhs, rhs);
+            vals.push(v);
+        }
+        let last = *vals.last().unwrap();
+        f.ret(Some(last));
+        m.add_func(f.finish());
+        citroen::ir::verify::assert_valid(&m);
+
+        let (base, _) = run_counting(&m, citroen::ir::FuncId(0), &[Value::I(arg)]).unwrap();
+
+        let reg = Registry::full();
+        let pm = PassManager::new(&reg);
+        let ids = reg.ids();
+        let seq: Vec<_> = pipeline.iter().map(|i| ids[i % ids.len()]).collect();
+        let res = pm.compile(&m, &seq);
+        citroen::ir::verify::assert_valid(&res.module);
+        let (out, _) = run_counting(&res.module, citroen::ir::FuncId(0), &[Value::I(arg)]).unwrap();
+        prop_assert_eq!(base.ret, out.ret, "pipeline [{}] changed the result", reg.seq_to_string(&seq));
+    }
+}
