@@ -12,9 +12,9 @@ use citroen_gp::{Gp, GpConfig, Mat};
 use citroen_passes::Registry;
 use citroen_sim::Platform;
 use citroen_synthetic::{functions, realworld, FlagSelection};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::SeedableRng;
+use citroen_rt::par::IntoParIter;
 
 fn fast_gp() -> GpConfig {
     GpConfig { fit_iters: 12, yeo_johnson: true, ..Default::default() }
@@ -160,7 +160,7 @@ trait GenRangeIdx {
 }
 impl GenRangeIdx for StdRng {
     fn gen_range_idx(&mut self, n: usize) -> usize {
-        use rand::Rng;
+        use citroen_rt::rng::Rng;
         self.gen_range(0..n)
     }
 }

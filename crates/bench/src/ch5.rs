@@ -10,7 +10,7 @@ use citroen_passes::{o3_pipeline, PassManager, Registry};
 use citroen_sim::Platform;
 use citroen_suite::Benchmark;
 use citroen_tuners::{ablation, baselines, CitroenTuner, SeqTuner};
-use rayon::prelude::*;
+use citroen_rt::par::IntoParIter;
 
 /// Construct a fresh benchmark by name.
 fn bench_by_name(name: &str) -> Benchmark {

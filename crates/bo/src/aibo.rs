@@ -12,8 +12,8 @@ use crate::heuristics::{AskTell, CmaEs, GaOpt, RandomOpt};
 use crate::maximizer::{boltzmann_select, cmaes_on_af, gaussian_spray, top_n_by_af, GradMaximizer};
 use crate::space::Bounds;
 use citroen_gp::{Gp, GpConfig, Mat};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// An AF-maximiser initialisation strategy.

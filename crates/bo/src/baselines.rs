@@ -7,8 +7,8 @@ use crate::aibo::BoResult;
 use crate::heuristics::standard_normal;
 use crate::space::Bounds;
 use citroen_gp::{Gp, GpConfig, Mat};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// TuRBO-1 configuration.

@@ -9,8 +9,8 @@
 //! evaluated sample is *told* back (Fig. 4.2c).
 
 use citroen_gp::Mat;
-use rand::rngs::StdRng;
-use rand::Rng;
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::Rng;
 
 /// Ask/tell interface over the continuous unit cube (minimisation).
 pub trait AskTell {
@@ -539,7 +539,7 @@ pub fn jacobi_eigen(a: &Mat, sweeps: usize) -> (Mat, Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use citroen_rt::rng::SeedableRng;
 
     fn sphere(x: &[f64]) -> f64 {
         // minimum at 0.7 per dimension

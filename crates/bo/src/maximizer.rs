@@ -7,8 +7,8 @@ use crate::acquisition::Acquisition;
 use crate::heuristics::{standard_normal, CmaEs};
 use crate::space::clamp_unit;
 use citroen_gp::Gp;
-use rand::rngs::StdRng;
-use rand::Rng;
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::Rng;
 
 /// Multi-start gradient ascent on the AF (Adam + forward-difference
 /// gradients, projected to the unit cube).
@@ -179,7 +179,7 @@ pub fn cmaes_on_af(
 mod tests {
     use super::*;
     use citroen_gp::{Gp, GpConfig, Mat};
-    use rand::SeedableRng;
+    use citroen_rt::rng::SeedableRng;
 
     fn gp_1d() -> Gp {
         // Observations of (x-0.3)² — minimum at 0.3.

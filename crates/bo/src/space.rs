@@ -2,7 +2,7 @@
 //! bounds map to/from problem space (thesis §4.3.2 "we re-scale the input
 //! domain to `[0,1]^d`").
 
-use rand::Rng;
+use citroen_rt::rng::Rng;
 
 /// A box-bounded continuous search space.
 #[derive(Debug, Clone)]
@@ -57,8 +57,8 @@ pub fn clamp_unit(x: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use citroen_rt::rng::StdRng;
+    use citroen_rt::rng::SeedableRng;
 
     #[test]
     fn unit_roundtrip() {

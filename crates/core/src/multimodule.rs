@@ -10,8 +10,8 @@ use citroen_bo::Acquisition;
 use citroen_gp::{Gp, GpConfig, GpHypers, Mat};
 use citroen_ir::module::Module;
 use citroen_passes::{PassId, Stats};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Budget allocation policy across hot modules.

@@ -13,8 +13,8 @@ use citroen_ir::module::Module;
 use citroen_passes::{o3_pipeline, PassId, PassManager, Registry, Stats};
 use citroen_sim::Platform;
 use citroen_suite::Benchmark;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::SeedableRng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,44 @@
+//! End-to-end reproducibility: two CITROEN runs with the same seed must
+//! produce bit-identical trajectories. This is the contract that lets every
+//! figure in EXPERIMENTS.md be regenerated exactly, and it depends on the
+//! in-tree `citroen_rt::rng` stream being stable across platforms (no
+//! external PRNG crate whose stream could shift under a version bump).
+
+use citroen_core::{Task, TaskConfig};
+use citroen_passes::Registry;
+use citroen_sim::Platform;
+use citroen_tuners::{CitroenTuner, SeqTuner};
+
+fn gsm_task(seed: u64) -> Task {
+    Task::new(
+        citroen_suite::kernels::telecom_gsm(),
+        Registry::full(),
+        Platform::tx2(),
+        TaskConfig { seq_len: 12, seed, ..Default::default() },
+    )
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let tuner = CitroenTuner { seed: 9, cfg: None };
+    let mut t1 = gsm_task(9);
+    let mut t2 = gsm_task(9);
+    let a = tuner.run(&mut t1, 12);
+    let b = tuner.run(&mut t2, 12);
+    assert_eq!(a.runtimes, b.runtimes, "measured runtimes must replay exactly");
+    assert_eq!(a.best_history, b.best_history, "best-so-far curve must replay exactly");
+    assert_eq!(a.best_seqs, b.best_seqs, "winning sequences must replay exactly");
+    assert_eq!(a.coverage_dropped, b.coverage_dropped);
+    assert_eq!(a.candidates_generated, b.candidates_generated);
+    assert_eq!(t1.measurements, t2.measurements);
+    assert_eq!(t1.compilations, t2.compilations);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut t1 = gsm_task(9);
+    let mut t2 = gsm_task(10);
+    let a = CitroenTuner { seed: 9, cfg: None }.run(&mut t1, 12);
+    let b = CitroenTuner { seed: 10, cfg: None }.run(&mut t2, 12);
+    assert_ne!(a.runtimes, b.runtimes, "distinct seeds must explore differently");
+}

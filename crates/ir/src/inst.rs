@@ -1,22 +1,21 @@
 //! Instructions, operands and block terminators.
 
 use crate::types::{ScalarTy, Ty};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an SSA value inside a function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(pub u32);
 
 /// Identifier of a basic block inside a function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 /// Identifier of a function inside a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 /// Identifier of a global inside a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GlobalId(pub u32);
 
 impl ValueId {
@@ -45,7 +44,7 @@ impl GlobalId {
 }
 
 /// Instruction operand: an SSA value, an immediate, or a global's address.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
     /// Reference to an SSA value.
     Value(ValueId),
@@ -88,7 +87,7 @@ impl Operand {
 
 /// Binary operators. Integer ops wrap at the result type's width; shifts mask
 /// the shift amount by `bits-1`; division by zero traps (interpreter error).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Integer add.
     Add,
@@ -170,7 +169,7 @@ impl BinOp {
 
 /// Comparison predicates. Integer comparisons are signed; `F*` are ordered
 /// float comparisons (NaN compares false).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -226,7 +225,7 @@ impl CmpOp {
 }
 
 /// Cast kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CastKind {
     /// Sign extension to a wider integer type.
     SExt,
@@ -256,7 +255,7 @@ impl CastKind {
 /// A single IR instruction. The destination's type lives in the enclosing
 /// function's value-type table; instructions that need an explicit type for
 /// memory access carry it inline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Inst {
     /// `dst = op lhs, rhs` — element-wise for vectors.
     Bin {
@@ -459,7 +458,7 @@ impl Inst {
 }
 
 /// Block terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Term {
     /// Unconditional branch.
     Br(BlockId),

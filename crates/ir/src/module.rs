@@ -2,12 +2,11 @@
 
 use crate::inst::{BlockId, FuncId, GlobalId, Inst, Operand, Term, ValueId};
 use crate::types::{ScalarTy, Ty};
-use serde::{Deserialize, Serialize};
 
 /// Function attributes. Discovered by the `function-attrs` pass; they change
 /// what later passes may do (the paper's example of a transformation that is
 /// invisible to IR-syntax features, §3.4).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FnAttrs {
     /// Function neither reads nor writes memory reachable from outside.
     pub readnone: bool,
@@ -18,7 +17,7 @@ pub struct FnAttrs {
 }
 
 /// A basic block: a straight-line run of instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Instructions in program order; φ-nodes must come first.
     pub insts: Vec<Inst>,
@@ -45,7 +44,7 @@ impl Default for Block {
 }
 
 /// A function: CFG of blocks plus a value-type table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Symbol name.
     pub name: String,
@@ -127,7 +126,7 @@ impl Function {
 }
 
 /// Initial contents of a global.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GlobalInit {
     /// Zero-initialised region of the given size in bytes.
     Zero(u32),
@@ -158,7 +157,7 @@ impl GlobalInit {
 }
 
 /// A module global: named initialised storage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Global {
     /// Symbol name.
     pub name: String,
@@ -173,7 +172,7 @@ pub struct Global {
 /// A compilation module: functions plus globals. This is the unit the paper
 /// calls a "module" (one source file); multi-module programs are collections
 /// of these linked by the suite crate.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Module {
     /// Module name (e.g. `long_term.c`).
     pub name: String,

@@ -5,10 +5,9 @@
 //! widening by `instcombine` is observable, Fig. 5.1), floating point, and
 //! short SIMD vectors (so the SLP/loop vectorisers have something to emit).
 
-use serde::{Deserialize, Serialize};
 
 /// Scalar component type. Pointers are modelled as `I64` byte addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ScalarTy {
     /// 1-bit boolean (comparison results, branch conditions).
     I1,
@@ -98,7 +97,7 @@ impl ScalarTy {
 }
 
 /// Full value type: a scalar with a lane count (`lanes == 1` means scalar).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ty {
     /// Element type.
     pub scalar: ScalarTy,

@@ -944,7 +944,15 @@ fn full_unroll(f: &mut Function, sl: &SelfLoop, trip: u64) {
         }
     }
     let mut out: Vec<Inst> = Vec::new();
-    for _ in 0..trip {
+    // Outside uses of a φ mean "its value during the final iteration", i.e.
+    // the value entering the last body copy — snapshot it before that copy
+    // advances the φs one step further (using the post-loop value instead
+    // would be off by one iteration).
+    let mut phi_at_last: HashMap<ValueId, Operand> = HashMap::new();
+    for k in 0..trip {
+        if k == trip - 1 {
+            phi_at_last = phi_ids.iter().map(|p| (*p, env[p])).collect();
+        }
         clone_body_once(f, h, &mut env, &mut out);
     }
     // Replace the header contents with the straight line and branch to exit.
@@ -952,9 +960,11 @@ fn full_unroll(f: &mut Function, sl: &SelfLoop, trip: u64) {
         f.blocks[h.idx()].insts.iter().filter_map(|i| i.dst()).collect();
     f.blocks[h.idx()].insts = out;
     f.blocks[h.idx()].term = Term::Br(sl.exit);
-    // All outside uses of loop-defined values resolve through the final env.
+    // Outside uses of loop-defined values: body values resolve through the
+    // final env (last executed copy); φs through the final-iteration snapshot.
     for v in originals {
-        if let Some(final_op) = env.get(&v).copied() {
+        let rep = phi_at_last.get(&v).copied().or_else(|| env.get(&v).copied());
+        if let Some(final_op) = rep {
             replace_uses(f, v, final_op);
         }
     }
@@ -963,61 +973,68 @@ fn full_unroll(f: &mut Function, sl: &SelfLoop, trip: u64) {
 
 fn partial_unroll(f: &mut Function, sl: &SelfLoop, factor: u64) {
     let h = sl.header;
-    // env starts as identity on φs (iteration state stays in the φs).
-    let mut env: HashMap<ValueId, Operand> = HashMap::new();
-    let mut out: Vec<Inst> = Vec::new();
-    // First copy: the original body itself (in place), then factor-1 clones.
-    // Simpler: treat all `factor` copies as clones and rebuild the block.
     let phis: Vec<Inst> =
         f.blocks[h.idx()].insts.iter().take_while(|i| i.is_phi()).cloned().collect();
+    let body: Vec<Inst> =
+        f.blocks[h.idx()].insts.iter().skip_while(|i| i.is_phi()).cloned().collect();
+    // env starts as identity on φs (iteration state stays in the φs).
+    let mut env: HashMap<ValueId, Operand> = HashMap::new();
+    let mut phi_ids: Vec<ValueId> = Vec::new();
     for inst in &phis {
         if let Inst::Phi { dst, .. } = inst {
             env.insert(*dst, Operand::Value(*dst));
+            phi_ids.push(*dst);
         }
     }
-    for _ in 0..factor {
+    // `factor - 1` fresh-id copies for the leading iterations of each group…
+    let mut out: Vec<Inst> = Vec::new();
+    for _ in 0..factor - 1 {
         clone_body_once(f, h, &mut env, &mut out);
     }
-    // New φ back edges: final env values.
-    let mut new_phis = phis.clone();
-    for inst in &mut new_phis {
-        if let Inst::Phi { dst, incoming } = inst {
-            for (p, v) in incoming.iter_mut() {
-                if *p == h {
-                    *v = env[dst];
-                }
-            }
+    // φ values entering the final copy of the group (see outside-use fix-up).
+    let phi_at_last: HashMap<ValueId, Operand> =
+        phi_ids.iter().map(|p| (*p, env[p])).collect();
+    // …then the final copy KEEPS the original instructions and dst ids, with
+    // operands remapped to the previous copy. Every use outside the loop —
+    // exit-φ incomings and directly dominated uses alike — therefore still
+    // names a defined value, and it is the value of the last executed
+    // iteration, exactly as before unrolling. The φ back edges and the latch
+    // condition also reference those original ids, so both stay untouched.
+    for inst in &body {
+        let mut cloned = inst.clone();
+        cloned.for_each_operand_mut(|op| *op = map_operand(&env, op));
+        if let Some(d) = inst.dst() {
+            // Later body insts must read THIS copy's result, not the
+            // previous clone's: the original id is live again from here on.
+            env.insert(d, Operand::Value(d));
         }
+        out.push(cloned);
     }
-    // New latch condition: the cond of the last clone.
-    let cond = match f.blocks[h.idx()].term.clone() {
-        Term::CondBr { cond, t, f: fb } => {
-            let mapped = map_operand(&env, &cond);
-            Term::CondBr { cond: mapped, t, f: fb }
-        }
-        other => other,
-    };
-    let mut insts = new_phis;
+    let mut insts = phis;
     insts.extend(out);
     f.blocks[h.idx()].insts = insts;
-    f.blocks[h.idx()].term = cond;
-    // Exit φ incomings from h still reference original body values — remap.
-    let exit = sl.exit;
-    let mut patches: Vec<(usize, usize, Operand)> = Vec::new();
-    for (ii, inst) in f.blocks[exit.idx()].insts.iter().enumerate() {
-        if let Inst::Phi { incoming, .. } = inst {
-            for (k, (p, v)) in incoming.iter().enumerate() {
-                if *p == h {
-                    if let Some(nv) = v.as_value().and_then(|x| env.get(&x)) {
-                        patches.push((ii, k, *nv));
-                    }
-                }
-            }
+    // Outside uses of a φ mean "its value during the final iteration", which
+    // after unrolling is the φ advanced through the factor-1 leading copies
+    // (the φ itself now only carries the value at each group entry). Uses
+    // inside the rebuilt header (first copy, φ back edges) must keep reading
+    // the φ, so the rewrite skips the header block.
+    for (p, rep) in &phi_at_last {
+        if matches!(rep, Operand::Value(v) if v == p) {
+            continue; // factor == 1: nothing advanced
         }
-    }
-    for (ii, k, nv) in patches {
-        if let Inst::Phi { incoming, .. } = &mut f.blocks[exit.idx()].insts[ii] {
-            incoming[k].1 = nv;
+        let rewrite = |op: &mut Operand| {
+            if op.as_value() == Some(*p) {
+                *op = *rep;
+            }
+        };
+        for bi in 0..f.blocks.len() {
+            if bi == h.idx() {
+                continue;
+            }
+            for inst in &mut f.blocks[bi].insts {
+                inst.for_each_operand_mut(rewrite);
+            }
+            f.blocks[bi].term.for_each_operand_mut(rewrite);
         }
     }
 }

@@ -5,11 +5,11 @@
 //! like LLVM's `-stats`. [`Stats::to_json`] mirrors the `-stats-json` format
 //! the paper's tooling consumes: a list of `{ "pass.stat": value }` entries.
 
-use serde::{Deserialize, Serialize};
+use citroen_rt::json;
 use std::collections::BTreeMap;
 
 /// A bag of `pass.statistic → count` entries collected during compilation.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     map: BTreeMap<(String, String), u64>,
 }
@@ -81,12 +81,12 @@ impl Stats {
     pub fn to_json(&self) -> String {
         let obj: BTreeMap<String, u64> =
             self.map.iter().map(|((p, s), v)| (format!("{p}.{s}"), *v)).collect();
-        serde_json::to_string_pretty(&obj).expect("stats serialise")
+        json::emit_object_pretty(&obj)
     }
 
     /// Parse the `-stats-json` style object produced by [`Stats::to_json`].
-    pub fn from_json(s: &str) -> Result<Stats, serde_json::Error> {
-        let obj: BTreeMap<String, u64> = serde_json::from_str(s)?;
+    pub fn from_json(s: &str) -> Result<Stats, json::JsonError> {
+        let obj: BTreeMap<String, u64> = json::parse_object(s)?;
         let mut out = Stats::new();
         for (k, v) in obj {
             if let Some((p, st)) = k.split_once('.') {

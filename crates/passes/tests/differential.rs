@@ -8,8 +8,8 @@ mod common;
 use citroen_ir::inst::FuncId;
 use citroen_ir::interp::{run_counting, ExecOutput};
 use citroen_passes::manager::{o1_pipeline, o3_pipeline, PassManager, Registry};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::{Rng, SeedableRng};
 
 fn observe(m: &citroen_ir::Module, args: &[citroen_ir::interp::Value]) -> ExecOutput {
     let entry = FuncId((m.funcs.len() - 1) as u32); // corpus entry fn is last

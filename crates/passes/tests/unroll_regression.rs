@@ -1,0 +1,23 @@
+//! Regression test: `loop-unroll` must produce verifier-clean IR on the GSM
+//! kernel after this optimisation prefix. Found by the seeded tuner (the
+//! verifier reported `use of undefined value` in two blocks after unrolling);
+//! minimised from a CITROEN run with seed 5.
+
+use citroen_passes::{PassManager, Registry};
+
+const PREFIX: &str = "sroa,loop-idiom,mem2reg,mem2reg,inline,loop-rotate,instsimplify,\
+                      sroa,gvn,constprop,simplifycfg,instcombine,loop-unroll";
+
+#[test]
+fn unroll_after_instcombine_prefix_is_verifier_clean() {
+    let bench = citroen_suite::kernels::telecom_gsm();
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    for module in &bench.modules {
+        // `PassManager::compile` verifies after every pass and panics on
+        // verifier errors, so reaching the end is the assertion.
+        let res = pm.compile_named(module, PREFIX).unwrap();
+        let errs = citroen_ir::verify::verify_module(&res.module);
+        assert!(errs.is_empty(), "verifier errors: {errs:?}");
+    }
+}

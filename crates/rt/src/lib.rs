@@ -1,0 +1,23 @@
+//! `citroen-rt` — the in-tree runtime layer that keeps the workspace
+//! hermetic (zero external dependencies, builds offline from a cold cache).
+//!
+//! CITROEN's experimental claims rest on *reproducible, seeded* optimisation
+//! trajectories: every table and figure is an aggregate over repetitions that
+//! must be re-runnable bit-for-bit on any machine (PAPER.md §Evaluation).
+//! Owning the three pieces of infrastructure the workspace previously pulled
+//! from crates.io makes that guarantee structural rather than aspirational:
+//!
+//! - [`rng`] — a SplitMix64-seeded xoshiro256++ generator behind the exact
+//!   API surface the codebase uses (`StdRng::seed_from_u64`, `gen`,
+//!   `gen_range`, `gen_bool`, `shuffle`, `choose`). The output stream for a
+//!   given seed is pinned by known-answer tests, so a refactor can never
+//!   silently reshuffle every experiment.
+//! - [`par`] — a scoped-thread parallel map (atomic-index work claiming,
+//!   thread count from `std::thread::available_parallelism`) that replaces
+//!   `rayon` in the batch-evaluation hot paths.
+//! - [`json`] — a minimal, escape-correct JSON object emitter/parser for the
+//!   flat `pass.stat → u64` objects of LLVM's `-stats-json` format.
+
+pub mod json;
+pub mod par;
+pub mod rng;

@@ -1,0 +1,180 @@
+//! Scoped-thread parallel map — the in-tree replacement for the
+//! `rayon::into_par_iter().map().collect()` pattern in the batch-evaluation
+//! hot paths (`bench` ch4/ch5 run dozens of independent seeded tuning
+//! repetitions per table row; each is seconds of work, so coarse-grained
+//! work claiming is all the scheduling this workload needs).
+//!
+//! Work distribution: items are claimed one at a time through a shared atomic
+//! index (workers that finish early steal the remaining tail), results land
+//! in per-item slots, and order is preserved — `par_map(xs, f)` returns
+//! exactly `xs.map(f)` in input order regardless of interleaving. Thread
+//! count comes from `std::thread::available_parallelism`, overridable with
+//! the `CITROEN_THREADS` environment variable (set it to `1` to debug).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `n_items` of work.
+pub fn thread_count(n_items: usize) -> usize {
+    let hw = std::env::var("CITROEN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+    hw.min(n_items).max(1)
+}
+
+/// Apply `f` to every item on a pool of scoped threads; results are returned
+/// in input order. Falls back to a plain sequential map for 0–1 items or a
+/// single available core.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = thread_count(n);
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // One slot per item: workers claim index i via fetch_add, take the input
+    // out of its slot, and deposit the result in the matching output slot.
+    // Each Mutex is touched by exactly one worker, so there is no contention;
+    // the atomic index is the only shared cursor.
+    let inputs: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().unwrap().take().expect("item claimed once");
+                let out = f(item);
+                *outputs[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// rayon-flavoured adapter
+// ---------------------------------------------------------------------------
+
+/// Entry point mirroring `rayon::prelude::IntoParallelIterator`, so the
+/// `(0..reps).into_par_iter().map(f).collect()` call sites migrate with a
+/// one-line `use` change.
+pub trait IntoParIter: Sized {
+    /// The item type produced.
+    type Item: Send;
+    /// Wrap `self` for parallel mapping.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParIter for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// A materialised batch of work awaiting a `.map(..)`.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Eagerly apply `f` in parallel; `.collect()` the result.
+    pub fn map<R, F>(self, f: F) -> ParMapped<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMapped { results: par_map(self.items, f) }
+    }
+}
+
+/// Results of a parallel map, ready to collect.
+pub struct ParMapped<R> {
+    results: Vec<R>,
+}
+
+impl<R> ParMapped<R> {
+    /// Gather results (input order) into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.results.into_iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = par_map(xs.clone(), |x| x * x);
+        assert_eq!(ys, xs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adapter_matches_sequential() {
+        let got: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(got, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<i32> = par_map(Vec::new(), |x: i32| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(vec![7], |x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_available() {
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2
+            || std::env::var("CITROEN_THREADS").ok().as_deref() == Some("1")
+        {
+            return; // single-core host: nothing to observe
+        }
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        par_map((0..16).collect::<Vec<_>>(), |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(Duration::from_millis(20));
+        });
+        let distinct = seen.lock().unwrap().len();
+        assert!(distinct >= 2, "expected ≥2 worker threads, saw {distinct}");
+    }
+
+    #[test]
+    fn thread_count_respects_env_and_items() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(1000) >= 1);
+    }
+}

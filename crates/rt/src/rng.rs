@@ -1,0 +1,381 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), state-initialised from a
+//! `u64` seed through SplitMix64 — the standard seeding recipe recommended by
+//! the xoshiro authors. The public surface deliberately mirrors the subset of
+//! the `rand` crate the workspace uses, so migrating a call site is a
+//! one-line `use` change: [`StdRng::seed_from_u64`], [`Rng::gen`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`], plus [`Rng::shuffle`] /
+//! [`Rng::choose`] helpers for the tuner baselines.
+//!
+//! **Stream stability is part of the contract.** Every experiment in the
+//! reproduction is an aggregate over seeded repetitions; the known-answer
+//! tests at the bottom of this file pin the first outputs for seed 42 so that
+//! a refactor that perturbs the stream is caught immediately rather than
+//! discovered as an unexplained shift in every figure.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Core generator
+// ---------------------------------------------------------------------------
+
+/// A generator that can produce uniformly distributed `u64`s. Everything else
+/// ([`Rng`]) is derived from this single method.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a `u64` seed (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: advances `state` and returns the next output. Used only
+/// to expand a 64-bit seed into the 256-bit xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ — 256 bits of state, period 2^256 − 1, passes BigCrush.
+/// Named `StdRng` to keep parity with the `rand` API the codebase was
+/// written against (the stream differs from `rand`'s ChaCha12 `StdRng`;
+/// seeds remain deterministic, which is what the experiments rely on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Re-export under a `rngs` module for drop-in parity with
+/// `rand::rngs::StdRng` import paths.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+// ---------------------------------------------------------------------------
+// Sampling traits
+// ---------------------------------------------------------------------------
+
+/// Types samplable uniformly over their full domain by [`Rng::gen`]
+/// (integers: full bit range; floats: `[0, 1)`; bool: fair coin).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, n)` without modulo bias (Lemire's multiply-shift
+/// with rejection). `n` must be non-zero.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Widening multiply maps next_u64() into [0, n); reject the small biased
+    // zone so every residue is exactly equally likely.
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (n as u128);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (n as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: every output is in range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * f32::sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The user-facing trait
+// ---------------------------------------------------------------------------
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A value uniform over `T`'s standard domain (see [`Standard`]).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A value uniform over `range` (half-open or inclusive).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = uniform_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[uniform_below(self, slice.len() as u64) as usize])
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer test: the first 8 outputs for seed 42 are pinned. If this
+    /// test fails, the generator stream changed and EVERY seeded experiment
+    /// in the repository silently re-rolled — do not "fix" the constants
+    /// without understanding why the stream moved.
+    #[test]
+    fn known_answer_seed_42() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            KNOWN_ANSWER_SEED_42,
+            "xoshiro256++ stream for seed 42 changed"
+        );
+    }
+
+    /// Filled in from the reference implementation; see `known_answer_seed_42`.
+    const KNOWN_ANSWER_SEED_42: [u64; 8] = [
+        0xD076_4D4F_4476_689F,
+        0x519E_4174_576F_3791,
+        0xFBE0_7CFB_0C24_ED8C,
+        0xB37D_9F60_0CD8_35B8,
+        0xCB23_1C38_7484_6A73,
+        0x968D_9F00_4E50_DE7D,
+        0x2017_18FF_221A_3556,
+        0x9AE9_4E07_0ED8_CB46,
+    ];
+
+    #[test]
+    fn splitmix_seeding_differs_per_seed() {
+        let a: Vec<u64> =
+            (0..4).scan(StdRng::seed_from_u64(1), |r, _| Some(r.next_u64())).collect();
+        let b: Vec<u64> =
+            (0..4).scan(StdRng::seed_from_u64(2), |r, _| Some(r.next_u64())).collect();
+        assert_ne!(a, b);
+        // Same seed → same stream, from a fresh generator.
+        let c: Vec<u64> =
+            (0..4).scan(StdRng::seed_from_u64(1), |r, _| Some(r.next_u64())).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1000i64..1000);
+            assert!((-1000..1000).contains(&v));
+            let u = rng.gen_range(0usize..17);
+            assert!(u < 17);
+            let w = rng.gen_range(1i64..=24);
+            assert!((1..=24).contains(&w));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        // Every value of a small range must appear (unbiasedness smoke test).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 5 values should occur: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "p=0.3 rate off: {hits}");
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        // Deterministic for a fixed seed.
+        let mut w: Vec<u32> = (0..50).collect();
+        StdRng::seed_from_u64(9).shuffle(&mut w);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn choose_uniform_and_empty() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(rng.choose(&xs).unwrap()));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        // `&mut StdRng` must satisfy `impl Rng` bounds (reborrow pattern used
+        // across the workspace: helpers take `&mut impl Rng`).
+        fn helper(rng: &mut impl Rng) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = helper(&mut rng);
+        let b = helper(&mut rng);
+        assert_ne!(a, b);
+    }
+}

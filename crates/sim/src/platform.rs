@@ -6,7 +6,7 @@ use crate::machine::{BranchPredictor, CacheSim, MachineModel};
 use citroen_ir::interp::{self, EventSink, ExecOutput, Limits, OpClass, Trap, Value};
 use citroen_ir::inst::FuncId;
 use citroen_ir::module::Module;
-use rand::Rng;
+use citroen_rt::rng::Rng;
 
 /// Event sink that folds the dynamic trace into estimated cycles using a
 /// machine model, an L1/L2 cache hierarchy and a branch predictor.
@@ -162,8 +162,8 @@ mod tests {
     use citroen_ir::inst::{BinOp, Operand};
     use citroen_ir::module::GlobalInit;
     use citroen_ir::types::{I32, I64};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use citroen_rt::rng::StdRng;
+    use citroen_rt::rng::SeedableRng;
 
     fn loopy_module(n: i64) -> Module {
         let mut m = Module::new("m");

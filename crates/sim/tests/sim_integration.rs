@@ -7,8 +7,8 @@ use citroen_ir::module::{GlobalInit, Module};
 use citroen_ir::types::{ScalarTy, Ty, I32, I64};
 use citroen_ir::FuncId;
 use citroen_sim::Platform;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::SeedableRng;
 
 fn scalar_vs_vector_module() -> Module {
     // Two functions computing the same 64-element i32 sum: scalar loop vs

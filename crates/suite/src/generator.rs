@@ -6,8 +6,8 @@ use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
 use citroen_ir::inst::{BinOp, CastKind, CmpOp, Operand};
 use citroen_ir::module::{GlobalInit, Module};
 use citroen_ir::types::{ScalarTy, I16, I32, I64};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::{Rng, SeedableRng};
 
 /// Generator configuration.
 #[derive(Debug, Clone)]

@@ -4,6 +4,7 @@ pub use citroen_core as core;
 pub use citroen_gp as gp;
 pub use citroen_ir as ir;
 pub use citroen_passes as passes;
+pub use citroen_rt as rt;
 pub use citroen_sim as sim;
 pub use citroen_suite as suite;
 pub use citroen_synthetic as synthetic;

@@ -6,8 +6,8 @@
 use citroen::ir::interp::run_counting;
 use citroen::passes::{o3_pipeline, PassManager, Registry};
 use citroen::suite::generator::{generate, GenConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use citroen_rt::rng::StdRng;
+use citroen_rt::rng::{Rng, SeedableRng};
 
 #[test]
 fn generated_programs_survive_random_pipelines() {

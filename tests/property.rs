@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) on core data structures and invariants:
+//! Randomised property tests on core data structures and invariants:
 //! IR scalar semantics, the linear-algebra kernel, the Yeo–Johnson
-//! transform, symbolic address decomposition, and pass-pipeline semantic
-//! preservation on arbitrary straight-line programs.
+//! transform, and pass-pipeline semantic preservation on arbitrary
+//! straight-line programs.
+//!
+//! Formerly written against `proptest`; now driven by the in-tree seeded
+//! generator (`citroen::rt::rng`) so the suite builds hermetically. Every
+//! test uses a fixed seed — failures reproduce exactly, with the offending
+//! case printed in the assertion message.
 
 use citroen::gp::linalg::{chol_solve, cholesky, Mat};
 use citroen::gp::transform::{yeo_johnson, OutputTransform};
@@ -10,33 +15,35 @@ use citroen::ir::interp::{run_counting, Value};
 use citroen::ir::types::{ScalarTy, I64};
 use citroen::ir::{BinOp, Module, Operand};
 use citroen::passes::{PassManager, Registry};
-use proptest::prelude::*;
+use citroen::rt::rng::{Rng, SeedableRng, StdRng};
 
 // ---------------------------------------------------------------------------
 // IR scalar semantics: canonical sign-extension form is closed under ops.
 // ---------------------------------------------------------------------------
 
-fn scalar_tys() -> impl Strategy<Value = ScalarTy> {
-    prop_oneof![
-        Just(ScalarTy::I8),
-        Just(ScalarTy::I16),
-        Just(ScalarTy::I32),
-        Just(ScalarTy::I64),
-    ]
+const SCALAR_TYS: [ScalarTy; 4] =
+    [ScalarTy::I8, ScalarTy::I16, ScalarTy::I32, ScalarTy::I64];
+
+#[test]
+fn wrap_is_idempotent_and_canonical() {
+    let mut rng = StdRng::seed_from_u64(0xC17_0E21);
+    for case in 0..2000 {
+        let v: i64 = rng.gen();
+        let ty = *rng.choose(&SCALAR_TYS).unwrap();
+        let w = ty.wrap(v);
+        assert_eq!(ty.wrap(w), w, "case {case}: wrap must be idempotent on {v} {ty:?}");
+        assert_eq!(ty.sext(w), w, "case {case}: wrapped values are canonical");
+        // zext then sext of low bits round-trips the canonical form.
+        assert_eq!(ty.wrap(ty.zext(w)), w, "case {case}: zext/wrap roundtrip {v} {ty:?}");
+    }
 }
 
-proptest! {
-    #[test]
-    fn wrap_is_idempotent_and_canonical(v in any::<i64>(), ty in scalar_tys()) {
-        let w = ty.wrap(v);
-        prop_assert_eq!(ty.wrap(w), w, "wrap must be idempotent");
-        prop_assert_eq!(ty.sext(w), w, "wrapped values are canonical");
-        // zext then sext of low bits round-trips the canonical form.
-        prop_assert_eq!(ty.wrap(ty.zext(w)), w);
-    }
-
-    #[test]
-    fn interpreter_matches_rust_semantics(a in any::<i32>(), b in any::<i32>()) {
+#[test]
+fn interpreter_matches_rust_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xC17_0E22);
+    for case in 0..500 {
+        let a: i32 = rng.gen();
+        let b: i32 = rng.gen();
         // Build `f(a, b) = (a + b) * a - (b ^ a)` in i32 and compare with Rust.
         let mut m = Module::new("p");
         let i32t = citroen::ir::types::I32;
@@ -47,9 +54,14 @@ proptest! {
         let r = f.bin(BinOp::Sub, i32t, p, x);
         f.ret(Some(r));
         m.add_func(f.finish());
-        let (out, _) = run_counting(&m, citroen::ir::FuncId(0), &[Value::I(a as i64), Value::I(b as i64)]).unwrap();
+        let (out, _) = run_counting(
+            &m,
+            citroen::ir::FuncId(0),
+            &[Value::I(a as i64), Value::I(b as i64)],
+        )
+        .unwrap();
         let expect = a.wrapping_add(b).wrapping_mul(a).wrapping_sub(b ^ a);
-        prop_assert_eq!(out.ret, Some(Value::I(expect as i64)));
+        assert_eq!(out.ret, Some(Value::I(expect as i64)), "case {case}: f({a}, {b})");
     }
 }
 
@@ -57,12 +69,12 @@ proptest! {
 // Linear algebra: Cholesky solves random SPD systems.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn cholesky_solves_random_spd(seed in 0u64..1000, n in 2usize..7) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+#[test]
+fn cholesky_solves_random_spd() {
+    let mut outer = StdRng::seed_from_u64(0xC17_0E23);
+    for case in 0..32 {
+        let seed = outer.gen_range(0u64..1000);
+        let n = outer.gen_range(2usize..7);
         let mut rng = StdRng::seed_from_u64(seed);
         // A = M Mᵀ + n·I is SPD.
         let mmat = Mat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
@@ -75,31 +87,55 @@ proptest! {
         let x = chol_solve(&l, &b);
         let back = a.matvec(&x);
         for (u, v) in back.iter().zip(&b) {
-            prop_assert!((u - v).abs() < 1e-7, "residual {u} vs {v}");
+            assert!(
+                (u - v).abs() < 1e-7,
+                "case {case} (seed {seed}, n {n}): residual {u} vs {v}"
+            );
         }
     }
+}
 
-    #[test]
-    fn yeo_johnson_monotone_and_invertible(
-        lambda in -2.0f64..3.0,
-        a in -50.0f64..50.0,
-        b in -50.0f64..50.0,
-    ) {
+#[test]
+fn yeo_johnson_monotone_and_invertible() {
+    let mut rng = StdRng::seed_from_u64(0xC17_0E24);
+    let mut checked = 0;
+    while checked < 500 {
+        let lambda = rng.gen_range(-2.0f64..3.0);
+        let a = rng.gen_range(-50.0f64..50.0);
+        let b = rng.gen_range(-50.0f64..50.0);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        prop_assume!(hi - lo > 1e-9);
+        if hi - lo <= 1e-9 {
+            continue;
+        }
+        checked += 1;
         let (ta, tb) = (yeo_johnson(lo, lambda), yeo_johnson(hi, lambda));
-        prop_assert!(ta < tb, "YJ must be strictly monotone: {ta} !< {tb}");
+        assert!(
+            ta < tb,
+            "YJ must be strictly monotone: yj({lo}, {lambda}) = {ta} !< yj({hi}, {lambda}) = {tb}"
+        );
     }
+}
 
-    #[test]
-    fn output_transform_roundtrips(values in prop::collection::vec(-100.0f64..100.0, 4..20)) {
+#[test]
+fn output_transform_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xC17_0E25);
+    let mut checked = 0;
+    while checked < 200 {
+        let len = rng.gen_range(4usize..20);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - values.iter().cloned().fold(f64::INFINITY, f64::min);
-        prop_assume!(spread > 1e-6);
+        if spread <= 1e-6 {
+            continue;
+        }
+        checked += 1;
         let t = OutputTransform::fit(&values);
         for &v in &values {
             let back = t.inverse(t.forward(v));
-            prop_assert!((back - v).abs() < 1e-4 * (1.0 + v.abs()), "{v} -> {back}");
+            assert!(
+                (back - v).abs() < 1e-4 * (1.0 + v.abs()),
+                "case {checked}: {v} -> {back}"
+            );
         }
     }
 }
@@ -108,69 +144,49 @@ proptest! {
 // Pass semantic preservation on arbitrary straight-line integer programs.
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum OpPick {
-    Add,
-    Sub,
-    Mul,
-    And,
-    Or,
-    Xor,
-    Shl,
-    SMin,
-    SMax,
-}
+const OPS: [BinOp; 9] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::SMin,
+    BinOp::SMax,
+];
 
-fn op_strategy() -> impl Strategy<Value = OpPick> {
-    prop_oneof![
-        Just(OpPick::Add),
-        Just(OpPick::Sub),
-        Just(OpPick::Mul),
-        Just(OpPick::And),
-        Just(OpPick::Or),
-        Just(OpPick::Xor),
-        Just(OpPick::Shl),
-        Just(OpPick::SMin),
-        Just(OpPick::SMax),
-    ]
-}
+#[test]
+fn pipelines_preserve_straightline_programs() {
+    let mut rng = StdRng::seed_from_u64(0xC17_0E26);
+    for case in 0..48 {
+        let arg: i64 = rng.gen();
+        let n_ops = rng.gen_range(1usize..24);
+        let ops: Vec<(BinOp, usize, i64)> = (0..n_ops)
+            .map(|_| {
+                (
+                    *rng.choose(&OPS).unwrap(),
+                    rng.gen_range(0usize..8),
+                    rng.gen_range(-64i64..64),
+                )
+            })
+            .collect();
+        let pipeline: Vec<usize> =
+            (0..rng.gen_range(0usize..12)).map(|_| rng.gen_range(0usize..32)).collect();
 
-fn to_binop(p: &OpPick) -> BinOp {
-    match p {
-        OpPick::Add => BinOp::Add,
-        OpPick::Sub => BinOp::Sub,
-        OpPick::Mul => BinOp::Mul,
-        OpPick::And => BinOp::And,
-        OpPick::Or => BinOp::Or,
-        OpPick::Xor => BinOp::Xor,
-        OpPick::Shl => BinOp::Shl,
-        OpPick::SMin => BinOp::SMin,
-        OpPick::SMax => BinOp::SMax,
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn pipelines_preserve_straightline_programs(
-        arg in any::<i64>(),
-        ops in prop::collection::vec((op_strategy(), 0usize..8, -64i64..64), 1..24),
-        pipeline in prop::collection::vec(0usize..32, 0..12),
-    ) {
         // Build a straight-line i64 program: each step applies an op to a
         // previously-defined value and a small constant (shift amounts masked).
         let mut m = Module::new("p");
         let mut f = FunctionBuilder::new("f", vec![I64], Some(I64));
         let mut vals = vec![f.param(0)];
         for (op, src, konst) in &ops {
-            let op = to_binop(op);
             let lhs = vals[src % vals.len()];
-            let rhs = if op == BinOp::Shl {
+            let rhs = if *op == BinOp::Shl {
                 Operand::imm64((konst & 31).abs())
             } else {
                 Operand::imm64(*konst)
             };
-            let v = f.bin(op, I64, lhs, rhs);
+            let v = f.bin(*op, I64, lhs, rhs);
             vals.push(v);
         }
         let last = *vals.last().unwrap();
@@ -186,7 +202,13 @@ proptest! {
         let seq: Vec<_> = pipeline.iter().map(|i| ids[i % ids.len()]).collect();
         let res = pm.compile(&m, &seq);
         citroen::ir::verify::assert_valid(&res.module);
-        let (out, _) = run_counting(&res.module, citroen::ir::FuncId(0), &[Value::I(arg)]).unwrap();
-        prop_assert_eq!(base.ret, out.ret, "pipeline [{}] changed the result", reg.seq_to_string(&seq));
+        let (out, _) =
+            run_counting(&res.module, citroen::ir::FuncId(0), &[Value::I(arg)]).unwrap();
+        assert_eq!(
+            base.ret,
+            out.ret,
+            "case {case}: pipeline [{}] changed the result for arg {arg}",
+            reg.seq_to_string(&seq)
+        );
     }
 }
