@@ -1,0 +1,583 @@
+//! Constant-range (interval) abstract interpretation.
+//!
+//! Computes, for every SSA value of every function, a sound over-approximation
+//! `[lo, hi]` of the integer values it can take at runtime, with parameters at
+//! ⊤ and calls summarised by the callee's return interval (module-level
+//! bottom-up fixpoint). Floats and vectors are tracked as ⊤.
+//!
+//! The domain is flow-insensitive over SSA values (one interval per value, φs
+//! join their incoming edges) with widening after a fixed number of visits, so
+//! loop-carried values converge to their type range quickly. Precision is
+//! deliberately modest — the consumers are the lints (`oob-index` needs only
+//! constant/masked offsets) and the sanitizer, which compares facts for
+//! *contradiction*, not tightness.
+
+use citroen_ir::analysis::Cfg;
+use citroen_ir::inst::{BinOp, CastKind, CmpOp, Inst, Operand, Term, ValueId};
+use citroen_ir::module::{Function, Module};
+use citroen_ir::types::ScalarTy;
+use std::collections::HashMap;
+
+/// An integer interval `[lo, hi]` with `i128` bounds (so arithmetic on `i64`
+/// endpoints cannot itself overflow). `lo > hi` encodes ⊥ (unreachable /
+/// not-an-int).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i128,
+    /// Inclusive upper bound.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// The empty interval (⊥).
+    pub fn bottom() -> Interval {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// The full `i64` range (⊤ for canonical sign-extended register values).
+    pub fn top() -> Interval {
+        Interval { lo: i64::MIN as i128, hi: i64::MAX as i128 }
+    }
+
+    /// A singleton interval.
+    pub fn constant(v: i64) -> Interval {
+        Interval { lo: v as i128, hi: v as i128 }
+    }
+
+    /// The representable range of scalar type `s` in canonical (sign-extended)
+    /// register form. `I1` values are `-1` (true) or `0` (false).
+    pub fn type_range(s: ScalarTy) -> Interval {
+        match s {
+            ScalarTy::I1 => Interval { lo: -1, hi: 0 },
+            ScalarTy::I8 => Interval { lo: i8::MIN as i128, hi: i8::MAX as i128 },
+            ScalarTy::I16 => Interval { lo: i16::MIN as i128, hi: i16::MAX as i128 },
+            ScalarTy::I32 => Interval { lo: i32::MIN as i128, hi: i32::MAX as i128 },
+            ScalarTy::I64 | ScalarTy::F64 => Interval::top(),
+        }
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_bottom(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether the interval is a single constant, and which.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.lo == self.hi && i64::try_from(self.lo).is_ok() {
+            Some(self.lo as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `v` is contained.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v as i128 && v as i128 <= self.hi
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, o: &Interval) -> Interval {
+        if self.is_bottom() {
+            return *o;
+        }
+        if o.is_bottom() {
+            return *self;
+        }
+        Interval { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+    }
+
+    /// Greatest lower bound (intersection).
+    pub fn meet(&self, o: &Interval) -> Interval {
+        Interval { lo: self.lo.max(o.lo), hi: self.hi.min(o.hi) }
+    }
+
+    /// Whether `self ⊆ o`.
+    pub fn subset_of(&self, o: &Interval) -> bool {
+        self.is_bottom() || (o.lo <= self.lo && self.hi <= o.hi)
+    }
+
+    /// Widen against the previous value: any bound that grew jumps to the
+    /// type-range bound, guaranteeing fast termination.
+    pub fn widen(&self, prev: &Interval, s: ScalarTy) -> Interval {
+        if prev.is_bottom() {
+            return *self;
+        }
+        let tr = Interval::type_range(s);
+        Interval {
+            lo: if self.lo < prev.lo { tr.lo } else { self.lo },
+            hi: if self.hi > prev.hi { tr.hi } else { self.hi },
+        }
+    }
+
+    /// Clamp into the type range of `s`, modelling the wrap-to-canonical-form
+    /// every instruction result goes through: if the exact result range fits
+    /// the type it is kept, otherwise wrapping may have occurred anywhere and
+    /// the result is the whole type range.
+    fn wrap_to(self, s: ScalarTy) -> Interval {
+        if self.is_bottom() {
+            return self;
+        }
+        let tr = Interval::type_range(s);
+        if self.subset_of(&tr) {
+            self
+        } else {
+            tr
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_bottom() {
+            return write!(f, "⊥");
+        }
+        if *self == Interval::top() {
+            return write!(f, "⊤");
+        }
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Abstract evaluation of a binary operator on interval operands. Sound for
+/// every `BinOp` (falls back to the type range where precision is not worth
+/// the code), exact when both operands are singletons.
+pub fn eval_bin(op: BinOp, s: ScalarTy, a: &Interval, b: &Interval) -> Interval {
+    if a.is_bottom() || b.is_bottom() {
+        return Interval::bottom();
+    }
+    if op.is_float() || s == ScalarTy::F64 {
+        return Interval::top();
+    }
+    use BinOp::*;
+    let r = match op {
+        Add => Interval { lo: a.lo + b.lo, hi: a.hi + b.hi },
+        Sub => Interval { lo: a.lo - b.hi, hi: a.hi - b.lo },
+        Mul => {
+            let corners =
+                [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+            Interval {
+                lo: *corners.iter().min().unwrap(),
+                hi: *corners.iter().max().unwrap(),
+            }
+        }
+        SMin => Interval { lo: a.lo.min(b.lo), hi: a.hi.min(b.hi) },
+        SMax => Interval { lo: a.lo.max(b.lo), hi: a.hi.max(b.hi) },
+        And => {
+            // `x & m` with a non-negative mask only keeps bits of the mask,
+            // so the result lies in [0, max(m)] whatever `x` is.
+            if a.lo >= 0 && b.lo >= 0 {
+                Interval { lo: 0, hi: a.hi.min(b.hi) }
+            } else if b.lo >= 0 {
+                Interval { lo: 0, hi: b.hi }
+            } else if a.lo >= 0 {
+                Interval { lo: 0, hi: a.hi }
+            } else {
+                Interval::type_range(s)
+            }
+        }
+        Or | Xor => {
+            if a.lo >= 0 && b.lo >= 0 {
+                // Result of | or ^ on non-negatives cannot exceed the next
+                // power-of-two above both operands, minus one.
+                let m = (a.hi.max(b.hi) as u128).next_power_of_two();
+                Interval { lo: 0, hi: (m.saturating_mul(2) - 1).min(i64::MAX as u128) as i128 }
+            } else {
+                Interval::type_range(s)
+            }
+        }
+        SDiv | SRem | Shl | AShr | LShr => {
+            match (a.as_const(), b.as_const()) {
+                (Some(x), Some(y)) => match exec_scalar(op, s, x, y) {
+                    Some(v) => Interval::constant(v),
+                    None => Interval::bottom(), // definite trap: no result value
+                },
+                _ => Interval::type_range(s),
+            }
+        }
+        FAdd | FSub | FMul | FDiv => unreachable!("handled above"),
+    };
+    r.wrap_to(s)
+}
+
+/// Concrete scalar semantics for the constant × constant case, mirroring the
+/// interpreter (`None` = traps).
+fn exec_scalar(op: BinOp, ty: ScalarTy, a: i64, b: i64) -> Option<i64> {
+    use BinOp::*;
+    let bits = ty.bits().min(64);
+    let shift_mask = (bits - 1) as i64;
+    let r = match op {
+        SDiv => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        SRem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        Shl => a.wrapping_shl((b & shift_mask) as u32),
+        AShr => ty.sext(a).wrapping_shr((b & shift_mask) as u32),
+        LShr => ((ty.zext(a) as u64) >> ((b & shift_mask) as u64)) as i64,
+        _ => unreachable!(),
+    };
+    Some(ty.wrap(r))
+}
+
+/// Abstract comparison: `Some(result)` when the interval relation is decided,
+/// otherwise the full `i1` range.
+pub fn eval_cmp(op: CmpOp, a: &Interval, b: &Interval) -> Interval {
+    if a.is_bottom() || b.is_bottom() {
+        return Interval::bottom();
+    }
+    use CmpOp::*;
+    let (t, f) = (Interval::constant(-1), Interval::constant(0));
+    match op {
+        Eq => {
+            if a.as_const().is_some() && a.as_const() == b.as_const() {
+                t
+            } else if a.meet(b).is_bottom() {
+                f
+            } else {
+                Interval::type_range(ScalarTy::I1)
+            }
+        }
+        Ne => {
+            if a.meet(b).is_bottom() {
+                t
+            } else if a.as_const().is_some() && a.as_const() == b.as_const() {
+                f
+            } else {
+                Interval::type_range(ScalarTy::I1)
+            }
+        }
+        Slt => decide(a.hi < b.lo, a.lo >= b.hi, t, f),
+        Sle => decide(a.hi <= b.lo, a.lo > b.hi, t, f),
+        Sgt => decide(a.lo > b.hi, a.hi <= b.lo, t, f),
+        Sge => decide(a.lo >= b.hi, a.hi < b.lo, t, f),
+    }
+}
+
+fn decide(always: bool, never: bool, t: Interval, f: Interval) -> Interval {
+    if always {
+        t
+    } else if never {
+        f
+    } else {
+        Interval::type_range(ScalarTy::I1)
+    }
+}
+
+fn eval_cast(kind: CastKind, from: ScalarTy, to: ScalarTy, v: &Interval) -> Interval {
+    if v.is_bottom() {
+        return Interval::bottom();
+    }
+    match kind {
+        // Canonical register form makes SExt the identity.
+        CastKind::SExt => *v,
+        CastKind::ZExt => {
+            if v.lo >= 0 {
+                *v
+            } else {
+                // Negative canonical values zero-extend to large positives.
+                Interval { lo: 0, hi: (1i128 << from.bits().min(63)) - 1 }.wrap_to(to)
+            }
+        }
+        CastKind::Trunc => {
+            if v.subset_of(&Interval::type_range(to)) {
+                *v
+            } else {
+                Interval::type_range(to)
+            }
+        }
+        CastKind::SiToFp | CastKind::FpToSi => Interval::type_range(to),
+    }
+}
+
+/// Per-function interval facts.
+#[derive(Debug, Clone)]
+pub struct FunctionIntervals {
+    /// Interval of each SSA value (index = `ValueId`). Float and vector values
+    /// are conservatively ⊤.
+    pub val: Vec<Interval>,
+    /// Join of the operand intervals of all reachable `ret` terminators; ⊥ if
+    /// no reachable block returns a value.
+    pub ret: Interval,
+}
+
+impl FunctionIntervals {
+    /// Interval of an operand in this function.
+    pub fn operand(&self, f: &Function, op: &Operand) -> Interval {
+        operand_interval(&self.val, f, op)
+    }
+}
+
+fn operand_interval(val: &[Interval], _f: &Function, op: &Operand) -> Interval {
+    match op {
+        Operand::Value(v) => val.get(v.idx()).copied().unwrap_or_else(Interval::top),
+        Operand::ImmI(c, s) => Interval::constant(s.sext(*c)),
+        Operand::ImmF(_) => Interval::top(),
+        // A global's byte address: positive, but runtime-layout dependent.
+        Operand::Global(_) => Interval { lo: 0, hi: i64::MAX as i128 },
+    }
+}
+
+/// Module-level interval facts: one [`FunctionIntervals`] per function, plus
+/// the callee return map used to close calls.
+#[derive(Debug, Clone)]
+pub struct ModuleIntervals {
+    /// Facts per function, in module order.
+    pub funcs: Vec<FunctionIntervals>,
+}
+
+impl ModuleIntervals {
+    /// Facts for function `fi`.
+    pub fn func(&self, fi: usize) -> &FunctionIntervals {
+        &self.funcs[fi]
+    }
+}
+
+const WIDEN_AFTER: u32 = 2;
+
+/// Run the interval analysis over every function of `m`. Calls are closed by
+/// iterating the per-function analysis with a shared callee-return map until
+/// it stabilises (capped; the cap only costs precision, never soundness).
+pub fn analyze_module(m: &Module) -> ModuleIntervals {
+    let mut ret_of: Vec<Interval> = m
+        .funcs
+        .iter()
+        .map(|f| match f.ret {
+            Some(t) if t.lanes == 1 && t.scalar.is_int() => Interval::type_range(t.scalar),
+            Some(_) => Interval::top(),
+            None => Interval::bottom(),
+        })
+        .collect();
+    let mut out: Vec<FunctionIntervals> = Vec::new();
+    for round in 0..3 {
+        out.clear();
+        let mut changed = false;
+        for (fi, f) in m.funcs.iter().enumerate() {
+            let fa = analyze_function(f, &ret_of);
+            // Callee map entries only ever shrink (start at type range), so
+            // re-running with the tighter map is a narrowing, which is sound
+            // here because every entry stays an over-approximation.
+            let tightened = fa.ret.meet(&ret_of[fi]);
+            if tightened != ret_of[fi] && round + 1 < 3 {
+                ret_of[fi] = tightened;
+                changed = true;
+            }
+            out.push(fa);
+        }
+        if !changed {
+            break;
+        }
+    }
+    ModuleIntervals { funcs: out }
+}
+
+/// Interval analysis of a single function given callee return intervals.
+pub fn analyze_function(f: &Function, ret_of: &[Interval]) -> FunctionIntervals {
+    let nv = f.value_ty.len();
+    let mut val = vec![Interval::bottom(); nv];
+    let mut visits = vec![0u32; nv];
+    for (i, ty) in f.params.iter().enumerate() {
+        val[i] = if ty.lanes == 1 && ty.scalar.is_int() {
+            Interval::type_range(ty.scalar)
+        } else {
+            Interval::top()
+        };
+    }
+    if f.blocks.is_empty() {
+        return FunctionIntervals { val, ret: Interval::bottom() };
+    }
+    let cfg = Cfg::compute(f);
+
+    // SSA + RPO means a handful of sweeps reach the (widened) fixpoint; the
+    // bound is belt-and-braces for pathological φ cycles.
+    for _sweep in 0..8 {
+        let mut changed = false;
+        for &b in &cfg.rpo {
+            for inst in &f.blocks[b.idx()].insts {
+                let Some(dst) = inst.dst() else { continue };
+                let ty = f.ty(dst);
+                let new = if ty.lanes > 1 || !ty.scalar.is_int() {
+                    Interval::top()
+                } else {
+                    transfer(inst, f, &val, ret_of, ty.scalar)
+                };
+                let old = val[dst.idx()];
+                let mut next = new.join(&old);
+                if next != old {
+                    visits[dst.idx()] += 1;
+                    if visits[dst.idx()] > WIDEN_AFTER {
+                        next = next.widen(&old, ty.scalar);
+                    }
+                    val[dst.idx()] = next;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Return interval over reachable ret terminators.
+    let mut ret = Interval::bottom();
+    for (b, blk) in f.iter_blocks() {
+        if !cfg.reachable(b) {
+            continue;
+        }
+        if let Term::Ret(Some(op)) = &blk.term {
+            ret = ret.join(&operand_interval(&val, f, op));
+        }
+    }
+    FunctionIntervals { val, ret }
+}
+
+fn transfer(
+    inst: &Inst,
+    f: &Function,
+    val: &[Interval],
+    ret_of: &[Interval],
+    s: ScalarTy,
+) -> Interval {
+    let ival = |op: &Operand| operand_interval(val, f, op);
+    match inst {
+        Inst::Bin { op, lhs, rhs, .. } => eval_bin(*op, s, &ival(lhs), &ival(rhs)),
+        Inst::Cmp { op, lhs, rhs, .. } => eval_cmp(*op, &ival(lhs), &ival(rhs)),
+        Inst::Cast { kind, src, .. } => {
+            eval_cast(*kind, f.operand_ty(src).scalar, s, &ival(src))
+        }
+        // Stack addresses are positive byte addresses.
+        Inst::Alloca { .. } => Interval { lo: 0, hi: i64::MAX as i128 },
+        Inst::Load { .. } => Interval::type_range(s),
+        Inst::Store { .. } => Interval::bottom(),
+        Inst::Call { callee, .. } => ret_of
+            .get(callee.idx())
+            .copied()
+            .unwrap_or_else(|| Interval::type_range(s))
+            .meet(&Interval::type_range(s)),
+        Inst::Phi { incoming, .. } => {
+            let mut r = Interval::bottom();
+            for (_, op) in incoming {
+                r = r.join(&ival(op));
+            }
+            r
+        }
+        Inst::Select { t, f: fv, .. } => ival(t).join(&ival(fv)).wrap_to(s),
+        Inst::Splat { .. } | Inst::ExtractLane { .. } | Inst::Reduce { .. } => {
+            Interval::type_range(s)
+        }
+    }
+}
+
+/// Convenience: the interval of value `v` in `fi`.
+pub fn value_interval(mi: &ModuleIntervals, fi: usize, v: ValueId) -> Interval {
+    mi.funcs[fi].val.get(v.idx()).copied().unwrap_or_else(Interval::top)
+}
+
+/// A cached map from (function index, value) to interval used by lint passes.
+pub type IntervalMap = HashMap<(usize, u32), Interval>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_ir::builder::{counted_loop_ssa, FunctionBuilder};
+    use citroen_ir::types::{I64, I8};
+
+    fn intervals_of(f: Function) -> FunctionIntervals {
+        analyze_function(&f, &[])
+    }
+
+    #[test]
+    fn constants_fold() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+        let x = b.bin(BinOp::Add, I64, Operand::imm64(3), Operand::imm64(4));
+        let y = b.bin(BinOp::Mul, I64, x, Operand::imm64(2));
+        b.ret(Some(y));
+        let fa = intervals_of(b.finish());
+        assert_eq!(fa.ret.as_const(), Some(14));
+    }
+
+    #[test]
+    fn clamp_gives_tight_range() {
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let lo = b.bin(BinOp::SMax, I64, b.param(0), Operand::imm64(5));
+        let clamped = b.bin(BinOp::SMin, I64, lo, Operand::imm64(10));
+        b.ret(Some(clamped));
+        let fa = intervals_of(b.finish());
+        assert_eq!(fa.ret, Interval { lo: 5, hi: 10 });
+    }
+
+    #[test]
+    fn mask_bounds_addressing() {
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let masked = b.bin(BinOp::And, I64, b.param(0), Operand::imm64(255));
+        b.ret(Some(masked));
+        let fa = intervals_of(b.finish());
+        assert_eq!(fa.ret, Interval { lo: 0, hi: 255 });
+    }
+
+    #[test]
+    fn narrow_types_wrap_to_type_range() {
+        let mut b = FunctionBuilder::new("f", vec![I8], Some(I8));
+        let x = b.bin(BinOp::Add, I8, b.param(0), Operand::ImmI(1, ScalarTy::I8));
+        b.ret(Some(x));
+        let fa = intervals_of(b.finish());
+        assert_eq!(fa.ret, Interval::type_range(ScalarTy::I8));
+    }
+
+    #[test]
+    fn loop_phi_widens_but_stays_sound() {
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let n = b.param(0);
+        let pre = b.current();
+        let merged = counted_loop_ssa(&mut b, n, |b, iv, c| {
+            let acc = b.phi(I64, vec![(pre, Operand::imm64(0))]);
+            let nx = b.bin(BinOp::Add, I64, acc, iv);
+            c.feed(acc, nx);
+        });
+        b.ret(Some(merged[0]));
+        let fa = intervals_of(b.finish());
+        // Must contain every reachable concrete sum (e.g. 45 for n = 10).
+        assert!(fa.ret.contains(0));
+        assert!(fa.ret.contains(45));
+    }
+
+    #[test]
+    fn decided_compares() {
+        let a = Interval { lo: 0, hi: 5 };
+        let b = Interval { lo: 10, hi: 20 };
+        assert_eq!(eval_cmp(CmpOp::Slt, &a, &b).as_const(), Some(-1));
+        assert_eq!(eval_cmp(CmpOp::Sgt, &a, &b).as_const(), Some(0));
+        assert_eq!(eval_cmp(CmpOp::Eq, &a, &b).as_const(), Some(0));
+        assert_eq!(
+            eval_cmp(CmpOp::Slt, &a, &Interval { lo: 3, hi: 4 }),
+            Interval::type_range(ScalarTy::I1)
+        );
+    }
+
+    #[test]
+    fn join_meet_widen_laws() {
+        let a = Interval { lo: 0, hi: 5 };
+        let b = Interval { lo: 3, hi: 9 };
+        assert_eq!(a.join(&b), Interval { lo: 0, hi: 9 });
+        assert_eq!(a.meet(&b), Interval { lo: 3, hi: 5 });
+        assert!(a.meet(&Interval { lo: 7, hi: 9 }).is_bottom());
+        assert_eq!(Interval::bottom().join(&a), a);
+        let w = b.widen(&a, ScalarTy::I64);
+        assert!(b.subset_of(&w));
+    }
+
+    #[test]
+    fn division_by_provable_zero_is_bottom() {
+        let z = Interval::constant(0);
+        let one = Interval::constant(1);
+        assert!(eval_bin(BinOp::SDiv, ScalarTy::I64, &one, &z).is_bottom());
+        assert_eq!(eval_bin(BinOp::SDiv, ScalarTy::I64, &Interval::constant(9), &Interval::constant(3)).as_const(), Some(3));
+    }
+}

@@ -1,0 +1,41 @@
+//! Static analysis over the CITROEN IR: dataflow analyses, lints, the
+//! per-pass translation-validation sanitizer, and delta-debugging reducers.
+//!
+//! The tuners in this repository explore millions of random pass orderings;
+//! the whole experiment silently rots if any pass bug keeps the IR
+//! *well-formed* but changes semantics. This crate is the enforcement layer
+//! (DESIGN.md, "Correctness: static analysis and translation validation"):
+//!
+//! - [`intervals`] — constant-range abstract interpretation per SSA value,
+//!   with a module-level callee-return fixpoint.
+//! - [`liveness`] — backward SSA liveness (φ-operands as edge uses).
+//! - [`memeffects`] — conservative alias/clobber summaries per function:
+//!   may/must global read-write sets, stored-value ranges, and a
+//!   must-terminate proof used to arm the sanitizer.
+//! - [`lint`] — definite-by-construction diagnostics (dead stores,
+//!   unreachable blocks, uninitialised loads, out-of-bounds indexing,
+//!   trivially infinite loops).
+//! - [`sanitize`] — cross-checks pre-/post-pass facts for semantic
+//!   *contradictions* a structurally-valid miscompile cannot hide.
+//! - [`reduce`] — `ddmin` over pass sequences and a verifier-gated module
+//!   reducer that shrinks failures to minimal parseable reproducers.
+//!
+//! Only `citroen-ir` is a dependency; the pass manager plugs [`sanitize`] in
+//! behind `CITROEN_SANITIZE`, and the `citroen-analyze` binary drives the
+//! fuzz-and-reduce loop.
+
+#![warn(missing_docs)]
+
+pub mod intervals;
+pub mod lint;
+pub mod liveness;
+pub mod memeffects;
+pub mod reduce;
+pub mod sanitize;
+
+pub use intervals::{analyze_module as interval_analysis, Interval, ModuleIntervals};
+pub use lint::{filter_severity, lint_module, Diagnostic, Severity};
+pub use liveness::Liveness;
+pub use memeffects::{MemEffects, ModuleEffects};
+pub use reduce::{ddmin, reduce_module};
+pub use sanitize::{check as sanitize_check, module_facts, ModuleFacts, Violation};

@@ -1,0 +1,368 @@
+//! Structured lints over the analysis results.
+//!
+//! Every lint is *definite-by-construction*: a diagnostic is only emitted when
+//! the analyses prove the property (a store that cannot be observed, a block
+//! that cannot execute, an index that is out of bounds on every execution).
+//! That keeps the suite zero-noise on optimiser output — the acceptance bar is
+//! zero diagnostics on the shipped corpus after `-O3` — at the cost of
+//! missing maybe-bugs, which is the right trade for a gate that must never cry
+//! wolf.
+
+use crate::intervals::{self, Interval};
+use crate::memeffects::{classify_addr, Access, Root};
+use citroen_ir::analysis::{allocas, Cfg, DomTree, LoopInfo};
+use citroen_ir::inst::{Inst, Operand, Term};
+use citroen_ir::module::{Function, Module};
+use std::collections::{HashMap, HashSet};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but well-defined (this IR zero-initialises allocas, so even
+    /// an uninitialised load has deterministic semantics).
+    Warning,
+    /// Executing the flagged code traps or cannot make progress.
+    Error,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint identifier (e.g. `dead-store`).
+    pub code: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Function the finding is in.
+    pub func: String,
+    /// Block the finding is in, if block-precise.
+    pub block: Option<u32>,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}] {}", self.code, self.func)?;
+        if let Some(b) = self.block {
+            write!(f, ":b{b}")?;
+        }
+        write!(f, ": {}", self.msg)
+    }
+}
+
+/// Run every lint over `m` and return the findings, deterministically ordered
+/// (function order, then block, then code).
+pub fn lint_module(m: &Module) -> Vec<Diagnostic> {
+    let iv = intervals::analyze_module(m);
+    let mut out = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        if f.is_decl() {
+            continue;
+        }
+        lint_function(m, f, &iv.funcs[fi], &mut out);
+    }
+    out
+}
+
+/// Per-alloca usage facts gathered in one walk.
+struct AllocaUsage {
+    /// Alloca value id → byte size.
+    size: HashMap<u32, u32>,
+    /// Alloca value id → number of loads attributed to it.
+    loads: HashMap<u32, u32>,
+    /// Alloca value id → (block, inst index) of each attributed store.
+    stores: HashMap<u32, Vec<(u32, usize)>>,
+    /// Allocas whose address leaves the load/store-address position
+    /// (stored as a value, passed to a call, returned).
+    escaped: HashSet<u32>,
+    /// The function contains a load/store the root analysis cannot attribute.
+    has_unknown_load: bool,
+    has_unknown_store: bool,
+}
+
+fn lint_function(
+    m: &Module,
+    f: &Function,
+    fi: &intervals::FunctionIntervals,
+    out: &mut Vec<Diagnostic>,
+) {
+    let cfg = Cfg::compute(f);
+    let diag = |code, severity, block: Option<u32>, msg: String| Diagnostic {
+        code,
+        severity,
+        func: f.name.clone(),
+        block,
+        msg,
+    };
+
+    // ---- unreachable-block -------------------------------------------------
+    for (b, _) in f.iter_blocks() {
+        if !cfg.reachable(b) {
+            out.push(diag(
+                "unreachable-block",
+                Severity::Warning,
+                Some(b.0),
+                format!("block b{} can never execute but is still present", b.0),
+            ));
+        }
+    }
+
+    // ---- walk all accesses once -------------------------------------------
+    let mut usage = AllocaUsage {
+        size: allocas(f).into_iter().map(|(v, _, _, bytes)| (v.0, bytes)).collect(),
+        loads: HashMap::new(),
+        stores: HashMap::new(),
+        escaped: HashSet::new(),
+        has_unknown_load: false,
+        has_unknown_store: false,
+    };
+    let classify = |op: &Operand| classify_addr(f, fi, op);
+    let escape_check = |usage: &mut AllocaUsage, op: &Operand| {
+        if let Root::Stack(a) = classify(op).root {
+            usage.escaped.insert(a);
+        }
+    };
+    // (access, bytes, is_store, block) for the bounds lint.
+    let mut accesses: Vec<(Access, u32, bool, u32)> = Vec::new();
+
+    for (b, blk) in f.iter_blocks() {
+        if !cfg.reachable(b) {
+            continue; // dead code cannot execute: nothing to report inside it
+        }
+        for (i, inst) in blk.insts.iter().enumerate() {
+            match inst {
+                Inst::Load { dst, addr } => {
+                    let a = classify(addr);
+                    accesses.push((a, f.ty(*dst).bytes(), false, b.0));
+                    match a.root {
+                        Root::Stack(v) => *usage.loads.entry(v).or_insert(0) += 1,
+                        Root::Global(_) => {}
+                        _ => usage.has_unknown_load = true,
+                    }
+                }
+                Inst::Store { ty, val, addr } => {
+                    let a = classify(addr);
+                    accesses.push((a, ty.bytes(), true, b.0));
+                    match a.root {
+                        Root::Stack(v) => {
+                            usage.stores.entry(v).or_default().push((b.0, i))
+                        }
+                        Root::Global(_) => {}
+                        _ => usage.has_unknown_store = true,
+                    }
+                    escape_check(&mut usage, val);
+                }
+                Inst::Call { args, .. } => {
+                    for arg in args {
+                        escape_check(&mut usage, arg);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Term::Ret(Some(op)) = &blk.term {
+            escape_check(&mut usage, op);
+        }
+    }
+
+    // ---- oob-index ---------------------------------------------------------
+    for (a, bytes, is_store, b) in &accesses {
+        let size = match a.root {
+            Root::Global(g) => m.globals.get(g as usize).map(|g| g.init.bytes()),
+            Root::Stack(v) => usage.size.get(&v).copied(),
+            _ => None,
+        };
+        let Some(size) = size else { continue };
+        let valid = Interval { lo: 0, hi: size as i128 - *bytes as i128 };
+        if !a.offset.is_bottom() && a.offset.meet(&valid).is_bottom() {
+            let what = if *is_store { "store" } else { "load" };
+            out.push(diag(
+                "oob-index",
+                Severity::Error,
+                Some(*b),
+                format!(
+                    "{what} of {bytes} bytes at offset {} is out of bounds for a {size}-byte region",
+                    a.offset
+                ),
+            ));
+        }
+    }
+
+    // ---- dead-store / uninit-load ------------------------------------------
+    let mut alloca_ids: Vec<u32> = usage.size.keys().copied().collect();
+    alloca_ids.sort_unstable();
+    for a in alloca_ids {
+        if usage.escaped.contains(&a) {
+            continue; // address leaked: a callee may read or write the slot
+        }
+        let loads = usage.loads.get(&a).copied().unwrap_or(0);
+        let stores = usage.stores.get(&a).cloned().unwrap_or_default();
+        if loads == 0 && !usage.has_unknown_load && !stores.is_empty() {
+            for (b, _) in &stores {
+                out.push(diag(
+                    "dead-store",
+                    Severity::Warning,
+                    Some(*b),
+                    format!("store to alloca %{a} whose contents are never read"),
+                ));
+            }
+        }
+        if stores.is_empty() && !usage.has_unknown_store && loads > 0 {
+            out.push(diag(
+                "uninit-load",
+                Severity::Warning,
+                None,
+                format!("alloca %{a} is read but never written (always zero)"),
+            ));
+        }
+    }
+
+    // ---- infinite-loop -----------------------------------------------------
+    let dom = DomTree::compute(f, &cfg);
+    let li = LoopInfo::compute(f, &cfg, &dom);
+    for l in &li.loops {
+        let has_exit = l.blocks.iter().any(|&b| {
+            cfg.succs[b.idx()].iter().any(|s| !l.contains(*s))
+        });
+        if !has_exit {
+            out.push(diag(
+                "infinite-loop",
+                Severity::Warning,
+                Some(l.header.0),
+                format!("loop headed at b{} has no exit edge", l.header.0),
+            ));
+        }
+    }
+}
+
+/// Keep only findings at or above `min`.
+pub fn filter_severity(diags: Vec<Diagnostic>, min: Severity) -> Vec<Diagnostic> {
+    diags.into_iter().filter(|d| d.severity >= min).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+    use citroen_ir::inst::{BinOp, CmpOp, Operand};
+    use citroen_ir::module::{GlobalInit, Module};
+    use citroen_ir::types::I64;
+
+    fn codes(m: &Module) -> Vec<&'static str> {
+        let mut v: Vec<_> = lint_module(m).into_iter().map(|d| d.code).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn clean_function_has_no_diagnostics() {
+        let mut m = Module::new("m");
+        let g = m.add_global("out", GlobalInit::Zero(8), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let n = b.param(0);
+        counted_loop_mem(&mut b, n, |b, iv| {
+            b.store(I64, iv, Operand::Global(g));
+        });
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        assert!(lint_module(&m).is_empty(), "{:?}", lint_module(&m));
+    }
+
+    #[test]
+    fn dead_store_to_unread_alloca() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let slot = b.alloca(8);
+        b.store(I64, b.param(0), slot);
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        assert_eq!(codes(&m), vec!["dead-store"]);
+    }
+
+    #[test]
+    fn uninit_load_flagged() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+        let slot = b.alloca(8);
+        let v = b.load(I64, slot);
+        b.ret(Some(v));
+        m.add_func(b.finish());
+        assert_eq!(codes(&m), vec!["uninit-load"]);
+    }
+
+    #[test]
+    fn escaped_alloca_is_not_flagged() {
+        let mut m = Module::new("m");
+        let mut cb = FunctionBuilder::new("sink", vec![I64], Some(I64));
+        cb.ret(Some(cb.param(0)));
+        let sink = m.add_func(cb.finish());
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let slot = b.alloca(8);
+        b.store(I64, b.param(0), slot);
+        let r = b.call(sink, Some(I64), vec![slot]).unwrap();
+        b.ret(Some(r));
+        m.add_func(b.finish());
+        assert!(lint_module(&m).is_empty(), "{:?}", lint_module(&m));
+    }
+
+    #[test]
+    fn constant_oob_store_is_an_error() {
+        let mut m = Module::new("m");
+        let g = m.add_global("a", GlobalInit::Zero(16), true);
+        let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+        let addr = b.gep(Operand::Global(g), Operand::imm64(4), 8); // byte 32
+        b.store(I64, Operand::imm64(1), addr);
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        let diags = lint_module(&m);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "oob-index");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn masked_index_is_in_bounds() {
+        let mut m = Module::new("m");
+        let g = m.add_global("a", GlobalInit::Zero(2048), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let masked = b.bin(BinOp::And, I64, b.param(0), Operand::imm64(255));
+        let addr = b.gep(Operand::Global(g), masked, 8);
+        let v = b.load(I64, addr);
+        b.ret(Some(v));
+        m.add_func(b.finish());
+        assert!(lint_module(&m).is_empty(), "{:?}", lint_module(&m));
+    }
+
+    #[test]
+    fn unreachable_block_flagged() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+        let dead = b.block();
+        b.ret(Some(Operand::imm64(0)));
+        b.switch_to(dead);
+        b.ret(Some(Operand::imm64(1)));
+        m.add_func(b.finish());
+        assert_eq!(codes(&m), vec!["unreachable-block"]);
+    }
+
+    #[test]
+    fn trivially_infinite_loop_flagged() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![I64], None);
+        let hdr = b.block();
+        b.br(hdr);
+        b.switch_to(hdr);
+        let c = b.cmp(CmpOp::Sgt, b.param(0), Operand::imm64(0));
+        let other = b.block();
+        b.cond_br(c, other, hdr);
+        b.switch_to(other);
+        b.br(hdr);
+        m.add_func(b.finish());
+        assert_eq!(codes(&m), vec!["infinite-loop"]);
+    }
+}

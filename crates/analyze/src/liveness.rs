@@ -1,0 +1,251 @@
+//! Backward liveness over SSA values.
+//!
+//! Classic per-block backward dataflow specialised to SSA: a value is live-in
+//! to a block if it is used there (or downstream) before being defined there.
+//! φ-operands are treated as uses *on the incoming edge* — they are live-out
+//! of the predecessor, not live-in to the φ's block — which is the standard
+//! SSA convention and what makes copy-insertion/coalescing reasoning correct.
+
+use citroen_ir::analysis::Cfg;
+use citroen_ir::inst::{Inst, Operand, ValueId};
+use citroen_ir::module::Function;
+
+/// A dense fixed-capacity bit set over value ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Empty set with capacity for `n` elements.
+    pub fn new(n: usize) -> BitSet {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Insert `i`; returns whether the set changed.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        self.words[w] != old
+    }
+
+    /// Remove `i`.
+    pub fn remove(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.words.get(w).is_some_and(|x| x >> b & 1 == 1)
+    }
+
+    /// `self |= other`; returns whether the set changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterate the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Per-block live-in/live-out sets of one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values live on entry to each block.
+    pub live_in: Vec<BitSet>,
+    /// Values live on exit from each block (includes φ-edge uses).
+    pub live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f` with the given CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let nb = f.blocks.len();
+        let nv = f.value_ty.len();
+        let mut uses = vec![BitSet::new(nv); nb]; // upward-exposed, φs excluded
+        let mut defs = vec![BitSet::new(nv); nb];
+        // φ-operand uses attributed to the incoming edge's source block.
+        let mut edge_uses = vec![BitSet::new(nv); nb];
+
+        for (b, blk) in f.iter_blocks() {
+            let bi = b.idx();
+            for inst in &blk.insts {
+                if let Inst::Phi { dst, incoming } = inst {
+                    defs[bi].insert(dst.idx());
+                    for (pred, op) in incoming {
+                        if let Operand::Value(v) = op {
+                            edge_uses[pred.idx()].insert(v.idx());
+                        }
+                    }
+                    continue;
+                }
+                inst.for_each_operand(|op: &Operand| {
+                    if let Operand::Value(v) = op {
+                        if !defs[bi].contains(v.idx()) {
+                            uses[bi].insert(v.idx());
+                        }
+                    }
+                });
+                if let Some(d) = inst.dst() {
+                    defs[bi].insert(d.idx());
+                }
+            }
+            blk.term.for_each_operand(|op: &Operand| {
+                if let Operand::Value(v) = op {
+                    if !defs[bi].contains(v.idx()) {
+                        uses[bi].insert(v.idx());
+                    }
+                }
+            });
+        }
+
+        let mut live_in = vec![BitSet::new(nv); nb];
+        let mut live_out = vec![BitSet::new(nv); nb];
+        // Backward iteration to fixpoint; post-order (reverse RPO) converges
+        // in O(loop-nesting-depth) sweeps.
+        loop {
+            let mut changed = false;
+            for &b in cfg.rpo.iter().rev() {
+                let bi = b.idx();
+                let mut out = edge_uses[bi].clone();
+                for &s in &cfg.succs[bi] {
+                    out.union_with(&live_in[s.idx()]);
+                }
+                // live_in = uses ∪ (out \ defs)
+                let mut inn = uses[bi].clone();
+                for v in out.iter() {
+                    if !defs[bi].contains(v) {
+                        inn.insert(v);
+                    }
+                }
+                changed |= live_out[bi].union_with(&out);
+                changed |= live_in[bi].union_with(&inn);
+            }
+            if !changed {
+                break;
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Whether `v` is live on entry to `b`.
+    pub fn live_at_entry(&self, b: usize, v: ValueId) -> bool {
+        self.live_in[b].contains(v.idx())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_ir::builder::{counted_loop_ssa, FunctionBuilder};
+    use citroen_ir::inst::BinOp;
+    use citroen_ir::types::I64;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(129) && !s.contains(128));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        s.remove(64);
+        assert!(!s.contains(64));
+        let mut t = BitSet::new(130);
+        t.insert(7);
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FunctionBuilder::new("f", vec![I64, I64], Some(I64));
+        let s = b.bin(BinOp::Add, I64, b.param(0), b.param(1));
+        b.ret(Some(s));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // Params live-in to entry; the sum is defined locally, so not live-in.
+        assert!(lv.live_at_entry(0, citroen_ir::inst::ValueId(0)));
+        assert!(lv.live_at_entry(0, citroen_ir::inst::ValueId(1)));
+        assert!(!lv.live_at_entry(0, citroen_ir::inst::ValueId(2)));
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_loop() {
+        let mut b = FunctionBuilder::new("sum", vec![I64], Some(I64));
+        let n = b.param(0);
+        let pre = b.current();
+        let merged = counted_loop_ssa(&mut b, n, |b, iv, c| {
+            let acc = b.phi(I64, vec![(pre, Operand::imm64(0))]);
+            let nx = b.bin(BinOp::Add, I64, acc, iv);
+            c.feed(acc, nx);
+        });
+        b.ret(Some(merged[0]));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // `n` (the bound) is live-in to the header (used by the latch compare).
+        let header = 1usize;
+        assert!(lv.live_at_entry(header, citroen_ir::inst::ValueId(0)));
+        // Every φ-operand fed along the back edge is live-out of the header
+        // (the latch is the header block itself in this shape).
+        assert!(!lv.live_out[header].is_empty());
+    }
+
+    #[test]
+    fn phi_use_is_edge_use_not_block_use() {
+        // entry -> (t | f) -> join with φ; the φ's operands must be live-out
+        // of t/f but NOT live-in to join.
+        use citroen_ir::inst::CmpOp;
+        let mut b = FunctionBuilder::new("d", vec![I64], Some(I64));
+        let t = b.block();
+        let fb = b.block();
+        let j = b.block();
+        let c = b.cmp(CmpOp::Sgt, b.param(0), Operand::imm64(0));
+        b.cond_br(c, t, fb);
+        b.switch_to(t);
+        let x = b.bin(BinOp::Add, I64, b.param(0), Operand::imm64(1));
+        b.br(j);
+        b.switch_to(fb);
+        let y = b.bin(BinOp::Mul, I64, b.param(0), Operand::imm64(2));
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(I64, vec![(t, x), (fb, y)]);
+        b.ret(Some(p));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let (xv, yv) = (x.as_value().unwrap(), y.as_value().unwrap());
+        assert!(lv.live_out[t.idx()].contains(xv.idx()));
+        assert!(lv.live_out[fb.idx()].contains(yv.idx()));
+        assert!(!lv.live_in[j.idx()].contains(xv.idx()));
+        assert!(!lv.live_in[j.idx()].contains(yv.idx()));
+    }
+}

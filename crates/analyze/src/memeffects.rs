@@ -1,0 +1,587 @@
+//! Conservative per-function memory-effects summaries.
+//!
+//! For every function the analysis computes which globals it *may* read and
+//! write, which globals it *must* write on every terminating run (stores whose
+//! block dominates all reachable returns, including through calls), the join
+//! of the integer value ranges stored to each global, and whether it touches
+//! addresses the root analysis cannot attribute (an "unknown" access, the ⊤
+//! effect). Alloca-rooted traffic is function-local and tracked only as
+//! `reads_stack`/`writes_stack` — it is invisible to callers and to the
+//! observable memory digest.
+//!
+//! Calls are closed transitively by a module-level monotone fixpoint, so the
+//! summary of `main` covers its whole static call tree; calls to unresolved
+//! declarations degrade to the ⊤ effect.
+
+use crate::intervals::{FunctionIntervals, Interval, ModuleIntervals};
+use citroen_ir::analysis::{Cfg, DomTree};
+use citroen_ir::inst::{BinOp, Inst, Operand, Term, ValueId};
+use citroen_ir::module::{Function, Module};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Where an address expression is rooted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Root {
+    /// Pure integer with no memory base (offset arithmetic).
+    None,
+    /// Byte offset from global `g`.
+    Global(u32),
+    /// Byte offset from the alloca defining value `v`.
+    Stack(u32),
+    /// Could be anywhere.
+    Unknown,
+}
+
+/// A classified address: a root plus the interval of the byte offset from it
+/// (for [`Root::None`] the interval is the value itself).
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// The base the address is computed from.
+    pub root: Root,
+    /// Offset (or absolute value) interval.
+    pub offset: Interval,
+}
+
+/// Classify the address operand `op` of function `f`, using interval facts
+/// for the pure-integer parts. Deterministic and memoised per call site.
+pub fn classify_addr(f: &Function, fi: &FunctionIntervals, op: &Operand) -> Access {
+    let mut memo: HashMap<u32, Access> = HashMap::new();
+    classify(f, fi, op, &mut memo, 0)
+}
+
+fn classify(
+    f: &Function,
+    fi: &FunctionIntervals,
+    op: &Operand,
+    memo: &mut HashMap<u32, Access>,
+    depth: u32,
+) -> Access {
+    let unknown = Access { root: Root::Unknown, offset: Interval::top() };
+    if depth > 64 {
+        return unknown;
+    }
+    match op {
+        Operand::Global(g) => Access { root: Root::Global(g.0), offset: Interval::constant(0) },
+        Operand::ImmI(..) | Operand::ImmF(_) => {
+            Access { root: Root::None, offset: fi.operand(f, op) }
+        }
+        Operand::Value(v) => {
+            if let Some(a) = memo.get(&v.0) {
+                return *a;
+            }
+            // Mark in-progress (φ cycles resolve to Unknown).
+            memo.insert(v.0, unknown);
+            let def = find_def(f, *v);
+            let a = match def {
+                Some(Inst::Alloca { dst, .. }) => {
+                    Access { root: Root::Stack(dst.0), offset: Interval::constant(0) }
+                }
+                Some(Inst::Bin { op: BinOp::Add, lhs, rhs, .. }) => {
+                    let la = classify(f, fi, lhs, memo, depth + 1);
+                    let ra = classify(f, fi, rhs, memo, depth + 1);
+                    combine_add(la, ra)
+                }
+                Some(Inst::Bin { op: BinOp::Sub, lhs, rhs, .. }) => {
+                    let la = classify(f, fi, lhs, memo, depth + 1);
+                    let ra = classify(f, fi, rhs, memo, depth + 1);
+                    match (la.root, ra.root) {
+                        (_, Root::None) if la.root != Root::Unknown => Access {
+                            root: la.root,
+                            offset: sub_iv(la.offset, ra.offset),
+                        },
+                        (Root::None, Root::None) => {
+                            Access { root: Root::None, offset: fi.val[v.idx()] }
+                        }
+                        _ => unknown,
+                    }
+                }
+                Some(Inst::Phi { incoming, .. }) => {
+                    let mut acc: Option<Access> = None;
+                    let mut ok = true;
+                    for (_, inc) in incoming {
+                        let ia = classify(f, fi, inc, memo, depth + 1);
+                        acc = Some(match acc {
+                            None => ia,
+                            Some(prev) if prev.root == ia.root => Access {
+                                root: prev.root,
+                                offset: prev.offset.join(&ia.offset),
+                            },
+                            Some(_) => {
+                                ok = false;
+                                break;
+                            }
+                        });
+                    }
+                    if ok {
+                        acc.unwrap_or(unknown)
+                    } else {
+                        unknown
+                    }
+                }
+                Some(Inst::Select { t, f: fv, .. }) => {
+                    let ta = classify(f, fi, t, memo, depth + 1);
+                    let fa = classify(f, fi, fv, memo, depth + 1);
+                    if ta.root == fa.root {
+                        Access { root: ta.root, offset: ta.offset.join(&fa.offset) }
+                    } else {
+                        unknown
+                    }
+                }
+                // Any other defining instruction produces a plain integer as
+                // far as rooting is concerned; its interval is the "offset".
+                Some(_) => Access { root: Root::None, offset: fi.val[v.idx()] },
+                // Parameters (or missing defs): an integer from outside —
+                // cannot be attributed to a base.
+                None => Access { root: Root::None, offset: fi.val[v.idx()] },
+            };
+            memo.insert(v.0, a);
+            a
+        }
+    }
+}
+
+fn sub_iv(a: Interval, b: Interval) -> Interval {
+    if a.is_bottom() || b.is_bottom() {
+        return Interval::bottom();
+    }
+    Interval { lo: a.lo - b.hi, hi: a.hi - b.lo }
+}
+
+fn combine_add(a: Access, b: Access) -> Access {
+    let unknown = Access { root: Root::Unknown, offset: Interval::top() };
+    match (a.root, b.root) {
+        (Root::Unknown, _) | (_, Root::Unknown) => unknown,
+        (Root::None, Root::None) => Access {
+            root: Root::None,
+            offset: add_iv(a.offset, b.offset),
+        },
+        (Root::None, r) => Access { root: r, offset: add_iv(a.offset, b.offset) },
+        (r, Root::None) => Access { root: r, offset: add_iv(a.offset, b.offset) },
+        _ => unknown, // two bases: not an offset expression
+    }
+}
+
+fn add_iv(a: Interval, b: Interval) -> Interval {
+    if a.is_bottom() || b.is_bottom() {
+        return Interval::bottom();
+    }
+    Interval { lo: a.lo + b.lo, hi: a.hi + b.hi }
+}
+
+fn find_def(f: &Function, v: ValueId) -> Option<&Inst> {
+    if v.idx() < f.params.len() {
+        return None;
+    }
+    for blk in &f.blocks {
+        for inst in &blk.insts {
+            if inst.dst() == Some(v) {
+                return Some(inst);
+            }
+        }
+    }
+    None
+}
+
+/// Memory-effects summary of one function (transitively through calls).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemEffects {
+    /// Globals possibly read.
+    pub may_read: BTreeSet<u32>,
+    /// Globals possibly written.
+    pub may_write: BTreeSet<u32>,
+    /// Globals written on *every terminating run* (store block dominates all
+    /// reachable returns).
+    pub must_write: BTreeSet<u32>,
+    /// Join of the value ranges stored to each global (ints only; a float or
+    /// vector store degrades the entry to ⊤).
+    pub stored: BTreeMap<u32, Interval>,
+    /// Reads an address the root analysis cannot attribute.
+    pub reads_unknown: bool,
+    /// Writes an address the root analysis cannot attribute.
+    pub writes_unknown: bool,
+    /// Touches its own stack frame (reads).
+    pub reads_stack: bool,
+    /// Touches its own stack frame (writes).
+    pub writes_stack: bool,
+    /// The function provably returns on every run: reachable CFG is acyclic,
+    /// free of `unreachable` terminators, every div/rem has a provably
+    /// non-zero divisor, every access is provably in bounds and every callee
+    /// must return. (Resource-limit traps — call depth, step budget — are
+    /// outside the model; see DESIGN.md.)
+    pub must_return: bool,
+}
+
+impl MemEffects {
+    /// Whether the summary proves the function cannot write global `g`.
+    pub fn cannot_write(&self, g: u32) -> bool {
+        !self.writes_unknown && !self.may_write.contains(&g)
+    }
+
+    /// Whether the function provably writes no observable (global) memory.
+    pub fn provably_pure_writes(&self) -> bool {
+        !self.writes_unknown && self.may_write.is_empty()
+    }
+}
+
+/// Per-module memory-effects facts, one summary per function.
+#[derive(Debug, Clone)]
+pub struct ModuleEffects {
+    /// Summaries in module function order.
+    pub funcs: Vec<MemEffects>,
+}
+
+/// Compute memory-effects summaries for every function of `m`, closing calls
+/// with a monotone fixpoint over the (finite) summary lattice.
+pub fn analyze_module(m: &Module, intervals: &ModuleIntervals) -> ModuleEffects {
+    // Local (call-free) parts plus the per-function call sites.
+    struct Local {
+        eff: MemEffects,
+        // (callee index, dominates-all-returns)
+        calls: Vec<(usize, bool)>,
+        local_ok: bool, // local conditions of must_return
+    }
+    let locals: Vec<Local> = m
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let (eff, calls, local_ok) = local_effects(m, f, &intervals.funcs[fi]);
+            Local { eff, calls, local_ok }
+        })
+        .collect();
+
+    let mut out: Vec<MemEffects> = locals.iter().map(|l| l.eff.clone()).collect();
+    // must_return: optimistic false → raise while provable; everything else:
+    // grow until stable. Both directions are monotone, so iteration converges.
+    loop {
+        let mut changed = false;
+        for fi in 0..m.funcs.len() {
+            let mut next = out[fi].clone();
+            for &(callee, dominates) in &locals[fi].calls {
+                let ce = out[callee].clone();
+                next.may_read.extend(ce.may_read.iter().copied());
+                next.may_write.extend(ce.may_write.iter().copied());
+                next.reads_unknown |= ce.reads_unknown;
+                next.writes_unknown |= ce.writes_unknown;
+                for (g, r) in &ce.stored {
+                    let e = next.stored.entry(*g).or_insert_with(Interval::bottom);
+                    *e = e.join(r);
+                }
+                if dominates {
+                    next.must_write.extend(ce.must_write.iter().copied());
+                }
+            }
+            next.must_return =
+                locals[fi].local_ok && locals[fi].calls.iter().all(|&(c, _)| out[c].must_return);
+            if next != out[fi] {
+                out[fi] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ModuleEffects { funcs: out }
+}
+
+/// Effects of `f` ignoring calls, plus its call sites and the local part of
+/// the must-return proof.
+fn local_effects(
+    m: &Module,
+    f: &Function,
+    fi: &FunctionIntervals,
+) -> (MemEffects, Vec<(usize, bool)>, bool) {
+    let mut eff = MemEffects::default();
+    let mut calls = Vec::new();
+    if f.is_decl() {
+        // Unresolved declaration: assume the worst.
+        eff.reads_unknown = true;
+        eff.writes_unknown = true;
+        return (eff, calls, false);
+    }
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let ret_blocks: Vec<_> = f
+        .iter_blocks()
+        .filter(|(b, blk)| cfg.reachable(*b) && matches!(blk.term, Term::Ret(_)))
+        .map(|(b, _)| b)
+        .collect();
+    let dominates_all_rets = |b| {
+        !ret_blocks.is_empty() && ret_blocks.iter().all(|&r| dom.dominates(b, r))
+    };
+
+    let mut local_ok = !has_cycle(&cfg) && !ret_blocks.is_empty();
+    let mut memo: HashMap<u32, Access> = HashMap::new();
+
+    for (b, blk) in f.iter_blocks() {
+        if !cfg.reachable(b) {
+            continue;
+        }
+        if matches!(blk.term, Term::Unreachable) {
+            local_ok = false;
+        }
+        let dom_ret = dominates_all_rets(b);
+        for inst in &blk.insts {
+            match inst {
+                Inst::Load { dst, addr } => {
+                    let bytes = f.ty(*dst).bytes();
+                    let a = classify(f, fi, addr, &mut memo, 0);
+                    record_access(m, &mut eff, &a, bytes, false, None, &mut local_ok);
+                }
+                Inst::Store { ty, val, addr } => {
+                    let a = classify(f, fi, addr, &mut memo, 0);
+                    let stored = if ty.lanes == 1 && ty.scalar.is_int() {
+                        fi.operand(f, val)
+                    } else {
+                        Interval::top()
+                    };
+                    record_access(
+                        m,
+                        &mut eff,
+                        &a,
+                        ty.bytes(),
+                        true,
+                        Some((stored, dom_ret)),
+                        &mut local_ok,
+                    );
+                }
+                Inst::Call { callee, .. } => {
+                    calls.push((callee.idx(), dom_ret));
+                }
+                Inst::Bin { op: BinOp::SDiv | BinOp::SRem, rhs, .. } => {
+                    let r = fi.operand(f, rhs);
+                    if r.contains(0) || r.is_bottom() {
+                        local_ok = false;
+                    }
+                }
+                // Lane bounds are a verifier concern, but an out-of-range
+                // extract traps at run time — drop the must-return proof.
+                Inst::ExtractLane { .. } => local_ok = false,
+                _ => {}
+            }
+        }
+    }
+    (eff, calls, local_ok)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_access(
+    m: &Module,
+    eff: &mut MemEffects,
+    a: &Access,
+    bytes: u32,
+    is_store: bool,
+    stored: Option<(Interval, bool)>,
+    local_ok: &mut bool,
+) {
+    let in_bounds = |size: u32| {
+        !a.offset.is_bottom()
+            && a.offset.lo >= 0
+            && a.offset.hi + bytes as i128 <= size as i128
+    };
+    match a.root {
+        Root::Global(g) if (g as usize) < m.globals.len()
+            && in_bounds(m.globals[g as usize].init.bytes()) =>
+        {
+            if is_store {
+                eff.may_write.insert(g);
+                if let Some((range, dom_ret)) = stored {
+                    let e = eff.stored.entry(g).or_insert_with(Interval::bottom);
+                    *e = e.join(&range);
+                    if dom_ret {
+                        eff.must_write.insert(g);
+                    }
+                }
+            } else {
+                eff.may_read.insert(g);
+            }
+        }
+        Root::Stack(_) if !a.offset.is_bottom() && a.offset.lo >= 0 => {
+            // In-bounds check against the alloca size happens in the lints;
+            // for the summary any stack access is local. An offset that might
+            // run past the frame is treated as unknown below.
+            if is_store {
+                eff.writes_stack = true;
+            } else {
+                eff.reads_stack = true;
+            }
+        }
+        _ => {
+            if is_store {
+                eff.writes_unknown = true;
+            } else {
+                eff.reads_unknown = true;
+            }
+            *local_ok = false; // cannot prove the access in bounds
+        }
+    }
+    // Must-return also needs the global access in provable bounds.
+    if matches!(a.root, Root::Global(_)) {
+        let ok = match a.root {
+            Root::Global(g) => {
+                (g as usize) < m.globals.len() && in_bounds(m.globals[g as usize].init.bytes())
+            }
+            _ => false,
+        };
+        if !ok {
+            *local_ok = false;
+        }
+    }
+    if let Root::Stack(_) = a.root {
+        // Stack frames are bounded but alloca sizes are checked by the lints;
+        // conservatively keep must-return only for provably-forward offsets.
+        if a.offset.is_bottom() || a.offset.lo < 0 {
+            *local_ok = false;
+        }
+    }
+}
+
+fn has_cycle(cfg: &Cfg) -> bool {
+    // DFS colouring over the reachable part.
+    let n = cfg.succs.len();
+    let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &start in &cfg.rpo {
+        if colour[start.idx()] != 0 {
+            continue;
+        }
+        colour[start.idx()] = 1;
+        stack.push((start.idx(), 0));
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < cfg.succs[b].len() {
+                let s = cfg.succs[b][*i].idx();
+                *i += 1;
+                match colour[s] {
+                    0 => {
+                        colour[s] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            } else {
+                colour[b] = 2;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals;
+    use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+    use citroen_ir::inst::CastKind;
+    use citroen_ir::module::{GlobalInit, Module};
+    use citroen_ir::types::{ScalarTy, I64};
+
+    fn effects(m: &Module) -> ModuleEffects {
+        let iv = intervals::analyze_module(m);
+        analyze_module(m, &iv)
+    }
+
+    #[test]
+    fn straight_line_global_store_is_must_write() {
+        let mut m = Module::new("m");
+        let g = m.add_global("out", GlobalInit::Zero(8), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        b.store(I64, Operand::imm64(42), Operand::Global(g));
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        let e = &effects(&m).funcs[0];
+        assert!(e.may_write.contains(&g.0));
+        assert!(e.must_write.contains(&g.0));
+        assert!(e.must_return);
+        assert_eq!(e.stored.get(&g.0).and_then(|i| i.as_const()), Some(42));
+    }
+
+    #[test]
+    fn loop_store_is_may_not_must() {
+        let mut m = Module::new("m");
+        let g = m.add_global("out", GlobalInit::Zero(2048), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let n = b.param(0);
+        counted_loop_mem(&mut b, n, |b, iv| {
+            let masked = b.bin(BinOp::And, I64, iv, Operand::imm64(255));
+            let addr = b.gep(Operand::Global(g), masked, 8);
+            b.store(I64, Operand::imm64(1), addr);
+        });
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        let e = &effects(&m).funcs[0];
+        assert!(e.may_write.contains(&g.0), "masked gep store must attribute to the global");
+        assert!(!e.must_write.contains(&g.0), "loop body does not dominate the return");
+        assert!(!e.must_return, "looping function has no termination proof");
+        assert!(!e.writes_unknown);
+        assert!(e.reads_stack && e.writes_stack, "loop counter lives in an alloca");
+    }
+
+    #[test]
+    fn call_effects_propagate() {
+        let mut m = Module::new("m");
+        let g = m.add_global("out", GlobalInit::Zero(8), true);
+        let mut cb = FunctionBuilder::new("callee", vec![I64], Some(I64));
+        cb.store(I64, cb.param(0), Operand::Global(g));
+        cb.ret(Some(cb.param(0)));
+        let callee = m.add_func(cb.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+        let v = b.call(callee, Some(I64), vec![Operand::imm64(3)]).unwrap();
+        b.ret(Some(v));
+        m.add_func(b.finish());
+        let e = &effects(&m).funcs[1];
+        assert!(e.may_write.contains(&g.0));
+        assert!(e.must_write.contains(&g.0), "dominating call site inherits callee must-writes");
+        assert!(e.must_return);
+    }
+
+    #[test]
+    fn unbounded_offset_is_unknown() {
+        let mut m = Module::new("m");
+        let g = m.add_global("a", GlobalInit::Zero(64), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let addr = b.gep(Operand::Global(g), b.param(0), 8);
+        let v = b.load(I64, addr);
+        b.ret(Some(v));
+        m.add_func(b.finish());
+        let e = &effects(&m).funcs[0];
+        assert!(e.reads_unknown, "unbounded index can escape the global");
+        assert!(!e.must_return);
+    }
+
+    #[test]
+    fn division_kills_must_return_unless_nonzero() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let d = b.bin(BinOp::SDiv, I64, b.param(0), Operand::imm64(2));
+        b.ret(Some(d));
+        m.add_func(b.finish());
+        let mut b2 = FunctionBuilder::new("g", vec![I64], Some(I64));
+        let d2 = b2.bin(BinOp::SDiv, I64, Operand::imm64(1), b2.param(0));
+        b2.ret(Some(d2));
+        m.add_func(b2.finish());
+        let e = effects(&m);
+        assert!(e.funcs[0].must_return, "divisor 2 is provably non-zero");
+        assert!(!e.funcs[1].must_return, "divisor is a parameter: may be zero");
+    }
+
+    #[test]
+    fn sixteen_bit_store_range_tracked() {
+        let mut m = Module::new("m");
+        let g = m.add_global("out", GlobalInit::Zero(2), true);
+        let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+        let x = b.cast(
+            CastKind::Trunc,
+            citroen_ir::types::I16,
+            Operand::ImmI(300, ScalarTy::I64),
+        );
+        b.store(citroen_ir::types::I16, x, Operand::Global(g));
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        let e = &effects(&m).funcs[0];
+        let r = e.stored.get(&g.0).unwrap();
+        assert!(r.contains(300 % 65536) || !r.is_bottom());
+    }
+}

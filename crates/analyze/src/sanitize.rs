@@ -1,0 +1,288 @@
+//! Per-pass translation-validation sanitizer.
+//!
+//! After every pass, the pass manager re-runs the interval and memory-effects
+//! analyses and compares the new facts against the pre-pass facts. Because
+//! both fact sets are sound over-approximations of the *same* concrete
+//! semantics (a correct pass preserves semantics), certain relations must
+//! hold between them; a pass that breaks one of the relations below has
+//! provably changed observable behaviour, however well-formed its output.
+//!
+//! Naive "facts must only refine" is *not* sound — a legal transformation can
+//! make an analysis less precise (e.g. replacing a constant with a loop-
+//! carried recurrence defeats the interval domain). All checks here are
+//! *contradiction* checks guarded by must-information:
+//!
+//! - **S1 ret-range**: if either side proves the function returns on every
+//!   run, both return intervals over-approximate the same non-empty concrete
+//!   set, so they must intersect.
+//! - **S2 return-existence**: a side that proves termination contradicts a
+//!   side with no reachable `ret` at all.
+//! - **S3 must/may writes**: a global written on every terminating run on one
+//!   side cannot be provably never-written on the other (both directions).
+//! - **S4 stored ranges**: if both sides must-write `g`, the final value of
+//!   `g` on a terminating run lies in both stored-range over-approximations,
+//!   so the ranges must intersect.
+//! - **S5 attribute consistency**: `readnone`/`readonly` function attributes
+//!   contradict a proven must-write on the same side.
+//!
+//! S3/S4 additionally assume the function terminates on at least one input
+//! whenever it has a reachable `ret`; no pass in this repository reasons
+//! about non-termination, so the assumption cannot be exploited (DESIGN.md).
+
+use crate::intervals::{self, Interval};
+use crate::memeffects::{self, MemEffects};
+use citroen_ir::module::Module;
+
+/// Analysis facts for one function, snapshotted between passes.
+#[derive(Debug, Clone)]
+pub struct FunctionFacts {
+    /// Function name (facts are matched by name across passes).
+    pub name: String,
+    /// Whether the function declares a return value.
+    pub has_ret_ty: bool,
+    /// Over-approximation of the returned value across all runs.
+    pub ret: Interval,
+    /// Memory-effects summary.
+    pub eff: MemEffects,
+    /// `readnone` attribute at snapshot time.
+    pub readnone: bool,
+    /// `readonly` attribute at snapshot time.
+    pub readonly: bool,
+}
+
+/// Facts for every function of a module.
+#[derive(Debug, Clone)]
+pub struct ModuleFacts {
+    /// Per-function facts, in module order.
+    pub funcs: Vec<FunctionFacts>,
+}
+
+/// Snapshot the sanitizer facts of `m`.
+pub fn module_facts(m: &Module) -> ModuleFacts {
+    let iv = intervals::analyze_module(m);
+    let eff = memeffects::analyze_module(m, &iv);
+    let funcs = m
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| FunctionFacts {
+            name: f.name.clone(),
+            has_ret_ty: f.ret.is_some(),
+            ret: iv.funcs[fi].ret,
+            eff: eff.funcs[fi].clone(),
+            readnone: f.attrs.readnone,
+            readonly: f.attrs.readonly,
+        })
+        .collect();
+    ModuleFacts { funcs }
+}
+
+/// One sanitizer finding: a provable semantic contradiction between the
+/// pre-pass and post-pass facts of a function.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule tripped (`S1`–`S5`).
+    pub rule: &'static str,
+    /// Function the contradiction is in.
+    pub func: String,
+    /// Explanation with the contradicting facts.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sanitizer {}: {}: {}", self.rule, self.func, self.msg)
+    }
+}
+
+/// Cross-check post-pass facts against pre-pass facts. Empty result =
+/// no provable contradiction.
+pub fn check(pre: &ModuleFacts, post: &ModuleFacts) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for pre_f in &pre.funcs {
+        // Passes may delete (dead) functions; match by name and skip removed.
+        let Some(post_f) = post.funcs.iter().find(|f| f.name == pre_f.name) else {
+            continue;
+        };
+        check_function(pre_f, post_f, &mut out);
+        self_check(post_f, &mut out);
+    }
+    out
+}
+
+fn check_function(pre: &FunctionFacts, post: &FunctionFacts, out: &mut Vec<Violation>) {
+    let viol = |rule, msg| Violation { rule, func: pre.name.clone(), msg };
+    let terminates = pre.eff.must_return || post.eff.must_return;
+
+    // S1: both ret intervals over-approximate the same non-empty value set.
+    if terminates
+        && pre.has_ret_ty
+        && post.has_ret_ty
+        && !pre.ret.is_bottom()
+        && !post.ret.is_bottom()
+        && pre.ret.meet(&post.ret).is_bottom()
+    {
+        out.push(viol(
+            "S1",
+            format!(
+                "return ranges cannot both hold: {} before vs {} after",
+                pre.ret, post.ret
+            ),
+        ));
+    }
+
+    // S2: proven-terminating function must still have a reachable ret.
+    if pre.has_ret_ty && post.has_ret_ty {
+        if pre.eff.must_return && post.ret.is_bottom() {
+            out.push(viol(
+                "S2",
+                "function provably returned a value before the pass; afterwards no \
+                 reachable ret remains"
+                    .into(),
+            ));
+        }
+        if post.eff.must_return && pre.ret.is_bottom() {
+            out.push(viol(
+                "S2",
+                "function provably returns a value after the pass; beforehand no \
+                 reachable ret existed"
+                    .into(),
+            ));
+        }
+    }
+
+    // S3: must-writes on one side vs provable never-writes on the other.
+    for &g in &pre.eff.must_write {
+        if post.eff.cannot_write(g) {
+            out.push(viol(
+                "S3",
+                format!(
+                    "global g{g} was written on every terminating run before the pass, \
+                     but afterwards it provably cannot be written"
+                ),
+            ));
+        }
+    }
+    for &g in &post.eff.must_write {
+        if pre.eff.cannot_write(g) {
+            out.push(viol(
+                "S3",
+                format!(
+                    "global g{g} is written on every terminating run after the pass, \
+                     but beforehand it provably could not be written"
+                ),
+            ));
+        }
+    }
+
+    // S4: the final value of a must-written global lies in both stored ranges.
+    for &g in &pre.eff.must_write {
+        if !post.eff.must_write.contains(&g) {
+            continue;
+        }
+        let (Some(a), Some(b)) = (pre.eff.stored.get(&g), post.eff.stored.get(&g)) else {
+            continue;
+        };
+        if !a.is_bottom() && !b.is_bottom() && a.meet(b).is_bottom() {
+            out.push(viol(
+                "S4",
+                format!(
+                    "values stored to g{g} cannot agree: {a} before vs {b} after"
+                ),
+            ));
+        }
+    }
+}
+
+/// Checks that must hold within a single fact set.
+fn self_check(f: &FunctionFacts, out: &mut Vec<Violation>) {
+    // S5: attributes claim no writes, but a write provably happens.
+    if (f.readnone || f.readonly) && !f.eff.must_write.is_empty() {
+        out.push(Violation {
+            rule: "S5",
+            func: f.name.clone(),
+            msg: format!(
+                "function is marked {} but provably writes globals {:?} on every \
+                 terminating run",
+                if f.readnone { "readnone" } else { "readonly" },
+                f.eff.must_write
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_ir::builder::FunctionBuilder;
+    use citroen_ir::inst::Operand;
+    use citroen_ir::module::{GlobalInit, Module};
+    use citroen_ir::types::I64;
+
+    fn store_ret_module(stored: i64, ret: i64) -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global("out", GlobalInit::Zero(8), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        b.store(I64, Operand::imm64(stored), Operand::Global(g));
+        b.ret(Some(Operand::imm64(ret)));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn identical_modules_are_clean() {
+        let m = store_ret_module(42, 0);
+        let f = module_facts(&m);
+        assert!(check(&f, &f).is_empty());
+    }
+
+    #[test]
+    fn changed_return_value_is_s1() {
+        let pre = module_facts(&store_ret_module(42, 5));
+        let post = module_facts(&store_ret_module(42, 6));
+        let v = check(&pre, &post);
+        assert!(v.iter().any(|v| v.rule == "S1"), "{v:?}");
+    }
+
+    #[test]
+    fn dropped_store_is_s3() {
+        let pre = module_facts(&store_ret_module(42, 0));
+        let mut m = Module::new("m");
+        m.add_global("out", GlobalInit::Zero(8), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        let post = module_facts(&m);
+        let v = check(&pre, &post);
+        assert!(v.iter().any(|v| v.rule == "S3"), "{v:?}");
+    }
+
+    #[test]
+    fn changed_stored_value_is_s4() {
+        let pre = module_facts(&store_ret_module(42, 0));
+        let post = module_facts(&store_ret_module(7, 0));
+        let v = check(&pre, &post);
+        assert!(v.iter().any(|v| v.rule == "S4"), "{v:?}");
+    }
+
+    #[test]
+    fn lost_precision_alone_is_not_a_violation() {
+        // A post-pass analysis that knows strictly less (wider ranges, fewer
+        // must-writes) must NOT trip the sanitizer: precision loss is legal.
+        let pre = module_facts(&store_ret_module(42, 0));
+        let mut post = pre.clone();
+        post.funcs[0].ret = Interval::top();
+        post.funcs[0].eff.must_write.clear();
+        post.funcs[0].eff.must_return = false;
+        assert!(check(&pre, &post).is_empty());
+    }
+
+    #[test]
+    fn readonly_with_must_write_is_s5() {
+        let mut m = store_ret_module(42, 0);
+        m.funcs[0].attrs.readonly = true;
+        let f = module_facts(&m);
+        let v = check(&f, &f);
+        assert!(v.iter().any(|v| v.rule == "S5"), "{v:?}");
+    }
+}

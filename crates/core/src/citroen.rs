@@ -432,20 +432,37 @@ mod tests {
 
     #[test]
     fn citroen_finds_speedup_over_o3_on_gsm() {
-        // Seed chosen for the in-tree `citroen_rt::rng` stream (the suite no
-        // longer depends on the `rand` crate, so the old seed drew different
-        // candidates); with this stream, seed 5 finds a sequence that beats
-        // -O3 outright on GSM within the 30-measurement budget.
-        let mut task = gsm_task(5);
-        let cfg = CitroenConfig { candidates: 24, init_random: 6, seed: 5, ..Default::default() };
-        let (trace, report) = run_citroen(&mut task, 30, &cfg);
-        assert_eq!(task.measurements, 30);
-        assert!(trace.best() < task.o3_seconds * 1.02, "best {} vs O3 {}", trace.best(), task.o3_seconds);
-        assert!(!report.ranked.is_empty());
-        // Coverage filtering must have fired at least once on a 16-long
+        // Quantile check over a 10-seed window rather than one pinned lucky
+        // seed: any single seed can draw an unlucky candidate stream, but the
+        // median over seeds is a stable property of the tuner. Seeds run in
+        // parallel (`par_map` is sequential on single-core hosts).
+        let seeds: Vec<u64> = (1..=10).collect();
+        let runs = citroen_rt::par::par_map(seeds, |seed| {
+            let mut task = gsm_task(seed);
+            let cfg =
+                CitroenConfig { candidates: 24, init_random: 6, seed, ..Default::default() };
+            let (trace, report) = run_citroen(&mut task, 30, &cfg);
+            assert_eq!(task.measurements, 30);
+            assert!(!report.ranked.is_empty());
+            assert!(!trace.best_seqs.is_empty());
+            (trace.best() / task.o3_seconds, trace.coverage_dropped)
+        });
+        let mut ratios: Vec<f64> = runs.iter().map(|(r, _)| *r).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!("citroen best/O3 ratios over seeds: {ratios:?}");
+        // With a 30-measurement budget the lower quartile must match -O3
+        // within noise, the best seed must beat it outright, and even the
+        // median seed must stay in -O3's neighbourhood (observed window:
+        // 0.99–1.16; the paper's larger speedups need larger budgets).
+        let quartile = ratios[ratios.len() / 4];
+        let median = ratios[ratios.len() / 2];
+        assert!(quartile < 1.02, "lower-quartile ratio {quartile} too weak: {ratios:?}");
+        assert!(ratios[0] < 1.0, "no seed in the window beat -O3: {ratios:?}");
+        assert!(median < 1.25, "median ratio {median} pathological: {ratios:?}");
+        // Coverage filtering must fire somewhere in the window on a 16-long
         // sequence space full of no-op duplicates.
-        assert!(trace.coverage_dropped > 0, "expected coverage drops");
-        assert!(!trace.best_seqs.is_empty());
+        let dropped: usize = runs.iter().map(|(_, d)| *d).sum();
+        assert!(dropped > 0, "expected coverage drops across the seed window");
     }
 
     #[test]

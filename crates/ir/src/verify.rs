@@ -62,11 +62,11 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
     let dom = DomTree::compute(f, &cfg);
     let du = DefUse::compute(f);
 
-    // Single definition per value, and no redefinition of params.
-    let mut defined = vec![false; f.value_ty.len()];
-    for i in 0..f.params.len() {
-        defined[i] = true;
-    }
+    // Single definition per value, no redefinition of params, and φs only at
+    // the top of a block — one pass over the instructions covers all three.
+    // Parameters are defined at function entry, so any instruction targeting
+    // one is a redefinition.
+    let mut def_count = vec![0u32; f.value_ty.len()];
     for (b, blk) in f.iter_blocks() {
         let mut seen_nonphi = false;
         for inst in &blk.insts {
@@ -82,25 +82,10 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                     err(errs, format!("b{}: defines out-of-range value %{}", b.0, d.0));
                     continue;
                 }
-                if defined[d.idx()] && f.is_param(d) {
+                if f.is_param(d) {
                     err(errs, format!("b{}: redefines parameter %{}", b.0, d.0));
                 }
-                if let Some(prev) = &du.def[d.idx()] {
-                    // DefUse keeps the last def; detect duplicates by scanning.
-                    let _ = prev;
-                }
-                defined[d.idx()] = true;
-            }
-        }
-    }
-    // Detect multiple definitions by recount.
-    let mut def_count = vec![0u32; f.value_ty.len()];
-    for (_, blk) in f.iter_blocks() {
-        for inst in &blk.insts {
-            if let Some(d) = inst.dst() {
-                if d.idx() < def_count.len() {
-                    def_count[d.idx()] += 1;
-                }
+                def_count[d.idx()] += 1;
             }
         }
     }
@@ -355,6 +340,49 @@ mod tests {
         b2.ret(Some(Operand::imm64(0)));
         m2.add_func(b2.finish());
         assert_valid(&m2);
+    }
+
+    #[test]
+    fn detects_phi_after_nonphi() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![I64], Some(I64));
+        let entry = BlockId(0);
+        let x = f.new_value(I64);
+        let p = f.new_value(I64);
+        f.blocks[0].insts.push(Inst::Bin {
+            dst: x,
+            op: BinOp::Add,
+            lhs: Operand::Value(crate::inst::ValueId(0)), // the i64 param
+            rhs: Operand::imm64(1),
+        });
+        // φ below a non-φ instruction: structurally representable, illegal.
+        f.blocks[0].insts.push(Inst::Phi { dst: p, incoming: vec![(entry, Operand::imm64(0))] });
+        f.blocks[0].term = Term::Ret(Some(Operand::Value(x)));
+        m.add_func(f);
+        let errs = verify_module(&m);
+        assert!(
+            errs.iter().any(|e| e.msg.contains("phi after non-phi")),
+            "missing diagnostic: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn detects_non_associative_reduce() {
+        use crate::types::Ty;
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![], Some(I64));
+        let v = f.new_value(Ty::vector(crate::types::ScalarTy::I64, 4));
+        let r = f.new_value(I64);
+        f.blocks[0].insts.push(Inst::Splat { dst: v, src: Operand::imm64(7) });
+        // Sub is not associative: reducing with it has no defined bracketing.
+        f.blocks[0].insts.push(Inst::Reduce { dst: r, op: BinOp::Sub, src: Operand::Value(v) });
+        f.blocks[0].term = Term::Ret(Some(Operand::Value(r)));
+        m.add_func(f);
+        let errs = verify_module(&m);
+        assert!(
+            errs.iter().any(|e| e.msg.contains("non-associative")),
+            "missing diagnostic: {errs:?}"
+        );
     }
 
     #[test]

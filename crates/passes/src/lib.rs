@@ -12,7 +12,11 @@ pub mod autophase;
 pub mod manager;
 pub mod passes;
 pub mod stats;
+pub mod testing;
 pub mod util;
 
-pub use manager::{o1_pipeline, o3_pipeline, CompileResult, Pass, PassId, PassManager, PassSeq, Registry};
+pub use manager::{
+    o1_pipeline, o3_pipeline, CompileError, CompileResult, Pass, PassId, PassManager, PassSeq,
+    Registry,
+};
 pub use stats::Stats;

@@ -36,6 +36,12 @@ impl Registry {
         Registry { passes: passes::all_passes() }
     }
 
+    /// A registry over an explicit pass list. Used by tests that need extra
+    /// (e.g. deliberately broken) passes alongside the real ones.
+    pub fn from_passes(passes: Vec<Box<dyn Pass>>) -> Registry {
+        Registry { passes }
+    }
+
     /// A reduced registry standing in for the older "LLVM 10" pass universe
     /// used in Fig. 5.10 (no vectorisers beyond basic SLP, no aggressive
     /// combines, no modern loop passes).
@@ -133,26 +139,85 @@ pub struct CompileResult {
     pub fingerprint: u64,
 }
 
+/// Why a compilation was rejected mid-pipeline.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// A pass left the module structurally malformed.
+    Verify {
+        /// Name of the offending pass.
+        pass: &'static str,
+        /// Verifier diagnostics.
+        errors: Vec<verify::VerifyError>,
+    },
+    /// A pass kept the module well-formed but the translation-validation
+    /// sanitizer proved it changed observable semantics.
+    Sanitize {
+        /// Name of the offending pass.
+        pass: &'static str,
+        /// Sanitizer contradictions.
+        violations: Vec<citroen_analyze::sanitize::Violation>,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Verify { pass, errors } => {
+                let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+                write!(f, "pass '{pass}' broke the IR: {}", msgs.join("; "))
+            }
+            CompileError::Sanitize { pass, violations } => {
+                let msgs: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+                write!(f, "pass '{pass}' failed translation validation: {}", msgs.join("; "))
+            }
+        }
+    }
+}
+
 /// Applies pass sequences to modules.
 pub struct PassManager<'r> {
     registry: &'r Registry,
     /// Verify the module after every pass (slower; used by tests and fuzzing).
     pub verify_each: bool,
+    /// Run the translation-validation sanitizer after every pass (slower
+    /// still). Defaults to the `verify_each` default; `CITROEN_SANITIZE=1`/`0`
+    /// overrides in either direction.
+    pub sanitize: bool,
 }
 
 impl<'r> PassManager<'r> {
-    /// Manager over `registry`. Verification between passes is enabled in
-    /// debug builds by default.
+    /// Manager over `registry`. Verification and sanitizing between passes
+    /// are enabled in debug builds by default; `CITROEN_SANITIZE` overrides
+    /// the latter.
     pub fn new(registry: &'r Registry) -> PassManager<'r> {
-        PassManager { registry, verify_each: cfg!(debug_assertions) }
+        let sanitize = match std::env::var("CITROEN_SANITIZE").ok().as_deref() {
+            Some("0") => false,
+            Some(_) => true,
+            None => cfg!(debug_assertions),
+        };
+        PassManager { registry, verify_each: cfg!(debug_assertions), sanitize }
     }
 
     /// Apply `seq` to a copy of `m`, returning the optimised module, the
-    /// collected statistics, and the binary fingerprint.
+    /// collected statistics, and the binary fingerprint. Panics if a pass
+    /// breaks verification or translation validation — the contract every
+    /// pass must uphold; use [`PassManager::compile_result`] to observe the
+    /// failure instead (the fuzzer does).
     pub fn compile(&self, m: &Module, seq: &[PassId]) -> CompileResult {
+        match self.compile_result(m, seq) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Apply `seq` to a copy of `m`; a verifier or sanitizer rejection is
+    /// returned as an error naming the offending pass.
+    pub fn compile_result(&self, m: &Module, seq: &[PassId]) -> Result<CompileResult, CompileError> {
         let mut module = m.clone();
         let mut stats = Stats::new();
         let trace = std::env::var_os("CITROEN_TRACE_PASS").is_some();
+        let mut facts =
+            if self.sanitize { Some(citroen_analyze::sanitize::module_facts(&module)) } else { None };
         for &id in seq {
             let pass = self.registry.pass(id);
             if trace {
@@ -168,17 +233,22 @@ impl<'r> PassManager<'r> {
             }
             pass.run(&mut module, &mut stats);
             if self.verify_each {
-                let errs = verify::verify_module(&module);
-                assert!(
-                    errs.is_empty(),
-                    "pass '{}' broke the IR: {}",
-                    pass.name(),
-                    errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
-                );
+                let errors = verify::verify_module(&module);
+                if !errors.is_empty() {
+                    return Err(CompileError::Verify { pass: pass.name(), errors });
+                }
+            }
+            if let Some(pre) = &facts {
+                let post = citroen_analyze::sanitize::module_facts(&module);
+                let violations = citroen_analyze::sanitize::check(pre, &post);
+                if !violations.is_empty() {
+                    return Err(CompileError::Sanitize { pass: pass.name(), violations });
+                }
+                facts = Some(post);
             }
         }
         let fingerprint = citroen_ir::print::fingerprint(&module);
-        CompileResult { module, stats, fingerprint }
+        Ok(CompileResult { module, stats, fingerprint })
     }
 
     /// Apply a sequence given by pass names.

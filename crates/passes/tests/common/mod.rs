@@ -1,6 +1,7 @@
 // Shared corpus of mini-programs for pass testing. Each program is built in
 // the unoptimised (`-O0`-style) shape a C front end would produce: locals in
 // allocas, while-shaped loops, no φs.
+#![allow(dead_code)] // not every test binary uses every helper
 
 use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
 use citroen_ir::inst::{BinOp, CastKind, CmpOp, Operand};

@@ -1,0 +1,127 @@
+//! Translation-validation acceptance tests: the sanitizer must stay silent on
+//! every real pass (the `-O3` pipeline and seeded random sequences over the
+//! corpus), must catch the deliberately re-introduced unroll miscompile in
+//! [`citroen_passes::testing::BrokenUnroll`], and the delta-debugging reducer
+//! must shrink that failure to a minimal (≤2-pass, ≤3-block) reproducer.
+
+mod common;
+
+use citroen_analyze::{lint_module, reduce_module};
+use citroen_analyze::reduce::ddmin;
+use citroen_passes::manager::{o3_pipeline, CompileError, PassManager, Registry};
+use citroen_passes::testing::{victim_module, BrokenUnroll};
+use citroen_rt::rng::{Rng, SeedableRng, StdRng};
+
+/// Full registry plus the broken test-only pass appended at the end.
+fn poisoned_registry() -> Registry {
+    let mut passes = citroen_passes::passes::all_passes();
+    passes.push(Box::new(BrokenUnroll));
+    Registry::from_passes(passes)
+}
+
+fn sanitizing_pm(reg: &Registry) -> PassManager<'_> {
+    let mut pm = PassManager::new(reg);
+    pm.verify_each = true;
+    pm.sanitize = true;
+    pm
+}
+
+#[test]
+fn sanitizer_catches_broken_unroll_in_a_real_pipeline() {
+    let reg = poisoned_registry();
+    let pm = sanitizing_pm(&reg);
+    let seq = reg.parse_seq("early-cse,simplifycfg,broken-unroll,dce,adce").unwrap();
+    let victim = victim_module();
+    match pm.compile_result(&victim, &seq) {
+        Err(CompileError::Sanitize { pass, violations }) => {
+            assert_eq!(pass, "broken-unroll");
+            assert!(!violations.is_empty());
+        }
+        Err(other) => panic!("expected a sanitizer rejection, got: {other}"),
+        Ok(_) => panic!("broken-unroll slipped past the sanitizer"),
+    }
+}
+
+#[test]
+fn reducer_shrinks_broken_unroll_to_a_minimal_reproducer() {
+    let reg = poisoned_registry();
+    let pm = sanitizing_pm(&reg);
+    let seq = reg.parse_seq("early-cse,simplifycfg,broken-unroll,dce,adce").unwrap();
+    let victim = victim_module();
+    let is_sanitizer_failure = |seq: &[citroen_passes::PassId], m: &citroen_ir::Module| {
+        matches!(pm.compile_result(m, seq), Err(CompileError::Sanitize { .. }))
+    };
+    assert!(is_sanitizer_failure(&seq, &victim));
+
+    // Phase 1: delta-debug the pass sequence.
+    let min_seq = ddmin(&seq, |s| is_sanitizer_failure(s, &victim));
+    assert!(
+        min_seq.len() <= 2,
+        "sequence not minimal: [{}]",
+        reg.seq_to_string(&min_seq)
+    );
+    assert!(min_seq.iter().any(|&id| reg.name(id) == "broken-unroll"));
+
+    // Phase 2: shrink the module under the minimised sequence.
+    let reduced = reduce_module(&victim, |m| is_sanitizer_failure(&min_seq, m));
+    assert!(is_sanitizer_failure(&min_seq, &reduced), "reduction lost the failure");
+    let blocks = reduced.funcs.iter().map(|f| f.blocks.len()).max().unwrap_or(0);
+    let insts: usize = reduced.funcs.iter().map(|f| f.num_insts()).sum();
+    assert!(
+        blocks <= 3,
+        "reproducer not minimal ({blocks} blocks, {insts} insts):\n{}",
+        citroen_ir::print::print_module(&reduced)
+    );
+    // The reproducer must round-trip through the printer as parseable IR.
+    let text = citroen_ir::print::print_module(&reduced);
+    assert!(text.contains("func"), "unprintable reproducer");
+}
+
+#[test]
+fn sanitizer_is_silent_on_o3_over_the_corpus() {
+    let reg = Registry::full();
+    let pm = sanitizing_pm(&reg);
+    let o3 = o3_pipeline(&reg);
+    for prog in common::corpus() {
+        if let Err(e) = pm.compile_result(&prog.module, &o3) {
+            panic!("{}: false positive under -O3: {e}", prog.module.name);
+        }
+    }
+}
+
+#[test]
+fn sanitizer_is_silent_on_100_seeded_random_sequences() {
+    let reg = Registry::full();
+    let pm = sanitizing_pm(&reg);
+    let corpus = common::corpus();
+    let mut rng = StdRng::seed_from_u64(0x5A71_71CE);
+    for trial in 0..100 {
+        let len = rng.gen_range(1..=16);
+        let seq: Vec<_> = (0..len).map(|_| reg.ids()[rng.gen_range(0..reg.len())]).collect();
+        let prog = &corpus[trial % corpus.len()];
+        if let Err(e) = pm.compile_result(&prog.module, &seq) {
+            panic!(
+                "{} seed {trial}: false positive under [{}]: {e}",
+                prog.module.name,
+                reg.seq_to_string(&seq)
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_is_lint_clean_after_o3() {
+    let reg = Registry::full();
+    let pm = sanitizing_pm(&reg);
+    let o3 = o3_pipeline(&reg);
+    for prog in common::corpus() {
+        let res = pm.compile(&prog.module, &o3);
+        let diags = lint_module(&res.module);
+        assert!(
+            diags.is_empty(),
+            "{}: lints after -O3: {}",
+            prog.module.name,
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ")
+        );
+    }
+}

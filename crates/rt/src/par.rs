@@ -4,10 +4,11 @@
 //! repetitions per table row; each is seconds of work, so coarse-grained
 //! work claiming is all the scheduling this workload needs).
 //!
-//! Work distribution: items are claimed one at a time through a shared atomic
-//! index (workers that finish early steal the remaining tail), results land
-//! in per-item slots, and order is preserved — `par_map(xs, f)` returns
-//! exactly `xs.map(f)` in input order regardless of interleaving. Thread
+//! Work distribution: items are split into chunks (a few per worker), workers
+//! claim whole chunks through a shared atomic cursor (workers that finish
+//! early steal the remaining tail), results land in per-chunk slots, and
+//! order is preserved — `par_map(xs, f)` returns exactly `xs.map(f)` in input
+//! order regardless of interleaving. Thread
 //! count comes from `std::thread::available_parallelism`, overridable with
 //! the `CITROEN_THREADS` environment variable (set it to `1` to debug).
 
@@ -41,32 +42,42 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    // One slot per item: workers claim index i via fetch_add, take the input
-    // out of its slot, and deposit the result in the matching output slot.
-    // Each Mutex is touched by exactly one worker, so there is no contention;
-    // the atomic index is the only shared cursor.
-    let inputs: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Chunked work queue: the input is pre-split into ~4 chunks per worker —
+    // small enough that an unlucky slow chunk still load-balances, large
+    // enough to amortise the claim — and workers grab whole chunks through a
+    // single shared atomic cursor. Each chunk's Mutex is locked exactly twice
+    // (claim, deposit) by one worker, so there is no lock contention and no
+    // per-item locking; flattening the chunk results in queue order restores
+    // the input order.
+    let chunk_size = n.div_ceil(workers * 4).max(1);
+    let mut items = items;
+    let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::new();
+    while !items.is_empty() {
+        let rest = items.split_off(chunk_size.min(items.len()));
+        chunks.push(Mutex::new(Some(items)));
+        items = rest;
+    }
+    let n_chunks = chunks.len();
+    let outputs: Vec<Mutex<Option<Vec<R>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= n_chunks {
                     break;
                 }
-                let item = inputs[i].lock().unwrap().take().expect("item claimed once");
-                let out = f(item);
-                *outputs[i].lock().unwrap() = Some(out);
+                let batch = chunks[ci].lock().unwrap().take().expect("chunk claimed once");
+                let out: Vec<R> = batch.into_iter().map(&f).collect();
+                *outputs[ci].lock().unwrap() = Some(out);
             });
         }
     });
 
     outputs
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        .flat_map(|m| m.into_inner().unwrap().expect("every chunk completed"))
         .collect()
 }
 

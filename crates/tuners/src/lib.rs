@@ -438,21 +438,26 @@ mod tests {
 
     #[test]
     fn ga_beats_or_matches_random_with_budget() {
-        // Averaged over seeds, GA should not lose badly to random on crc32.
-        // Seed window chosen for the in-tree rng stream (the suite no longer
-        // depends on the `rand` crate): both tuners occasionally get stuck at
-        // ~1.9x on unlucky draws, so average over a window where neither does.
-        let mut ga_total = 0.0;
-        let mut rnd_total = 0.0;
-        for seed in 3..6 {
+        // Quantile check over a 10-seed window: either tuner can get stuck at
+        // ~1.9x on a single unlucky draw, but the *median* over seeds is a
+        // stable property — GA must not lose to random search there. Seeds
+        // run in parallel (`par_map` is sequential on single-core hosts).
+        let seeds: Vec<u64> = (1..=10).collect();
+        let runs = citroen_rt::par::par_map(seeds, |seed| {
             let mut t1 = task(seed);
             let g = GeneticTuner { seed, ..Default::default() }.run(&mut t1, 25);
             let mut t2 = task(seed);
             let r = RandomTuner { seed }.run(&mut t2, 25);
-            ga_total += g.best() / t1.o3_seconds;
-            rnd_total += r.best() / t2.o3_seconds;
-        }
-        assert!(ga_total < rnd_total * 1.15, "GA {ga_total} vs random {rnd_total}");
+            (g.best() / t1.o3_seconds, r.best() / t2.o3_seconds)
+        });
+        let median = |mut xs: Vec<f64>| {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
+        };
+        let ga = median(runs.iter().map(|(g, _)| *g).collect());
+        let rnd = median(runs.iter().map(|(_, r)| *r).collect());
+        eprintln!("GA median best/O3 {ga} vs random {rnd} over {runs:?}");
+        assert!(ga < rnd * 1.10, "GA median {ga} vs random median {rnd}");
     }
 
     #[test]

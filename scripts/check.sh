@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+#
+#   1. release build of the whole workspace (binaries included)
+#   2. the root-package test suite (integration, fuzz-differential,
+#      property, hermeticity)
+#   3. a 30-second `citroen-analyze --smoke` fuzz campaign: random modules
+#      x random pass sequences through the verifier, the translation-
+#      validation sanitizer, and the interpreter differential
+#
+# Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== citroen-analyze --smoke (30s budget)"
+timeout 30 ./target/release/citroen-analyze --smoke
+
+echo "== tier-1 gate passed"

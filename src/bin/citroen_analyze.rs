@@ -1,0 +1,131 @@
+//! `citroen-analyze`: the static-analysis and translation-validation front
+//! end. Two modes:
+//!
+//! * **lint** (`--lint`): run the dataflow lint suite over the shipped
+//!   benchmark suite (optionally after `-O3`) and print diagnostics.
+//! * **fuzz** (default, `--smoke` for the 30-second tier-1 budget): random
+//!   generated modules × random pass sequences through the verifier, the
+//!   sanitizer, and an interpreter differential, delta-debugging any failure
+//!   down to a minimal pass sequence + module reproducer.
+//!
+//! Exits non-zero iff a failure (or, with `--lint --strict`, any diagnostic)
+//! was found.
+
+use citroen::fuzz::{run_campaign, FuzzConfig};
+use citroen_analyze::{filter_severity, lint_module, Severity};
+use citroen_passes::manager::{o3_pipeline, PassManager, Registry};
+
+const USAGE: &str = "\
+citroen-analyze — dataflow lints + translation-validation fuzzing
+
+USAGE:
+    citroen-analyze [--smoke | --modules N --seqs N --max-len N --seed S]
+    citroen-analyze --lint [--o3] [--errors-only]
+
+MODES:
+    (default)        fuzz campaign (20 modules x 10 sequences)
+    --smoke          tiny deterministic campaign (tier-1 gate, <30s)
+    --lint           lint the shipped benchmark suite
+    --o3             lint after the -O3 pipeline instead of the source IR
+    --errors-only    only report Error-severity lints
+
+FUZZ OPTIONS:
+    --modules N      number of generated modules        [default: 20]
+    --seqs N         pass sequences per module          [default: 10]
+    --max-len N      maximum sequence length            [default: 16]
+    --seed S         campaign seed                      [default: 0xC17B0E]
+";
+
+fn parse_num(args: &mut std::iter::Peekable<std::env::Args>, flag: &str) -> u64 {
+    let v = args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    parsed.unwrap_or_else(|_| die(&format!("{flag}: bad number '{v}'")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("citroen-analyze: {msg}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().peekable();
+    args.next(); // argv[0]
+
+    let mut cfg = FuzzConfig::default();
+    let (mut lint, mut o3, mut errors_only, mut smoke) = (false, false, false, false);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--lint" => lint = true,
+            "--o3" => o3 = true,
+            "--errors-only" => errors_only = true,
+            "--smoke" => smoke = true,
+            "--modules" => cfg.modules = parse_num(&mut args, "--modules") as usize,
+            "--seqs" => cfg.seqs_per_module = parse_num(&mut args, "--seqs") as usize,
+            "--max-len" => cfg.max_seq_len = parse_num(&mut args, "--max-len") as usize,
+            "--seed" => cfg.seed = parse_num(&mut args, "--seed"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    if smoke {
+        cfg = FuzzConfig::smoke();
+    }
+
+    if lint {
+        std::process::exit(lint_suite(o3, errors_only));
+    }
+    std::process::exit(fuzz(&cfg));
+}
+
+/// Lint every benchmark in the cBench- and SPEC-like suites (linked form),
+/// returning a non-zero exit code iff any diagnostic is produced.
+fn lint_suite(after_o3: bool, errors_only: bool) -> i32 {
+    let reg = Registry::full();
+    let pm = PassManager::new(&reg);
+    let o3 = o3_pipeline(&reg);
+    let mut total = 0usize;
+    for bench in citroen_suite::cbench().into_iter().chain(citroen_suite::spec()) {
+        let mut m = bench.link();
+        if after_o3 {
+            m = pm.compile(&m, &o3).module;
+        }
+        let mut diags = lint_module(&m);
+        if errors_only {
+            diags = filter_severity(diags, Severity::Error);
+        }
+        for d in &diags {
+            println!("{}: {d}", bench.name);
+        }
+        total += diags.len();
+    }
+    let stage = if after_o3 { "after -O3" } else { "on source IR" };
+    println!("citroen-analyze: {total} diagnostic(s) {stage}");
+    i32::from(total > 0)
+}
+
+fn fuzz(cfg: &FuzzConfig) -> i32 {
+    println!(
+        "citroen-analyze: fuzzing {} modules x {} sequences (max len {}, seed {:#x})",
+        cfg.modules, cfg.seqs_per_module, cfg.max_seq_len, cfg.seed
+    );
+    let report = run_campaign(cfg, |line| println!("{line}"));
+    for f in &report.failures {
+        println!("\n=== {} failure (module seed {:#x}) ===", f.kind, f.module_seed);
+        println!("sequence:         {}", f.seq);
+        println!("reduced sequence: {}", f.reduced_seq);
+        println!("reduced module:\n{}", f.reduced_ir);
+    }
+    println!(
+        "citroen-analyze: {} trial(s), {} failure(s)",
+        report.trials,
+        report.failures.len()
+    );
+    i32::from(!report.failures.is_empty())
+}

@@ -1,4 +1,7 @@
 //! Facade crate re-exporting the CITROEN workspace public API.
+pub mod fuzz;
+
+pub use citroen_analyze as analyze;
 pub use citroen_bo as bo;
 pub use citroen_core as core;
 pub use citroen_gp as gp;
