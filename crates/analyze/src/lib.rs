@@ -17,12 +17,15 @@
 //!   trivially infinite loops).
 //! - [`sanitize`] — cross-checks pre-/post-pass facts for semantic
 //!   *contradictions* a structurally-valid miscompile cannot hide.
+//! - [`oracle`] — the pass-applicability fact bundle and verdict types
+//!   behind `Pass::precondition` (`CannotFire` is a fuzz-enforced theorem),
+//!   plus the pass-interaction graph and its JSON form.
 //! - [`reduce`] — `ddmin` over pass sequences and a verifier-gated module
 //!   reducer that shrinks failures to minimal parseable reproducers.
 //!
-//! Only `citroen-ir` is a dependency; the pass manager plugs [`sanitize`] in
-//! behind `CITROEN_SANITIZE`, and the `citroen-analyze` binary drives the
-//! fuzz-and-reduce loop.
+//! Dependencies are `citroen-ir` and `citroen-rt` (JSON emission); the pass
+//! manager plugs [`sanitize`] in behind `CITROEN_SANITIZE`, and the
+//! `citroen-analyze` binary drives the fuzz-and-reduce loop.
 
 #![warn(missing_docs)]
 
@@ -30,6 +33,7 @@ pub mod intervals;
 pub mod lint;
 pub mod liveness;
 pub mod memeffects;
+pub mod oracle;
 pub mod reduce;
 pub mod sanitize;
 
@@ -37,5 +41,6 @@ pub use intervals::{analyze_module as interval_analysis, Interval, ModuleInterva
 pub use lint::{filter_severity, lint_module, Diagnostic, Severity};
 pub use liveness::Liveness;
 pub use memeffects::{MemEffects, ModuleEffects};
+pub use oracle::{compute_facts, Facts, InteractionGraph, Verdict};
 pub use reduce::{ddmin, reduce_module};
 pub use sanitize::{check as sanitize_check, module_facts, ModuleFacts, Violation};

@@ -21,4 +21,4 @@ pub use aibo::{run_aibo, run_heuristic, run_random_search, AiboConfig, BoResult,
 pub use baselines::{run_hesbo, run_turbo, TurboConfig};
 pub use heuristics::{AskTell, CmaEs, DiscreteOneLambda, GaOpt, RandomOpt};
 pub use maximizer::GradMaximizer;
-pub use space::Bounds;
+pub use space::{Bounds, SeqCanonicalizer};

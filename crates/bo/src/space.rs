@@ -54,6 +54,66 @@ pub fn clamp_unit(x: &mut [f64]) {
     }
 }
 
+/// Oracle-driven pass-sequence canonicalisation.
+///
+/// The discrete face of the search space: genomes decode to pass sequences,
+/// and the precondition oracle proves some passes statically dead
+/// (`CannotFire`) on the module being tuned. Dropping those passes maps many
+/// raw genomes onto one canonical sequence, turning duplicate candidate
+/// evaluations into compile-cache hits without changing what any candidate
+/// compiles to.
+///
+/// Deliberately dependency-free (plain indices + bitmasks) so `citroen-bo`
+/// needs no view of the pass registry: callers supply `dead[p]` (the oracle
+/// verdict for pass `p` on the *source* module) and `enables[p]` (bit `q`
+/// set iff running `p` was observed to wake `q`, from the pass-interaction
+/// graph). A dead pass is only dropped while no earlier *kept* pass is known
+/// to enable it — the interaction graph over-approximates enablement, so
+/// pruning stays conservative as the module evolves down the sequence.
+#[derive(Debug, Clone)]
+pub struct SeqCanonicalizer {
+    /// Per-pass: statically dead on the module being tuned.
+    pub dead: Vec<bool>,
+    /// Per-pass: bitmask of the passes it may enable (≤64 passes).
+    pub enables: Vec<u64>,
+}
+
+impl SeqCanonicalizer {
+    /// Build from the oracle dead-mask and the interaction graph's
+    /// enables-mask. Both are indexed by pass id; 64 passes max (bitmask).
+    pub fn new(dead: Vec<bool>, enables: Vec<u64>) -> SeqCanonicalizer {
+        assert_eq!(dead.len(), enables.len(), "masks must cover the same passes");
+        assert!(dead.len() <= 64, "bitmask form limited to 64 passes");
+        SeqCanonicalizer { dead, enables }
+    }
+
+    /// A canonicalizer that never drops anything (oracle disabled / unknown).
+    pub fn identity(n_passes: usize) -> SeqCanonicalizer {
+        SeqCanonicalizer::new(vec![false; n_passes], vec![0; n_passes])
+    }
+
+    /// Whether canonicalisation can ever change a sequence.
+    pub fn is_identity(&self) -> bool {
+        !self.dead.iter().any(|&d| d)
+    }
+
+    /// Canonicalise `seq` (pass indices): drop pass `p` at each position iff
+    /// it is statically dead *and* no earlier kept pass may have woken it.
+    pub fn canonicalize(&self, seq: &[usize]) -> Vec<usize> {
+        let mut woken = 0u64;
+        let mut out = Vec::with_capacity(seq.len());
+        for &p in seq {
+            debug_assert!(p < self.dead.len(), "pass index out of range");
+            if self.dead[p] && woken & (1 << p) == 0 {
+                continue;
+            }
+            woken |= self.enables[p];
+            out.push(p);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +132,36 @@ mod tests {
         for (a, c) in back.iter().zip(&x) {
             assert!((a - c).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn canonicalizer_drops_dead_passes() {
+        // Pass 1 is dead and nothing enables it: every occurrence goes.
+        let c = SeqCanonicalizer::new(vec![false, true, false], vec![0, 0, 0]);
+        assert_eq!(c.canonicalize(&[0, 1, 2, 1, 1]), vec![0, 2]);
+        assert!(!c.is_identity());
+        // Two raw sequences collapse onto the same canonical form — the
+        // compile-cache collision that saves the second compile.
+        assert_eq!(c.canonicalize(&[0, 1, 2]), c.canonicalize(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn canonicalizer_keeps_enabled_passes() {
+        // Pass 2 is dead, but pass 0 enables it: only occurrences *after*
+        // a kept pass 0 survive.
+        let c = SeqCanonicalizer::new(vec![false, false, true], vec![1 << 2, 0, 0]);
+        assert_eq!(c.canonicalize(&[2, 0, 2, 1, 2]), vec![0, 2, 1, 2]);
+        // A dead pass's own enables must not fire when it is dropped:
+        // pass 2 also "enables" pass 1, but 2 itself never runs here.
+        let c = SeqCanonicalizer::new(vec![false, true, true], vec![0, 0, 1 << 1]);
+        assert_eq!(c.canonicalize(&[2, 1, 0]), vec![0]);
+    }
+
+    #[test]
+    fn identity_canonicalizer_changes_nothing() {
+        let c = SeqCanonicalizer::identity(4);
+        assert!(c.is_identity());
+        assert_eq!(c.canonicalize(&[3, 1, 1, 0, 2]), vec![3, 1, 1, 0, 2]);
     }
 
     #[test]

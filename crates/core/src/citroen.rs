@@ -10,12 +10,13 @@
 
 use crate::task::{Task, TuneTrace};
 use citroen_bo::heuristics::DiscreteOneLambda;
-use citroen_bo::Acquisition;
+use citroen_bo::{Acquisition, SeqCanonicalizer};
 use citroen_gp::{Gp, GpConfig, GpHypers, Mat};
-use citroen_passes::{PassId, Stats};
+use citroen_ir::module::Module;
+use citroen_passes::{PassId, Registry, Stats};
 use citroen_rt::rng::StdRng;
 use citroen_rt::rng::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Which features the cost model is fitted on (Fig. 5.8/5.9 ablations).
@@ -65,6 +66,15 @@ pub struct CitroenConfig {
     /// best sequence found on another program — the thesis' §6.3.2
     /// "program-independent pass correlations" future-work direction).
     pub warm_start: Option<Vec<PassId>>,
+    /// Canonicalise candidate sequences with the precondition oracle before
+    /// compiling: passes proven `CannotFire` on the source module (and not
+    /// woken by an earlier kept pass, per the interaction graph) are dropped,
+    /// so genomes differing only in statically-dead passes collapse onto one
+    /// compile-cache entry. Off by default (paper-faithful search).
+    pub oracle_prune: bool,
+    /// Append the oracle's per-pass verdict bits (computed on the *optimised*
+    /// candidate module) to the GP feature vector. Off by default.
+    pub oracle_features: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -82,6 +92,8 @@ impl Default for CitroenConfig {
             gp: GpConfig { fit_iters: 25, ..Default::default() },
             mutation_rate: None,
             warm_start: None,
+            oracle_prune: false,
+            oracle_features: false,
             seed: 0,
         }
     }
@@ -92,6 +104,8 @@ struct Observation {
     genome: Vec<u16>,
     stats: Stats,
     autophase: Vec<f64>,
+    /// Oracle verdict bits of the optimised module (empty when disabled).
+    oracle: Vec<f64>,
     runtime: f64,
 }
 
@@ -128,12 +142,62 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     let genome_to_seq =
         |g: &[u16]| -> Vec<PassId> { g.iter().map(|&v| PassId(v)).collect() };
 
+    // Oracle-based sequence canonicalisation (off by default): verdicts on
+    // the source hot module give the dead mask; running each pass once gives
+    // the module-local enables edges that keep a dead pass when an earlier
+    // kept pass may wake it.
+    let canon: Option<SeqCanonicalizer> = cfg.oracle_prune.then(|| {
+        let src = &task.benchmark().modules[hot];
+        let dead = citroen_passes::oracle::dead_mask(&citroen_passes::oracle::verdicts(
+            &task.registry,
+            src,
+        ));
+        let (enables, _) = citroen_passes::oracle::interactions_for_module(&task.registry, src);
+        let mut mask = vec![0u64; task.registry.len()];
+        for e in &enables {
+            mask[e.from] |= 1 << e.to;
+        }
+        SeqCanonicalizer::new(dead, mask)
+    });
+    let canon_genome = |g: &[u16]| -> Vec<u16> {
+        match &canon {
+            Some(c) => {
+                let idx: Vec<usize> = g.iter().map(|&v| v as usize).collect();
+                c.canonicalize(&idx).into_iter().map(|v| v as u16).collect()
+            }
+            None => g.to_vec(),
+        }
+    };
+    // Canonical genome → compile result; only consulted when pruning is on,
+    // so the paper-faithful default path is untouched.
+    let mut compile_cache: HashMap<Vec<u16>, (Stats, u64, Module)> = HashMap::new();
+
+    // Compile a genome (through the canonical-genome cache when pruning is
+    // on); returns (canonical genome, stats, hot-module fingerprint, module).
+    macro_rules! compile_genome {
+        ($genome:expr) => {{
+            let eff: Vec<u16> = canon_genome($genome);
+            if let Some((stats, fp, module)) =
+                canon.is_some().then(|| compile_cache.get(&eff)).flatten()
+            {
+                (eff, stats.clone(), *fp, module.clone())
+            } else {
+                let seq = genome_to_seq(&eff);
+                let (stats, fp, module) = task.compile_hot(hot, &seq);
+                if canon.is_some() {
+                    compile_cache.insert(eff.clone(), (stats.clone(), fp, module.clone()));
+                }
+                (eff, stats, fp, module)
+            }
+        }};
+    }
+
     // Evaluate one genome end-to-end (compile + measure), updating the state.
     macro_rules! observe {
         ($genome:expr) => {{
             let genome: Vec<u16> = $genome;
-            let seq = genome_to_seq(&genome);
-            let (stats, mod_fp, module) = task.compile_hot(hot, &seq);
+            let (eff, stats, mod_fp, module) = compile_genome!(&genome);
+            let seq = genome_to_seq(&eff);
             let (linked, fp) = task.assemble(&[(hot, &module)]);
             match task.measure_linked(&linked, fp) {
                 Ok(runtime) => {
@@ -146,8 +210,9 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                     seen_fps.insert(mod_fp);
                     seen_stats.insert(stats_sig(&stats));
                     let autophase = citroen_passes::autophase::autophase_features(&module);
+                    let oracle = oracle_bits(&task.registry, &module, cfg.oracle_features);
                     trace.record(runtime, vec![seq.clone()]);
-                    obs.push(Observation { genome, stats, autophase, runtime });
+                    obs.push(Observation { genome, stats, autophase, oracle, runtime });
                     true
                 }
                 Err(_) => {
@@ -198,15 +263,14 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         // Compile all candidates to collect statistics (cheap oracle).
         // Coverage keys use the *hot module's* fingerprint: the cold part is
         // fixed, so it identifies the final binary without linking.
-        let mut compiled: Vec<(Vec<u16>, Stats, Vec<f64>, u64)> = Vec::new();
+        let mut compiled: Vec<(Vec<u16>, Stats, Vec<f64>, Vec<f64>, u64)> = Vec::new();
         for g in cands.drain(..) {
-            let seq = genome_to_seq(&g);
             let trace_seq = std::env::var_os("CITROEN_TRACE_SEQ").is_some();
             if trace_seq {
-                eprintln!("[cand] {}", task.registry.seq_to_string(&seq));
+                eprintln!("[cand] {}", task.registry.seq_to_string(&genome_to_seq(&g)));
             }
             let t_cand = std::time::Instant::now();
-            let (stats, mod_fp, module) = task.compile_hot(hot, &seq);
+            let (_eff, stats, mod_fp, module) = compile_genome!(&g);
             if trace_seq {
                 eprintln!("[cand-done] {:?} insts {}", t_cand.elapsed(), module.num_insts());
             }
@@ -215,19 +279,20 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             } else {
                 Vec::new()
             };
-            compiled.push((g, stats, ap, mod_fp));
+            let ob = oracle_bits(&task.registry, &module, cfg.oracle_features);
+            compiled.push((g, stats, ap, ob, mod_fp));
         }
 
         // Coverage filtering (§5.3.4): duplicated binaries or statistics
         // vectors carry no new information — skip their profiling.
         if cfg.coverage_filter {
             let before = compiled.len();
-            compiled.retain(|(_, stats, _, fp)| {
+            compiled.retain(|(_, stats, _, _, fp)| {
                 !seen_fps.contains(fp) && !seen_stats.contains(&stats_sig(stats))
             });
             // Also dedup within the batch.
             let mut batch_sigs = HashSet::new();
-            compiled.retain(|(_, stats, _, fp)| {
+            compiled.retain(|(_, stats, _, _, fp)| {
                 batch_sigs.insert((stats_sig(stats), *fp))
             });
             trace.coverage_dropped += before - compiled.len();
@@ -259,7 +324,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
 
         // Fit the cost model and score candidates.
         let t0 = Instant::now();
-        for (_, stats, _, _) in &compiled {
+        for (_, stats, _, _, _) in &compiled {
             for k in stats.keys() {
                 if !key_union.contains(&k) {
                     key_union.push(k);
@@ -281,8 +346,8 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
 
         let mut best_af = f64::NEG_INFINITY;
         let mut pick = 0usize;
-        for (i, (g, stats, ap, _)) in compiled.iter().enumerate() {
-            let x = featurise(g, stats, ap, &key_union, &scale, cfg.features);
+        for (i, (g, stats, ap, ob, _)) in compiled.iter().enumerate() {
+            let x = featurise(g, stats, ap, ob, &key_union, &scale, cfg.features);
             let af = acq.eval(&gp, best_z, &x);
             if af > best_af {
                 best_af = af;
@@ -291,7 +356,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         }
         task.add_model_time(t0.elapsed());
 
-        let (g, _, _, _) = compiled.swap_remove(pick);
+        let (g, _, _, _, _) = compiled.swap_remove(pick);
         observe!(g);
         iter += 1;
         if std::env::var_os("CITROEN_TRACE").is_some() {
@@ -343,6 +408,16 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     (trace, report)
 }
 
+/// Oracle verdict bits of `module` (1.0 = `MayFire`), or empty when the
+/// oracle-features flag is off — the empty vector keeps the paper-faithful
+/// feature space untouched.
+fn oracle_bits(reg: &Registry, module: &Module, enabled: bool) -> Vec<f64> {
+    if !enabled {
+        return Vec::new();
+    }
+    citroen_passes::oracle::verdict_bits(&citroen_passes::oracle::verdicts(reg, module))
+}
+
 /// A canonical signature of a statistics bag (for coverage dedup).
 fn stats_sig(stats: &Stats) -> String {
     let mut s = String::new();
@@ -362,7 +437,7 @@ fn feature_matrix(
 ) -> (Mat, Vec<f64>) {
     let raw: Vec<Vec<f64>> = obs
         .iter()
-        .map(|o| raw_features(&o.genome, &o.stats, &o.autophase, keys, kind))
+        .map(|o| raw_features(&o.genome, &o.stats, &o.autophase, &o.oracle, keys, kind))
         .collect();
     let d = raw.first().map(|r| r.len()).unwrap_or(0);
     let mut scale = vec![1.0f64; d];
@@ -382,27 +457,33 @@ fn raw_features(
     genome: &[u16],
     stats: &Stats,
     autophase: &[f64],
+    oracle: &[f64],
     keys: &[String],
     kind: FeatureKind,
 ) -> Vec<f64> {
-    match kind {
+    let mut r: Vec<f64> = match kind {
         FeatureKind::CompilationStats => {
             stats.to_vector(keys).into_iter().map(|v| (1.0 + v).ln()).collect()
         }
         FeatureKind::Autophase => autophase.iter().map(|v| (1.0 + v).ln()).collect(),
         FeatureKind::RawSequence => genome.iter().map(|&g| g as f64).collect(),
-    }
+    };
+    // Oracle verdict bits ride along as extra 0/1 dimensions (empty unless
+    // `CitroenConfig::oracle_features` is on).
+    r.extend_from_slice(oracle);
+    r
 }
 
 fn featurise(
     genome: &[u16],
     stats: &Stats,
     autophase: &[f64],
+    oracle: &[f64],
     keys: &[String],
     scale: &[f64],
     kind: FeatureKind,
 ) -> Vec<f64> {
-    let mut r = raw_features(genome, stats, autophase, keys, kind);
+    let mut r = raw_features(genome, stats, autophase, oracle, keys, kind);
     for (i, v) in r.iter_mut().enumerate() {
         if i < scale.len() {
             *v /= scale[i];
@@ -474,12 +555,66 @@ mod tests {
         let ap = citroen_passes::autophase::autophase_features(&module);
         let keys = stats.keys();
         let genome: Vec<u16> = o3.iter().map(|p| p.0).collect();
-        let s = raw_features(&genome, &stats, &ap, &keys, FeatureKind::CompilationStats);
-        let a = raw_features(&genome, &stats, &ap, &keys, FeatureKind::Autophase);
-        let r = raw_features(&genome, &stats, &ap, &keys, FeatureKind::RawSequence);
+        let s = raw_features(&genome, &stats, &ap, &[], &keys, FeatureKind::CompilationStats);
+        let a = raw_features(&genome, &stats, &ap, &[], &keys, FeatureKind::Autophase);
+        let r = raw_features(&genome, &stats, &ap, &[], &keys, FeatureKind::RawSequence);
         assert_eq!(s.len(), keys.len());
         assert_eq!(a.len(), citroen_passes::autophase::NUM_AUTOPHASE_FEATURES);
         assert_eq!(r.len(), genome.len());
         assert!(s.iter().any(|v| *v > 0.0));
+        // Oracle bits extend any feature kind by exactly their own length.
+        let bits = oracle_bits(&task.registry, &module, true);
+        assert_eq!(bits.len(), task.registry.len());
+        let so = raw_features(&genome, &stats, &ap, &bits, &keys, FeatureKind::CompilationStats);
+        assert_eq!(so.len(), s.len() + bits.len());
+        assert!(oracle_bits(&task.registry, &module, false).is_empty());
+    }
+
+    #[test]
+    fn oracle_pruning_cuts_compiles_without_hurting_speedup() {
+        // Same 10-seed quantile discipline as the headline tuner test: for
+        // each seed run the identical configuration with oracle pruning off
+        // and on, then compare the windows. Pruning must cut compilations by
+        // ≥15% at the median (canonical-genome cache hits) while the
+        // best-found runtime stays no worse at the median.
+        let seeds: Vec<u64> = (1..=10).collect();
+        let runs = citroen_rt::par::par_map(seeds, |seed| {
+            let run = |prune: bool| {
+                let mut task = gsm_task(seed);
+                let cfg = CitroenConfig {
+                    candidates: 24,
+                    init_random: 6,
+                    oracle_prune: prune,
+                    seed,
+                    ..Default::default()
+                };
+                let (trace, _) = run_citroen(&mut task, 20, &cfg);
+                (trace.best() / task.o3_seconds, task.compilations)
+            };
+            (run(false), run(true))
+        });
+        let mut reduction: Vec<f64> = runs
+            .iter()
+            .map(|((_, c_off), (_, c_on))| 1.0 - *c_on as f64 / *c_off as f64)
+            .collect();
+        reduction.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut off: Vec<f64> = runs.iter().map(|((r, _), _)| *r).collect();
+        let mut on: Vec<f64> = runs.iter().map(|(_, (r, _))| *r).collect();
+        off.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        on.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!("compile reduction per seed: {reduction:?}");
+        eprintln!("best/O3 off: {off:?}\nbest/O3 on:  {on:?}");
+        let median_red = reduction[reduction.len() / 2];
+        assert!(
+            median_red >= 0.15,
+            "median compile reduction {median_red:.3} < 15%: {reduction:?}"
+        );
+        // "No worse" with a small noise tolerance: the two searches follow
+        // different candidate streams, so compare medians, not seeds.
+        let (m_off, m_on) = (off[off.len() / 2], on[on.len() / 2]);
+        assert!(
+            m_on <= m_off * 1.05,
+            "median best/O3 degraded with pruning: {m_on:.4} vs {m_off:.4}"
+        );
     }
 }

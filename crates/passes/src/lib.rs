@@ -10,6 +10,7 @@
 
 pub mod autophase;
 pub mod manager;
+pub mod oracle;
 pub mod passes;
 pub mod stats;
 pub mod testing;

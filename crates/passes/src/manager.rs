@@ -6,6 +6,7 @@
 
 use crate::passes;
 use crate::stats::Stats;
+use citroen_analyze::oracle::{Facts, Verdict};
 use citroen_ir::module::Module;
 use citroen_ir::verify;
 
@@ -15,6 +16,14 @@ pub trait Pass: Sync + Send {
     fn name(&self) -> &'static str;
     /// Transform `m`, recording statistics.
     fn run(&self, m: &mut Module, stats: &mut Stats);
+    /// Static applicability oracle. [`Verdict::CannotFire`] is a *theorem*:
+    /// `run` on this exact module must change nothing (same fingerprint) and
+    /// record zero statistics — the `citroen-analyze oracle` fuzz campaign
+    /// executes every `CannotFire` verdict and fails on a contradiction.
+    /// The default is the always-sound conservative answer.
+    fn precondition(&self, _m: &Module, _facts: &Facts) -> Verdict {
+        Verdict::may("no precondition analysis for this pass")
+    }
 }
 
 /// Index of a pass in the [`Registry`].

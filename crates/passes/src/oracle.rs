@@ -1,0 +1,189 @@
+//! Registry-level oracle driver: per-pass verdicts for a module, and the
+//! static pass-interaction graph derived from pairwise verdict flips.
+//!
+//! The per-pass precondition analyses live on each [`Pass`] impl; this module
+//! runs them across a whole [`Registry`], computing the shared
+//! [`Facts`] bundle once per module. On top of that it derives the
+//! interaction graph: pass `A` *enables* pass `B` when running `A` on a
+//! module flips `B`'s verdict from `CannotFire` to `MayFire` (and *disables*
+//! for the reverse flip). The graph is existential over a corpus — an edge
+//! means the flip was observed on at least `count` modules — which is exactly
+//! the over-approximation sequence canonicalisation needs: only drop a dead
+//! pass when no earlier pass is known to wake it.
+
+use crate::manager::{Pass, PassId, Registry};
+use crate::stats::Stats;
+use citroen_analyze::oracle::{compute_facts, Interaction, InteractionGraph, Verdict};
+use citroen_ir::module::Module;
+
+/// Verdicts for every registered pass on `m`, in registry id order. The
+/// dataflow fact bundle is computed once and shared across all passes.
+pub fn verdicts(reg: &Registry, m: &Module) -> Vec<Verdict> {
+    let facts = compute_facts(m);
+    reg.ids().into_iter().map(|id| reg.pass(id).precondition(m, &facts)).collect()
+}
+
+/// `mask[p]` is true iff pass `p` is statically dead (`CannotFire`) on the
+/// module the verdicts were computed for.
+pub fn dead_mask(verdicts: &[Verdict]) -> Vec<bool> {
+    verdicts.iter().map(Verdict::is_cannot_fire).collect()
+}
+
+/// Verdicts packed as 0/1 features, in registry id order — the optional
+/// oracle augmentation of the GP feature vector (`MayFire` → 1.0).
+pub fn verdict_bits(verdicts: &[Verdict]) -> Vec<f64> {
+    verdicts.iter().map(|v| if v.is_cannot_fire() { 0.0 } else { 1.0 }).collect()
+}
+
+/// For each pass `A` in `reg`: run `A` once on a clone of `m` and diff the
+/// verdict vector before/after. Returns `(enables, disables)` edge lists with
+/// `count == 1`, suitable for accumulation by [`derive_graph`].
+pub fn interactions_for_module(
+    reg: &Registry,
+    m: &Module,
+) -> (Vec<Interaction>, Vec<Interaction>) {
+    let before = verdicts(reg, m);
+    let mut enables = Vec::new();
+    let mut disables = Vec::new();
+    for (a, id) in reg.ids().into_iter().enumerate() {
+        let mut after_m = m.clone();
+        let mut stats = Stats::new();
+        reg.pass(id).run(&mut after_m, &mut stats);
+        let after = verdicts(reg, &after_m);
+        for b in 0..before.len() {
+            match (before[b].is_cannot_fire(), after[b].is_cannot_fire()) {
+                (true, false) => enables.push(Interaction { from: a, to: b, count: 1 }),
+                (false, true) => disables.push(Interaction { from: a, to: b, count: 1 }),
+                _ => {}
+            }
+        }
+    }
+    (enables, disables)
+}
+
+/// Derive the interaction graph over a module corpus: accumulate the
+/// per-module edges of [`interactions_for_module`], summing observation
+/// counts for repeated edges.
+pub fn derive_graph(reg: &Registry, corpus: &[Module]) -> InteractionGraph {
+    let mut graph = InteractionGraph {
+        passes: reg.names().iter().map(|n| n.to_string()).collect(),
+        enables: Vec::new(),
+        disables: Vec::new(),
+        modules: corpus.len() as u64,
+    };
+    let accumulate = |edges: &mut Vec<Interaction>, observed: Vec<Interaction>| {
+        for o in observed {
+            match edges.iter_mut().find(|e| e.from == o.from && e.to == o.to) {
+                Some(e) => e.count += o.count,
+                None => edges.push(o),
+            }
+        }
+    };
+    for m in corpus {
+        let (en, dis) = interactions_for_module(reg, m);
+        accumulate(&mut graph.enables, en);
+        accumulate(&mut graph.disables, dis);
+    }
+    graph.enables.sort_by_key(|e| (e.from, e.to));
+    graph.disables.sort_by_key(|e| (e.from, e.to));
+    graph
+}
+
+/// One soundness check: does `pass` uphold its `CannotFire` theorem on `m`?
+/// Returns `None` when the verdict is `MayFire` (nothing to check) or the
+/// theorem holds; `Some(description)` on a contradiction.
+pub fn check_cannot_fire(pass: &dyn Pass, m: &Module) -> Option<String> {
+    let facts = compute_facts(m);
+    if !pass.precondition(m, &facts).is_cannot_fire() {
+        return None;
+    }
+    let before = citroen_ir::print::fingerprint(m);
+    let mut mutated = m.clone();
+    let mut stats = Stats::new();
+    pass.run(&mut mutated, &mut stats);
+    let after = citroen_ir::print::fingerprint(&mutated);
+    if before != after {
+        Some(format!("pass '{}' claimed cannot-fire but changed the module fingerprint", pass.name()))
+    } else if !stats.is_empty() {
+        Some(format!(
+            "pass '{}' claimed cannot-fire but recorded statistics: {}",
+            pass.name(),
+            stats.keys().join(", ")
+        ))
+    } else {
+        None
+    }
+}
+
+/// [`check_cannot_fire`] across a whole registry. Returns the first
+/// contradiction, tagged with the offending [`PassId`].
+pub fn check_registry(reg: &Registry, m: &Module) -> Option<(PassId, String)> {
+    reg.ids().into_iter().find_map(|id| check_cannot_fire(reg.pass(id), m).map(|d| (id, d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citroen_ir::builder::FunctionBuilder;
+    use citroen_ir::inst::Operand;
+    use citroen_ir::types::I64;
+
+    /// `ret 1` — nothing for any pass to do.
+    fn trivial_module() -> Module {
+        let mut m = Module::new("trivial");
+        let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+        b.ret(Some(Operand::imm64(1)));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn trivial_module_kills_most_passes() {
+        let reg = Registry::full();
+        let v = verdicts(&reg, &trivial_module());
+        assert_eq!(v.len(), reg.len());
+        let dead = dead_mask(&v).iter().filter(|&&d| d).count();
+        // A `ret 1` module should be statically dead for the vast majority
+        // of the registry; require a strong majority so regressions that
+        // weaken preconditions to always-MayFire are caught.
+        assert!(dead >= reg.len() * 3 / 4, "only {dead}/{} passes cannot-fire", reg.len());
+    }
+
+    #[test]
+    fn verdict_bits_are_complement_of_dead_mask() {
+        let reg = Registry::full();
+        let v = verdicts(&reg, &crate::testing::victim_module());
+        let bits = verdict_bits(&v);
+        let dead = dead_mask(&v);
+        assert_eq!(bits.len(), dead.len());
+        for (bit, d) in bits.iter().zip(&dead) {
+            assert_eq!(*bit == 0.0, *d);
+        }
+        // The victim module has a real loop and memory traffic: something
+        // must be alive.
+        assert!(bits.iter().any(|&b| b == 1.0));
+    }
+
+    #[test]
+    fn cannot_fire_verdicts_hold_on_victim_module() {
+        let reg = Registry::full();
+        assert_eq!(check_registry(&reg, &crate::testing::victim_module()), None);
+        assert_eq!(check_registry(&reg, &trivial_module()), None);
+    }
+
+    #[test]
+    fn graph_indexes_match_registry_order() {
+        let reg = Registry::full();
+        let corpus = vec![crate::testing::victim_module(), trivial_module()];
+        let g = derive_graph(&reg, &corpus);
+        assert_eq!(g.passes, reg.names().iter().map(|n| n.to_string()).collect::<Vec<_>>());
+        assert_eq!(g.modules, 2);
+        for e in g.enables.iter().chain(&g.disables) {
+            assert!(e.from < reg.len() && e.to < reg.len());
+            assert!(e.count >= 1 && e.count <= 2);
+        }
+        // mem2reg on the victim module promotes the alloca; that must wake
+        // at least one downstream pass, so the graph cannot be edge-free.
+        assert!(!g.enables.is_empty(), "expected at least one enables edge");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::manager::Pass;
 use crate::stats::Stats;
+use citroen_analyze::oracle::{Facts, Verdict};
 use citroen_ir::inst::{BlockId, FuncId, Inst, Operand, Term, ValueId};
 use citroen_ir::module::{Function, Module};
 use std::collections::HashMap;
@@ -33,6 +34,25 @@ impl Pass for Inline {
             n += 1;
         }
         stats.inc("inline", "NumInlined", n);
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact mirror of `inline_one`'s site search.
+        for (fi, f) in m.funcs.iter().enumerate() {
+            for blk in &f.blocks {
+                for inst in &blk.insts {
+                    if let Inst::Call { callee, .. } = inst {
+                        if inlinable(m, FuncId(fi as u32), *callee) {
+                            return Verdict::may(format!(
+                                "{}: inlinable call to {}",
+                                f.name,
+                                m.funcs[callee.idx()].name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Verdict::CannotFire
     }
 }
 
@@ -195,52 +215,10 @@ impl Pass for FunctionAttrs {
         "function-attrs"
     }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
-        let n = m.funcs.len();
         // Start optimistic (readnone) and knock bits off to a fixpoint.
-        let mut reads = vec![false; n];
-        let mut writes = vec![false; n];
-        for (fi, f) in m.funcs.iter().enumerate() {
-            if f.is_decl() {
-                // Unknown bodies are assumed to read and write memory.
-                reads[fi] = true;
-                writes[fi] = true;
-                continue;
-            }
-            for blk in &f.blocks {
-                for inst in &blk.insts {
-                    match inst {
-                        Inst::Load { .. } => reads[fi] = true,
-                        Inst::Store { .. } => writes[fi] = true,
-                        // Allocas imply local memory traffic which loads/stores
-                        // already capture; allocas alone are fine.
-                        _ => {}
-                    }
-                }
-            }
-        }
-        loop {
-            let mut changed = false;
-            for (fi, f) in m.funcs.iter().enumerate() {
-                for blk in &f.blocks {
-                    for inst in &blk.insts {
-                        if let Inst::Call { callee, .. } = inst {
-                            let c = callee.idx();
-                            if reads[c] && !reads[fi] {
-                                reads[fi] = true;
-                                changed = true;
-                            }
-                            if writes[c] && !writes[fi] {
-                                writes[fi] = true;
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
+        // Unknown (declaration) bodies are assumed to read and write memory;
+        // allocas imply local traffic which loads/stores already capture.
+        let (reads, writes) = infer_memory_bits(m);
         let mut newly_readnone = 0u64;
         let mut newly_readonly = 0u64;
         for (fi, f) in m.funcs.iter_mut().enumerate() {
@@ -258,6 +236,67 @@ impl Pass for FunctionAttrs {
         stats.inc("function-attrs", "NumReadNone", newly_readnone);
         stats.inc("function-attrs", "NumReadOnly", newly_readonly);
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact replay of the reads/writes fixpoint; MayFire iff a bit would
+        // newly be set.
+        let (reads, writes) = infer_memory_bits(m);
+        for (fi, f) in m.funcs.iter().enumerate() {
+            let rn = !reads[fi] && !writes[fi];
+            let ro = !writes[fi] && !rn;
+            if (rn && !f.attrs.readnone) || (ro && !f.attrs.readonly) {
+                return Verdict::may(format!("{}: inferable memory attribute", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
+}
+
+/// The bottom-up reads/writes inference shared by `function-attrs`' run and
+/// its precondition.
+fn infer_memory_bits(m: &Module) -> (Vec<bool>, Vec<bool>) {
+    let n = m.funcs.len();
+    let mut reads = vec![false; n];
+    let mut writes = vec![false; n];
+    for (fi, f) in m.funcs.iter().enumerate() {
+        if f.is_decl() {
+            reads[fi] = true;
+            writes[fi] = true;
+            continue;
+        }
+        for blk in &f.blocks {
+            for inst in &blk.insts {
+                match inst {
+                    Inst::Load { .. } => reads[fi] = true,
+                    Inst::Store { .. } => writes[fi] = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (fi, f) in m.funcs.iter().enumerate() {
+            for blk in &f.blocks {
+                for inst in &blk.insts {
+                    if let Inst::Call { callee, .. } = inst {
+                        let c = callee.idx();
+                        if reads[c] && !reads[fi] {
+                            reads[fi] = true;
+                            changed = true;
+                        }
+                        if writes[c] && !writes[fi] {
+                            writes[fi] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (reads, writes)
 }
 
 /// The `tailcallelim` pass: turn direct tail recursion into a loop.
@@ -273,6 +312,30 @@ impl Pass for TailCallElim {
             n += tce_function(&mut m.funcs[fi], FuncId(fi as u32));
         }
         stats.inc("tailcallelim", "NumEliminated", n);
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact mirror of `tce_function`'s tail-site scan.
+        for (fi, f) in m.funcs.iter().enumerate() {
+            if f.is_decl() {
+                continue;
+            }
+            let self_id = FuncId(fi as u32);
+            for blk in &f.blocks {
+                let Some(Inst::Call { dst, callee, .. }) = blk.insts.last() else { continue };
+                if *callee != self_id {
+                    continue;
+                }
+                let tail = match (&blk.term, dst) {
+                    (Term::Ret(Some(Operand::Value(rv))), Some(d)) => rv == d,
+                    (Term::Ret(None), None) => true,
+                    _ => false,
+                };
+                if tail {
+                    return Verdict::may(format!("{}: tail-recursive call", f.name));
+                }
+            }
+        }
+        Verdict::CannotFire
     }
 }
 

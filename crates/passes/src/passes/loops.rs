@@ -10,12 +10,21 @@
 
 use crate::manager::Pass;
 use crate::stats::Stats;
-use crate::util::{dce_function, replace_uses, simplify_single_incoming_phis};
+use crate::util::{
+    dce_function, has_simplifiable_phi, replace_uses, simplify_single_incoming_phis, would_dce,
+};
+use citroen_analyze::oracle::{Facts, Verdict};
 use citroen_ir::analysis::{Cfg, DomTree, LoopInfo};
 use citroen_ir::inst::{BinOp, BlockId, CmpOp, Inst, Operand, Term, ValueId};
 use citroen_ir::module::{Function, Module};
 use citroen_ir::types::I64;
 use std::collections::{HashMap, HashSet};
+
+/// True when `f` has a self-loop with a recognised induction variable — the
+/// shared gate of `loop-unroll`, `loop-deletion` and `strength-reduce`.
+fn has_iv_self_loop(f: &Function) -> bool {
+    find_self_loops(f).iter().any(|sl| analyze_iv(f, sl).is_some())
+}
 
 // ---------------------------------------------------------------------------
 // Shared loop-shape analysis
@@ -264,6 +273,31 @@ impl Pass for LoopSimplify {
             stats.inc("loop-simplify", "NumPreheaders", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact mirror of `insert_one_preheader`'s candidate test.
+        for f in &m.funcs {
+            if needs_preheader(f) {
+                return Verdict::may(format!("{}: loop without preheader", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
+}
+
+/// Read-only mirror of `insert_one_preheader`: a natural loop lacking a
+/// preheader with ≥2 outside predecessors.
+fn needs_preheader(f: &Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let li = LoopInfo::compute(f, &cfg, &dom);
+    li.loops.iter().any(|l| {
+        l.preheader.is_none()
+            && cfg.preds[l.header.idx()]
+                .iter()
+                .filter(|p| !l.contains(**p))
+                .count()
+                >= 2
+    })
 }
 
 fn insert_one_preheader(f: &mut Function) -> bool {
@@ -365,6 +399,25 @@ impl Pass for LoopRotate {
             dce_function(f);
             stats.inc("loop-rotate", "NumRotated", n);
         }
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Any natural loop MayFire (rotate or its preheader restoration);
+        // the trailing φ-simplify + dce run unconditionally even without one.
+        for f in &m.funcs {
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(f, &cfg);
+            let li = LoopInfo::compute(f, &cfg, &dom);
+            if !li.loops.is_empty() {
+                return Verdict::may(format!("{}: natural loops present", f.name));
+            }
+            if has_simplifiable_phi(f) {
+                return Verdict::may(format!("{}: single-incoming φ (cleanup)", f.name));
+            }
+            if would_dce(f) {
+                return Verdict::may(format!("{}: dead instructions (cleanup dce)", f.name));
+            }
+        }
+        Verdict::CannotFire
     }
 }
 
@@ -643,6 +696,19 @@ impl Pass for Licm {
             stats.inc("licm", "NumHoistedLoads", loads);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // `hoist_one` only considers loops with a preheader; whether an
+        // instruction is actually hoistable is left to MayFire.
+        for f in &m.funcs {
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(f, &cfg);
+            let li = LoopInfo::compute(f, &cfg, &dom);
+            if li.loops.iter().any(|l| l.preheader.is_some()) {
+                return Verdict::may(format!("{}: loop with preheader", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 fn hoist_one(m: &mut Module, fi: usize) -> (u64, u64) {
@@ -791,6 +857,16 @@ impl Pass for IndVars {
             stats.inc("indvars", "NumElimIV", dead);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Both the LFTR rewrite and dead-IV-cycle removal act on φs; a
+        // φ-free function is untouchable.
+        for f in &m.funcs {
+            if f.blocks.iter().any(|b| b.insts.iter().any(|i| i.is_phi())) {
+                return Verdict::may(format!("{}: φ instructions present", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 fn remove_dead_iv_cycles(f: &mut Function) -> u64 {
@@ -894,6 +970,14 @@ impl Pass for LoopUnroll {
             stats.inc("loop-unroll", "NumFullyUnrolled", full);
             stats.inc("loop-unroll", "NumUnrolled", full + partial);
         }
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if has_iv_self_loop(f) {
+                return Verdict::may(format!("{}: IV self-loop", f.name));
+            }
+        }
+        Verdict::CannotFire
     }
 }
 
@@ -1117,6 +1201,14 @@ impl Pass for LoopDeletion {
             stats.inc("loop-deletion", "NumDeleted", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if has_iv_self_loop(f) {
+                return Verdict::may(format!("{}: IV self-loop", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1142,6 +1234,34 @@ impl Pass for StrengthReduce {
             }
             stats.inc("strength-reduce", "NumReduced", n);
         }
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Mirror `reduce_one`'s search: a header `mul(iv, c≠0)` / `shl(iv, k)`
+        // whose destination is scalar i64.
+        for f in &m.funcs {
+            for sl in find_self_loops(f) {
+                let Some(iv) = analyze_iv(f, &sl) else { continue };
+                let found = f.blocks[sl.header.idx()].insts.iter().any(|inst| match inst {
+                    Inst::Bin { dst, op: BinOp::Mul, lhs, rhs } => {
+                        matches!(
+                            (lhs.as_value(), rhs.as_const_int()),
+                            (Some(l), Some(c)) if l == iv.phi && c != 0
+                        ) && f.ty(*dst) == I64
+                    }
+                    Inst::Bin { dst, op: BinOp::Shl, lhs, rhs } => {
+                        matches!(
+                            (lhs.as_value(), rhs.as_const_int()),
+                            (Some(l), Some(k)) if l == iv.phi && (0..32).contains(&k)
+                        ) && f.ty(*dst) == I64
+                    }
+                    _ => false,
+                });
+                if found {
+                    return Verdict::may(format!("{}: reducible IV multiply", f.name));
+                }
+            }
+        }
+        Verdict::CannotFire
     }
 }
 

@@ -10,9 +10,10 @@
 use crate::manager::Pass;
 use crate::stats::Stats;
 use crate::util::{
-    addr_expr, def_sites, dce_function, fold_bin, fold_cast, fold_cmp, may_alias,
-    remove_unreachable_blocks, replace_uses, AddrExpr,
+    addr_expr, def_sites, dce_function, fold_bin, fold_cast, fold_cmp, has_unreachable_blocks,
+    may_alias, remove_unreachable_blocks, replace_uses, would_dce, AddrExpr,
 };
+use citroen_analyze::oracle::{Facts, Verdict};
 use citroen_ir::analysis::{Cfg, DomTree};
 use citroen_ir::inst::{BlockId, CastKind, Inst, Operand, Term, ValueId};
 use citroen_ir::module::{Function, Module};
@@ -82,6 +83,41 @@ fn pure_key(f: &Function, m: &Module, inst: &Inst) -> Option<(InstKey, ValueId)>
     }
 }
 
+/// Over-approximate mirror of `gvn_function`'s rewrite opportunities.
+///
+/// - Pure duplicates: two instructions sharing an `InstKey` — checked
+///   function-wide (⊇ the dominator- or block-scoped tables, so sound).
+/// - Load elimination / store-to-load forwarding is block-local in both
+///   passes: any `Load` preceded by a `Load` or `Store` in its block *might*
+///   hit the availability table (address matching ignored — MayFire only).
+/// - The trailing `dce_function` runs unconditionally.
+fn gvn_may_fire(m: &Module, f: &Function, block_scope: bool) -> bool {
+    let mut global: HashSet<InstKey> = HashSet::new();
+    for blk in &f.blocks {
+        let mut local: HashSet<InstKey> = HashSet::new();
+        let mut mem_seen = false;
+        for inst in &blk.insts {
+            match inst {
+                Inst::Load { .. } => {
+                    if mem_seen {
+                        return true;
+                    }
+                    mem_seen = true;
+                }
+                Inst::Store { .. } => mem_seen = true,
+                _ => {}
+            }
+            if let Some((key, _)) = pure_key(f, m, inst) {
+                let table = if block_scope { &mut local } else { &mut global };
+                if !table.insert(key) {
+                    return true;
+                }
+            }
+        }
+    }
+    would_dce(f)
+}
+
 /// The `gvn` pass: dominator-scoped value numbering of pure instructions plus
 /// block-local redundant-load elimination and store-to-load forwarding.
 pub struct Gvn;
@@ -97,6 +133,14 @@ impl Pass for Gvn {
             stats.inc("gvn", "NumGVNLoad", nl);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if gvn_may_fire(m, f, false) {
+                return Verdict::may(format!("{}: value-numbering candidates", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 /// The `early-cse` pass: the block-local version of GVN.
@@ -111,6 +155,14 @@ impl Pass for EarlyCse {
             let (ni, nl) = gvn_function(m, fi, false);
             stats.inc("early-cse", "NumCSE", ni + nl);
         }
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if gvn_may_fire(m, f, true) {
+                return Verdict::may(format!("{}: block-local CSE candidates", f.name));
+            }
+        }
+        Verdict::CannotFire
     }
 }
 
@@ -340,6 +392,14 @@ impl Pass for Dce {
             stats.inc("dce", "NumRemoved", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if would_dce(f) {
+                return Verdict::may(format!("{}: dead instructions", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 /// The `adce` pass: aggressive DCE — liveness is seeded only from
@@ -357,6 +417,58 @@ impl Pass for Adce {
             stats.inc("adce", "NumRemoved", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if adce_would_remove(m, f) {
+                return Verdict::may(format!("{}: root-dead instructions", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
+}
+
+/// Read-only mirror of `adce_function`: exactly its liveness computation,
+/// reporting whether the retain sweep would drop anything.
+fn adce_would_remove(m: &Module, f: &Function) -> bool {
+    let nv = f.value_ty.len();
+    let mut live = vec![false; nv];
+    let mut work: Vec<ValueId> = Vec::new();
+    let mark = |v: &Operand, live: &mut Vec<bool>, work: &mut Vec<ValueId>| {
+        if let Operand::Value(x) = v {
+            if !live[x.idx()] {
+                live[x.idx()] = true;
+                work.push(*x);
+            }
+        }
+    };
+    for blk in &f.blocks {
+        blk.term.for_each_operand(|op| mark(op, &mut live, &mut work));
+        for inst in &blk.insts {
+            let rooted = match inst {
+                Inst::Store { .. } => true,
+                Inst::Call { callee, .. } => !m.funcs[callee.idx()].attrs.readnone,
+                _ => false,
+            };
+            if rooted {
+                inst.for_each_operand(|op| mark(op, &mut live, &mut work));
+                if let Some(d) = inst.dst() {
+                    live[d.idx()] = true;
+                }
+            }
+        }
+    }
+    let sites = def_sites(f);
+    while let Some(v) = work.pop() {
+        if let Some((b, i)) = sites.get(&v) {
+            f.blocks[b.idx()].insts[*i].for_each_operand(|op| mark(op, &mut live, &mut work));
+        }
+    }
+    f.blocks.iter().any(|blk| {
+        blk.insts.iter().any(|inst| match inst.dst() {
+            Some(d) => !live[d.idx()] && !matches!(inst, Inst::Store { .. }),
+            None => false,
+        })
+    })
 }
 
 fn adce_function(m: &mut Module, fi: usize) -> u64 {
@@ -467,6 +579,44 @@ impl Pass for Dse {
             stats.inc("dse", "NumFastStores", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact read-only replay of the backward overwritten-range scan.
+        for f in &m.funcs {
+            let sites = def_sites(f);
+            for blk in &f.blocks {
+                let mut overwritten: Vec<(AddrExpr, u32)> = Vec::new();
+                for inst in blk.insts.iter().rev() {
+                    match inst {
+                        Inst::Store { ty, addr, .. } => {
+                            let e = addr_expr(f, &sites, addr);
+                            let sz = ty.bytes();
+                            let covered = overwritten.iter().any(|(o, osz)| {
+                                o.atoms == e.atoms
+                                    && o.offset <= e.offset
+                                    && o.offset + *osz as i64 >= e.offset + sz as i64
+                            });
+                            if covered {
+                                return Verdict::may(format!("{}: dead store", f.name));
+                            }
+                            overwritten.push((e, sz));
+                        }
+                        Inst::Load { addr, .. } => {
+                            let e = addr_expr(f, &sites, addr);
+                            let lsz = f.ty(inst.dst().unwrap()).bytes();
+                            overwritten.retain(|(o, osz)| !may_alias(o, *osz, &e, lsz));
+                        }
+                        Inst::Call { callee, .. } => {
+                            if !m.funcs[callee.idx()].attrs.readnone {
+                                overwritten.clear();
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 /// The `sink` pass: move pure single-block-use instructions into the unique
@@ -546,6 +696,61 @@ impl Pass for Sink {
             }
             stats.inc("sink", "NumSunk", n);
         }
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact read-only replay of the sinkable-candidate search.
+        for f in &m.funcs {
+            let cfg = Cfg::compute(f);
+            for (b, blk) in f.iter_blocks() {
+                let Term::CondBr { t, f: fb, .. } = blk.term else { continue };
+                if t == fb {
+                    continue;
+                }
+                for (ii, inst) in blk.insts.iter().enumerate() {
+                    if inst.has_side_effects() || inst.reads_memory() || inst.is_phi() {
+                        continue;
+                    }
+                    let Some(d) = inst.dst() else { continue };
+                    if matches!(inst, Inst::Alloca { .. }) {
+                        continue;
+                    }
+                    let mut use_blocks: HashSet<u32> = HashSet::new();
+                    for (ub, ublk) in f.iter_blocks() {
+                        let mut used = false;
+                        for i2 in &ublk.insts {
+                            i2.for_each_operand(|op| used |= op.as_value() == Some(d));
+                        }
+                        ublk.term.for_each_operand(|op| used |= op.as_value() == Some(d));
+                        if used {
+                            use_blocks.insert(ub.0);
+                        }
+                    }
+                    if use_blocks.len() != 1 {
+                        continue;
+                    }
+                    let target = BlockId(*use_blocks.iter().next().unwrap());
+                    if (target == t || target == fb)
+                        && cfg.preds[target.idx()].len() == 1
+                        && f.blocks[target.idx()].num_phis() == 0
+                    {
+                        let later_use = blk.insts[ii + 1..].iter().any(|i2| {
+                            let mut u = false;
+                            i2.for_each_operand(|op| u |= op.as_value() == Some(d));
+                            u
+                        });
+                        let term_use = {
+                            let mut u = false;
+                            blk.term.for_each_operand(|op| u |= op.as_value() == Some(d));
+                            u
+                        };
+                        if !later_use && !term_use && target != b {
+                            return Verdict::may(format!("{}: sinkable instruction", f.name));
+                        }
+                    }
+                }
+            }
+        }
+        Verdict::CannotFire
     }
 }
 
@@ -634,6 +839,35 @@ impl Pass for CorrelatedPropagation {
             stats.inc("correlated-propagation", "NumReplaced", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Over-approximation: a usable equality fact exists (a condbr on an
+        // edge-dominating `x == c` / `x != c` comparison). Whether any use of
+        // `x` actually sits in the dominated subtree is left to MayFire.
+        for f in &m.funcs {
+            let cfg = Cfg::compute(f);
+            let sites = def_sites(f);
+            for (_b, blk) in f.iter_blocks() {
+                let Term::CondBr { cond, t, f: fb } = &blk.term else { continue };
+                let Some(Inst::Cmp { op, lhs, rhs, .. }) = crate::util::def_of(f, &sites, cond)
+                else {
+                    continue;
+                };
+                if lhs.as_value().is_none() || !rhs.is_const() {
+                    continue;
+                }
+                use citroen_ir::inst::CmpOp::*;
+                let edge_target = match op {
+                    Eq => *t,
+                    Ne => *fb,
+                    _ => continue,
+                };
+                if cfg.preds[edge_target.idx()].len() == 1 {
+                    return Verdict::may(format!("{}: equality-guarded edge", f.name));
+                }
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 /// The `sccp` pass: sparse conditional constant propagation with CFG
@@ -661,6 +895,43 @@ impl Pass for Sccp {
             stats.inc("sccp", "NumInstRemoved", ni);
             stats.inc("sccp", "NumDeadBlocks", nb);
         }
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // With no Phi/Bin/Cmp/Cast/Select the lattice can never reach a
+        // constant (every other def is Bottom), so `consts` stays empty and
+        // no branch folds unless a condbr condition is a literal constant.
+        // The epilogue (unreachable removal, φ-simplify, dce) still runs
+        // unconditionally, so fold those in too.
+        for f in &m.funcs {
+            for blk in &f.blocks {
+                for inst in &blk.insts {
+                    if matches!(
+                        inst,
+                        Inst::Phi { .. }
+                            | Inst::Bin { .. }
+                            | Inst::Cmp { .. }
+                            | Inst::Cast { .. }
+                            | Inst::Select { .. }
+                    ) {
+                        return Verdict::may(format!("{}: lattice-evaluable instruction", f.name));
+                    }
+                }
+                if let Term::CondBr { cond, .. } = &blk.term {
+                    // op_state maps every non-Value operand (imm or global)
+                    // to a lattice constant, which one-ways the branch.
+                    if !matches!(cond, Operand::Value(_)) {
+                        return Verdict::may(format!("{}: constant condbr", f.name));
+                    }
+                }
+            }
+            if has_unreachable_blocks(f) {
+                return Verdict::may(format!("{}: unreachable blocks", f.name));
+            }
+            if would_dce(f) {
+                return Verdict::may(format!("{}: dead instructions (cleanup dce)", f.name));
+            }
+        }
+        Verdict::CannotFire
     }
 }
 

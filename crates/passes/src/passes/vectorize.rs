@@ -10,6 +10,7 @@
 use crate::manager::Pass;
 use crate::stats::Stats;
 use crate::util::{addr_expr, dce_function, def_sites, replace_uses};
+use citroen_analyze::oracle::{Facts, Verdict};
 use citroen_ir::inst::{BinOp, CastKind, CmpOp, Inst, Operand, ValueId};
 use citroen_ir::module::{Function, Module};
 use citroen_ir::types::{ScalarTy, Ty};
@@ -50,6 +51,38 @@ impl Pass for SlpVectorizer {
             stats.inc("slp", "NumVectorInstructions", emitted);
             stats.inc("slp", "NumVectorized", chains);
         }
+    }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Necessary shape for a W-wide reduction: a block holding an add
+        // chain of ≥W terms (≥W-1 adds) whose lanes each consume a distinct
+        // single-use scalar load.
+        for f in &m.funcs {
+            for blk in &f.blocks {
+                let mut adds = 0usize;
+                let mut loads = 0usize;
+                for inst in &blk.insts {
+                    match inst {
+                        Inst::Bin { dst, op: BinOp::Add, .. } => {
+                            let ty = f.ty(*dst);
+                            if ty.lanes == 1 && ty.scalar.is_int() {
+                                adds += 1;
+                            }
+                        }
+                        Inst::Load { dst, .. } => {
+                            let ty = f.ty(*dst);
+                            if ty.lanes == 1 && ty.scalar.is_int() {
+                                loads += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if adds >= W - 1 && loads >= W {
+                    return Verdict::may(format!("{}: add chain over loads", f.name));
+                }
+            }
+        }
+        Verdict::CannotFire
     }
 }
 
@@ -478,6 +511,14 @@ impl Pass for LoopVectorize {
             stats.inc("loop-vectorize", "NumVectorized", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if vectorizable_loop_shape(f, false) {
+                return Verdict::may(format!("{}: unit-stride map loop", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
 }
 
 /// The `loop-idiom` pass: recognise memset-style loops (store of an invariant
@@ -501,6 +542,45 @@ impl Pass for LoopIdiom {
             stats.inc("loop-idiom", "NumIdiom", n);
         }
     }
+    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        for f in &m.funcs {
+            if vectorizable_loop_shape(f, true) {
+                return Verdict::may(format!("{}: memset-style loop", f.name));
+            }
+        }
+        Verdict::CannotFire
+    }
+}
+
+/// Necessary (MayFire) shape shared by `loop-vectorize` and `loop-idiom`:
+/// mirrors `vectorize_one_loop`'s early screens — canonical IV, divisible
+/// constant trip count, a single φ, a store in the body, and (idiom mode) no
+/// loads. Address/alias classification is left to MayFire.
+fn vectorizable_loop_shape(f: &Function, idiom_only: bool) -> bool {
+    use super::loops::{analyze_iv, const_trip_count, find_self_loops};
+    let wf = W as u64;
+    for sl in find_self_loops(f) {
+        let Some(iv) = analyze_iv(f, &sl) else { continue };
+        if iv.step != 1 || !iv.true_continues || iv.cmp_op != CmpOp::Slt || !iv.cmp_on_next {
+            continue;
+        }
+        let Some(trip) = const_trip_count(&iv, 1 << 20) else { continue };
+        if trip % wf != 0 || trip < wf {
+            continue;
+        }
+        let insts = &f.blocks[sl.header.idx()].insts;
+        if insts.iter().filter(|i| i.is_phi()).count() != 1 {
+            continue;
+        }
+        if !insts.iter().any(|i| matches!(i, Inst::Store { .. })) {
+            continue;
+        }
+        if idiom_only && insts.iter().any(|i| matches!(i, Inst::Load { .. })) {
+            continue;
+        }
+        return true;
+    }
+    false
 }
 
 /// A unit-stride address inside a loop: `invariant-terms + iv * scale + off`.

@@ -9,6 +9,7 @@
 
 use crate::manager::Pass;
 use crate::stats::Stats;
+use citroen_analyze::oracle::{Facts, Verdict};
 use citroen_ir::analysis::{Cfg, DomTree, LoopInfo};
 use citroen_ir::inst::{Inst, Term};
 use citroen_ir::module::Module;
@@ -81,6 +82,43 @@ impl Pass for BrokenUnroll {
     }
 }
 
+/// A pass whose precondition lies: it always claims
+/// [`CannotFire`](Verdict::CannotFire), yet `run` always records a statistic
+/// and, when a commutable `Bin` instruction exists, swaps its operands —
+/// changing the module fingerprint while preserving semantics. The bug is
+/// invisible to the verifier *and* the sanitizer; only the oracle soundness
+/// campaign (`citroen-analyze oracle`) can convict it, which is exactly what
+/// the regression tests use it to prove.
+pub struct LyingPrecondition;
+
+impl Pass for LyingPrecondition {
+    fn name(&self) -> &'static str {
+        "lying-precondition"
+    }
+
+    fn run(&self, m: &mut Module, stats: &mut Stats) {
+        // Always-nonzero stats: already a theorem violation on its own.
+        stats.inc(self.name(), "invocations", 1);
+        'swap: for f in &mut m.funcs {
+            for b in &mut f.blocks {
+                for i in &mut b.insts {
+                    if let Inst::Bin { op, lhs, rhs, .. } = i {
+                        if op.commutative() && lhs != rhs {
+                            std::mem::swap(lhs, rhs);
+                            stats.inc(self.name(), "operands_swapped", 1);
+                            break 'swap;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn precondition(&self, _m: &Module, _facts: &Facts) -> Verdict {
+        Verdict::CannotFire
+    }
+}
+
 /// A loop whose exit block stores a sentinel to `@out` and returns — the
 /// minimal shape [`BrokenUnroll`] miscompiles. Shared by the sanitizer and
 /// reducer tests.
@@ -129,5 +167,19 @@ mod tests {
         let (clean, _) =
             run_counting(&victim_module(), FuncId(0), &[Value::I(7)]).expect("runs fine");
         assert_ne!(out.mem_digest, clean.mem_digest, "the miscompile must be observable");
+    }
+
+    #[test]
+    fn lying_precondition_is_convicted_by_the_oracle_checker() {
+        // Semantics-preserving, verifier-clean, sanitizer-clean — but the
+        // CannotFire theorem is violated and the checker must say so.
+        let verdict = crate::oracle::check_cannot_fire(&LyingPrecondition, &victim_module());
+        let msg = verdict.expect("oracle checker must convict the lying pass");
+        assert!(msg.contains("lying-precondition"), "{msg}");
+
+        // Sanity: the honest registry stays clean on the same module, so the
+        // conviction above is about the lie, not the module.
+        let reg = crate::Registry::full();
+        assert_eq!(crate::oracle::check_registry(&reg, &victim_module()), None);
     }
 }

@@ -263,6 +263,202 @@ fn utf8_len(first: u8) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Value trees
+// ---------------------------------------------------------------------------
+
+/// A JSON value tree: objects, arrays, strings, and unsigned integers — the
+/// superset needed by nested documents like the pass-interaction graph. The
+/// flat `{string: u64}` functions above remain the stats-format fast path
+/// (their emitted bytes are pinned by golden strings downstream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An unsigned integer.
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Look up a key in an object (`None` for other variants / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a `U64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-print with the same layout conventions as
+    /// [`emit_object_pretty`]: 2-space indent, `": "` after keys, one
+    /// element per line, `{}`/`[]` for empty containers.
+    pub fn emit_pretty(&self) -> String {
+        let mut out = String::new();
+        self.emit(&mut out, 0);
+        out
+    }
+
+    fn emit(&self, out: &mut String, depth: usize) {
+        let indent = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    indent(out, depth + 1);
+                    item.emit(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    indent(out, depth + 1);
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\": ");
+                    v.emit(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse an arbitrary value tree (with the same grammar restrictions as
+    /// the flat parser: numbers are unsigned integers).
+    pub fn parse(input: &str) -> Result<Value, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err_at(p.pos, "trailing characters after value".into()));
+        }
+        Ok(v)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'0'..=b'9') => Ok(Value::U64(self.parse_u64()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Arr(items)),
+                        other => {
+                            return Err(self.err_at(
+                                self.pos.saturating_sub(1),
+                                format!("expected ',' or ']', found {}", show(other)),
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.parse_value()?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Obj(pairs)),
+                        other => {
+                            return Err(self.err_at(
+                                self.pos.saturating_sub(1),
+                                format!("expected ',' or '}}', found {}", show(other)),
+                            ))
+                        }
+                    }
+                }
+            }
+            other => Err(self.err_at(
+                self.pos,
+                format!("expected a JSON value, found {}", show(other)),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tests
 // ---------------------------------------------------------------------------
 
@@ -342,5 +538,61 @@ mod tests {
     fn duplicate_keys_keep_last() {
         let m = parse_object("{\"k\": 1, \"k\": 2}").unwrap();
         assert_eq!(m, map(&[("k", 2)]));
+    }
+
+    fn sample_tree() -> Value {
+        Value::Obj(vec![
+            ("passes".into(), Value::Arr(vec![Value::str("mem2reg"), Value::str("gvn")])),
+            (
+                "edges".into(),
+                Value::Arr(vec![Value::Obj(vec![
+                    ("from".into(), Value::str("mem2reg")),
+                    ("to".into(), Value::str("gvn")),
+                    ("count".into(), Value::U64(3)),
+                ])]),
+            ),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            ("empty_obj".into(), Value::Obj(vec![])),
+            ("escape\"key".into(), Value::str("tab\there")),
+        ])
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = sample_tree();
+        let text = v.emit_pretty();
+        assert_eq!(Value::parse(&text).unwrap(), v);
+        // Compact foreign spacing parses too.
+        let compact = "{\"a\":[1,2,{\"b\":\"c\"}],\"d\":{}}";
+        let back = Value::parse(compact).unwrap();
+        assert_eq!(back.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            back.get("a").unwrap().as_arr().unwrap()[2].get("b").unwrap().as_str(),
+            Some("c")
+        );
+    }
+
+    #[test]
+    fn value_pretty_layout_matches_flat_emitter() {
+        // A Value tree that is a flat object must serialise byte-identically
+        // to the dedicated stats emitter.
+        let flat = map(&[("a.b", 1), ("c.d", 2)]);
+        let v = Value::Obj(
+            flat.iter().map(|(k, x)| (k.clone(), Value::U64(*x))).collect(),
+        );
+        assert_eq!(v.emit_pretty(), emit_object_pretty(&flat));
+        assert_eq!(Value::Obj(vec![]).emit_pretty(), "{}");
+        assert_eq!(Value::Arr(vec![]).emit_pretty(), "[]");
+    }
+
+    #[test]
+    fn value_rejects_malformed() {
+        for bad in ["", "[1,]", "[1 2]", "{\"a\"}", "{\"a\":}", "[", "{\"a\":1}x", "-3"] {
+            assert!(Value::parse(bad).is_err(), "should reject: {bad}");
+        }
+        // Accessors are variant-safe.
+        assert_eq!(Value::U64(1).get("k"), None);
+        assert_eq!(Value::str("s").as_u64(), None);
+        assert_eq!(Value::U64(1).as_arr(), None);
     }
 }

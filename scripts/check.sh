@@ -7,6 +7,9 @@
 #   3. a 30-second `citroen-analyze --smoke` fuzz campaign: random modules
 #      x random pass sequences through the verifier, the translation-
 #      validation sanitizer, and the interpreter differential
+#   4. a 30-second `citroen-analyze oracle` soundness campaign: 500 module
+#      x sequence trials executing every CannotFire precondition verdict
+#      (plus the pass-interaction graph derivation over the suite)
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
@@ -20,5 +23,8 @@ cargo test -q
 
 echo "== citroen-analyze --smoke (30s budget)"
 timeout 30 ./target/release/citroen-analyze --smoke
+
+echo "== citroen-analyze oracle (500 soundness trials, 30s budget)"
+timeout 30 ./target/release/citroen-analyze oracle > /dev/null
 
 echo "== tier-1 gate passed"

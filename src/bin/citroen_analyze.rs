@@ -1,33 +1,42 @@
 //! `citroen-analyze`: the static-analysis and translation-validation front
-//! end. Two modes:
+//! end. Three modes:
 //!
 //! * **lint** (`--lint`): run the dataflow lint suite over the shipped
-//!   benchmark suite (optionally after `-O3`) and print diagnostics.
+//!   benchmark suite (optionally after `-O3`), or over a single IR file with
+//!   `--ir FILE`, and print diagnostics.
+//! * **oracle** (`oracle`): soundness-fuzz the per-pass precondition oracle
+//!   (every `CannotFire` verdict is executed and must change nothing), then
+//!   derive the static pass-interaction graph over the shipped suite and
+//!   emit it as JSON on stdout.
 //! * **fuzz** (default, `--smoke` for the 30-second tier-1 budget): random
 //!   generated modules × random pass sequences through the verifier, the
 //!   sanitizer, and an interpreter differential, delta-debugging any failure
 //!   down to a minimal pass sequence + module reproducer.
 //!
-//! Exits non-zero iff a failure (or, with `--lint --strict`, any diagnostic)
-//! was found.
+//! Exits non-zero iff a failure, an oracle violation, or (in lint mode) any
+//! diagnostic was found.
 
-use citroen::fuzz::{run_campaign, FuzzConfig};
+use citroen::fuzz::{run_campaign, run_oracle_campaign, FuzzConfig};
 use citroen_analyze::{filter_severity, lint_module, Severity};
 use citroen_passes::manager::{o3_pipeline, PassManager, Registry};
 
 const USAGE: &str = "\
-citroen-analyze — dataflow lints + translation-validation fuzzing
+citroen-analyze — dataflow lints, precondition oracle + fuzzing
 
 USAGE:
     citroen-analyze [--smoke | --modules N --seqs N --max-len N --seed S]
-    citroen-analyze --lint [--o3] [--errors-only]
+    citroen-analyze oracle [--smoke] [--modules N --seqs N --max-len N --seed S]
+    citroen-analyze --lint [--o3] [--errors-only] [--ir FILE]
 
 MODES:
     (default)        fuzz campaign (20 modules x 10 sequences)
+    oracle           soundness-fuzz pass preconditions (25 x 20 = 500 trials),
+                     then emit the pass-interaction graph as JSON on stdout
     --smoke          tiny deterministic campaign (tier-1 gate, <30s)
     --lint           lint the shipped benchmark suite
     --o3             lint after the -O3 pipeline instead of the source IR
     --errors-only    only report Error-severity lints
+    --ir FILE        lint a single IR file instead of the suite
 
 FUZZ OPTIONS:
     --modules N      number of generated modules        [default: 20]
@@ -57,14 +66,29 @@ fn main() {
 
     let mut cfg = FuzzConfig::default();
     let (mut lint, mut o3, mut errors_only, mut smoke) = (false, false, false, false);
+    let (mut oracle, mut with_lying, mut explicit_size) = (false, false, false);
+    let mut ir_file: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "oracle" => oracle = true,
             "--lint" => lint = true,
             "--o3" => o3 = true,
             "--errors-only" => errors_only = true,
             "--smoke" => smoke = true,
-            "--modules" => cfg.modules = parse_num(&mut args, "--modules") as usize,
-            "--seqs" => cfg.seqs_per_module = parse_num(&mut args, "--seqs") as usize,
+            "--ir" => {
+                ir_file = Some(args.next().unwrap_or_else(|| die("--ir needs a file path")))
+            }
+            // Test-only: spike the registry with the deliberately lying pass
+            // to prove the soundness campaign catches it (hence not in USAGE).
+            "--with-lying" => with_lying = true,
+            "--modules" => {
+                cfg.modules = parse_num(&mut args, "--modules") as usize;
+                explicit_size = true;
+            }
+            "--seqs" => {
+                cfg.seqs_per_module = parse_num(&mut args, "--seqs") as usize;
+                explicit_size = true;
+            }
             "--max-len" => cfg.max_seq_len = parse_num(&mut args, "--max-len") as usize,
             "--seed" => cfg.seed = parse_num(&mut args, "--seed"),
             "--help" | "-h" => {
@@ -79,7 +103,19 @@ fn main() {
     }
 
     if lint {
-        std::process::exit(lint_suite(o3, errors_only));
+        match ir_file {
+            Some(path) => std::process::exit(lint_file(&path, errors_only)),
+            None => std::process::exit(lint_suite(o3, errors_only)),
+        }
+    }
+    if oracle {
+        if !smoke && !explicit_size {
+            // The tentpole's acceptance bar: ≥500 executed module × sequence
+            // soundness trials per default run.
+            cfg.modules = 25;
+            cfg.seqs_per_module = 20;
+        }
+        std::process::exit(oracle_mode(&cfg, smoke, with_lying));
     }
     std::process::exit(fuzz(&cfg));
 }
@@ -108,6 +144,78 @@ fn lint_suite(after_o3: bool, errors_only: bool) -> i32 {
     let stage = if after_o3 { "after -O3" } else { "on source IR" };
     println!("citroen-analyze: {total} diagnostic(s) {stage}");
     i32::from(total > 0)
+}
+
+/// Lint a single parseable IR file (e.g. a fuzz-reduced reproducer),
+/// returning a non-zero exit code iff any diagnostic is produced.
+fn lint_file(path: &str, errors_only: bool) -> i32 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("--ir {path}: {e}")));
+    let m = citroen_ir::parse::parse_module(&text)
+        .unwrap_or_else(|e| die(&format!("--ir {path}: parse error: {e}")));
+    let mut diags = lint_module(&m);
+    if errors_only {
+        diags = filter_severity(diags, Severity::Error);
+    }
+    for d in &diags {
+        println!("{path}: {d}");
+    }
+    println!("citroen-analyze: {} diagnostic(s) in {path}", diags.len());
+    i32::from(!diags.is_empty())
+}
+
+/// Oracle mode: soundness-fuzz every registered precondition, then derive
+/// the pass-interaction graph over the shipped suite. Progress and the
+/// campaign summary go to stderr; the graph JSON is stdout, so
+/// `citroen-analyze oracle > graph.json` does the expected thing.
+fn oracle_mode(cfg: &FuzzConfig, smoke: bool, with_lying: bool) -> i32 {
+    let reg = if with_lying {
+        let mut passes = citroen_passes::passes::all_passes();
+        passes.push(Box::new(citroen_passes::testing::LyingPrecondition));
+        Registry::from_passes(passes)
+    } else {
+        Registry::full()
+    };
+
+    eprintln!(
+        "citroen-analyze oracle: {} modules x {} sequences (max len {}, seed {:#x})",
+        cfg.modules, cfg.seqs_per_module, cfg.max_seq_len, cfg.seed
+    );
+    let report = run_oracle_campaign(cfg, &reg, |line| eprintln!("{line}"));
+    for v in &report.violations {
+        eprintln!("\n=== oracle violation: {} (module seed {:#x}) ===", v.pass, v.module_seed);
+        eprintln!("detail:           {}", v.detail);
+        eprintln!("sequence:         {}", v.seq);
+        eprintln!("reduced sequence: {}", v.reduced_seq);
+        eprintln!("reduced module:\n{}", v.reduced_ir);
+    }
+    eprintln!(
+        "citroen-analyze oracle: {} trial(s), {} cannot-fire verdict(s) executed \
+         ({} verdicts total), {} violation(s)",
+        report.trials,
+        report.checked_cannot_fire,
+        report.verdicts,
+        report.violations.len()
+    );
+
+    // Interaction graph over the shipped suite (linked benchmarks). The
+    // smoke budget keeps the corpus small so the tier-1 gate stays <30s.
+    let benches = citroen_suite::cbench();
+    let corpus: Vec<_> = benches
+        .iter()
+        .take(if smoke { 2 } else { benches.len() })
+        .map(|b| b.link())
+        .collect();
+    let graph = citroen_passes::oracle::derive_graph(&reg, &corpus);
+    eprintln!(
+        "citroen-analyze oracle: interaction graph over {} module(s): {} enables, {} disables",
+        graph.modules,
+        graph.enables.len(),
+        graph.disables.len()
+    );
+    println!("{}", graph.to_json());
+
+    i32::from(!report.violations.is_empty())
 }
 
 fn fuzz(cfg: &FuzzConfig) -> i32 {

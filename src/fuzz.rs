@@ -179,6 +179,139 @@ pub fn run_campaign(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> Report 
     report
 }
 
+// ---------------------------------------------------------------------------
+// Oracle soundness campaign
+// ---------------------------------------------------------------------------
+
+/// A contradicted `CannotFire` verdict, reduced to a small reproducer.
+#[derive(Debug, Clone)]
+pub struct OracleViolation {
+    /// Name of the lying pass.
+    pub pass: String,
+    /// Seed of the generated module that exposed the lie.
+    pub module_seed: u64,
+    /// The original sequence under which the lie surfaced.
+    pub seq: String,
+    /// The ddmin-minimised sequence that still surfaces it.
+    pub reduced_seq: String,
+    /// The reduced module, printed as parseable IR.
+    pub reduced_ir: String,
+    /// What the theorem check observed (fingerprint change / stats).
+    pub detail: String,
+}
+
+/// Oracle campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Module × sequence trials executed.
+    pub trials: usize,
+    /// `CannotFire` verdicts that were executed and checked.
+    pub checked_cannot_fire: u64,
+    /// Verdicts computed in total (one per pass application).
+    pub verdicts: u64,
+    /// Reduced violations, in discovery order.
+    pub violations: Vec<OracleViolation>,
+}
+
+/// Replay `seq` on (a clone of) `m`, checking every `CannotFire` verdict
+/// against the pass's actual behaviour. Returns the first contradiction as
+/// `(pass name, detail)`; counters accumulate into `checked`/`verdicts` when
+/// provided. This is both the campaign trial and the predicate the reducers
+/// re-run (with counters off).
+fn oracle_replay(
+    reg: &Registry,
+    m: &Module,
+    seq: &[PassId],
+    mut counters: Option<(&mut u64, &mut u64)>,
+) -> Option<(String, String)> {
+    let mut cur = m.clone();
+    for &id in seq {
+        let pass = reg.pass(id);
+        let facts = citroen_analyze::oracle::compute_facts(&cur);
+        let verdict = pass.precondition(&cur, &facts);
+        if let Some((_, verdicts)) = counters.as_mut() {
+            **verdicts += 1;
+        }
+        let claimed_dead = verdict.is_cannot_fire();
+        let before = claimed_dead.then(|| citroen_ir::print::fingerprint(&cur));
+        let mut stats = citroen_passes::Stats::new();
+        pass.run(&mut cur, &mut stats);
+        if let Some(before_fp) = before {
+            if let Some((checked, _)) = counters.as_mut() {
+                **checked += 1;
+            }
+            if citroen_ir::print::fingerprint(&cur) != before_fp {
+                return Some((
+                    pass.name().to_string(),
+                    "cannot-fire pass changed the module fingerprint".to_string(),
+                ));
+            }
+            if !stats.is_empty() {
+                return Some((
+                    pass.name().to_string(),
+                    format!("cannot-fire pass recorded stats: {}", stats.keys().join(", ")),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Soundness-fuzz the precondition oracle of every pass in `reg`: random
+/// generated modules × random sequences, stepping each sequence through an
+/// evolving module and executing every `CannotFire` verdict seen along the
+/// way. Any contradiction is delta-debugged (sequence ddmin pinned to the
+/// lying pass, then module reduction) before being reported.
+pub fn run_oracle_campaign(
+    cfg: &FuzzConfig,
+    reg: &Registry,
+    mut progress: impl FnMut(&str),
+) -> OracleReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = OracleReport::default();
+
+    for mi in 0..cfg.modules {
+        let module_seed: u64 = rng.gen();
+        let gen_cfg = varied_config(&mut rng);
+        let module = generate(module_seed, &gen_cfg);
+        progress(&format!(
+            "oracle module {}/{} (seed {module_seed:#x}, {} insts)",
+            mi + 1,
+            cfg.modules,
+            module.num_insts()
+        ));
+        for _ in 0..cfg.seqs_per_module {
+            report.trials += 1;
+            let len = rng.gen_range(1..=cfg.max_seq_len);
+            let seq: Vec<PassId> =
+                (0..len).map(|_| reg.ids()[rng.gen_range(0..reg.len())]).collect();
+            let counters = (&mut report.checked_cannot_fire, &mut report.verdicts);
+            let Some((pass, detail)) = oracle_replay(reg, &module, &seq, Some(counters)) else {
+                continue;
+            };
+            progress(&format!("  ORACLE VIOLATION ({pass}) — reducing"));
+
+            // Reduce with the violation pinned to the same lying pass, so
+            // minimisation cannot drift to a different pass's (hypothetical)
+            // unrelated lie.
+            let still_lies = |reg: &Registry, m: &Module, s: &[PassId]| {
+                oracle_replay(reg, m, s, None).is_some_and(|(p, _)| p == pass)
+            };
+            let min_seq = ddmin(&seq, |s| still_lies(reg, &module, s));
+            let reduced = reduce_module(&module, |m| still_lies(reg, m, &min_seq));
+            report.violations.push(OracleViolation {
+                pass: pass.clone(),
+                module_seed,
+                seq: reg.seq_to_string(&seq),
+                reduced_seq: reg.seq_to_string(&min_seq),
+                reduced_ir: citroen_ir::print::print_module(&reduced),
+                detail,
+            });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +327,56 @@ mod tests {
                 "fuzz failure ({}) seed {:#x}\n  seq: {}\n  reduced seq: {}\n{}",
                 f.kind, f.module_seed, f.seq, f.reduced_seq, f.reduced_ir
             );
+        }
+    }
+
+    #[test]
+    fn oracle_smoke_campaign_is_clean() {
+        // Every shipped precondition must uphold its CannotFire theorem on
+        // a small deterministic campaign (the full 500-trial version runs in
+        // release via `citroen-analyze oracle` / scripts/check.sh).
+        let cfg = FuzzConfig { modules: 6, seqs_per_module: 5, max_seq_len: 12, seed: 7 };
+        let report = run_oracle_campaign(&cfg, &Registry::full(), |_| {});
+        assert_eq!(report.trials, 30);
+        // The campaign only proves something if verdicts were actually
+        // executed: a trivially-MayFire oracle would make this test vacuous.
+        assert!(
+            report.checked_cannot_fire >= report.verdicts / 10,
+            "only {}/{} verdicts were CannotFire — oracle too weak to test",
+            report.checked_cannot_fire,
+            report.verdicts
+        );
+        for v in &report.violations {
+            panic!(
+                "oracle violation: pass '{}' ({}) seed {:#x}\n  seq: {}\n  reduced: {}\n{}",
+                v.pass, v.detail, v.module_seed, v.seq, v.reduced_seq, v.reduced_ir
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_campaign_convicts_lying_precondition() {
+        // A registry spiked with the deliberately lying pass must produce
+        // violations, and ddmin must reduce each reproducer to the lie alone.
+        let mut passes = citroen_passes::passes::all_passes();
+        passes.push(Box::new(citroen_passes::testing::LyingPrecondition));
+        let reg = Registry::from_passes(passes);
+        // The lying pass is 1 of 33, so keep enough slots that some drawn
+        // sequence deterministically contains it under this seed.
+        let cfg = FuzzConfig { modules: 3, seqs_per_module: 8, max_seq_len: 16, seed: 11 };
+        let report = run_oracle_campaign(&cfg, &reg, |_| {});
+        assert!(
+            !report.violations.is_empty(),
+            "the lying pass must be caught ({} trials)",
+            report.trials
+        );
+        for v in &report.violations {
+            assert_eq!(v.pass, "lying-precondition", "only the spiked pass may be convicted");
+            assert_eq!(
+                v.reduced_seq, "lying-precondition",
+                "ddmin must shrink the sequence to the lie alone"
+            );
+            assert!(!v.reduced_ir.is_empty());
         }
     }
 }

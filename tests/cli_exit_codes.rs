@@ -1,0 +1,103 @@
+//! Exit-code contract of the `citroen-analyze` binary: 0 on a clean run,
+//! 1 when findings (lint diagnostics or oracle violations) exist, 2 on usage
+//! errors. CI scripts branch on these codes, so they are pinned here against
+//! the real binary rather than the library functions behind it.
+
+use citroen_ir::builder::FunctionBuilder;
+use citroen_ir::inst::Operand;
+use citroen_ir::module::Module;
+use citroen_ir::types::I64;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn analyze(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_citroen-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn citroen-analyze")
+}
+
+fn temp_ir(name: &str, m: &Module) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("citroen-exit-{}-{name}.ir", std::process::id()));
+    std::fs::write(&path, citroen_ir::print::print_module(m)).expect("write temp IR");
+    path
+}
+
+/// A module with a provable dead store (the only write to a non-escaping
+/// alloca that is never read).
+fn dirty_module() -> Module {
+    let mut m = Module::new("dirty");
+    let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+    let slot = b.alloca(8);
+    b.store(I64, b.param(0), slot);
+    b.ret(Some(Operand::imm64(0)));
+    m.add_func(b.finish());
+    m
+}
+
+fn clean_module() -> Module {
+    let mut m = Module::new("clean");
+    let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+    b.ret(Some(b.param(0)));
+    m.add_func(b.finish());
+    m
+}
+
+#[test]
+fn usage_error_exits_2() {
+    let out = analyze(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown argument"), "{err}");
+
+    // A flag missing its value is also a usage error.
+    assert_eq!(analyze(&["--ir"]).status.code(), Some(2));
+    assert_eq!(analyze(&["--lint", "--ir", "/no/such/file.ir"]).status.code(), Some(2));
+}
+
+#[test]
+fn lint_ir_exit_codes_follow_findings() {
+    // A module with a provable dead store → findings → exit 1.
+    let dirty = temp_ir("dirty", &dirty_module());
+    let out = analyze(&["--lint", "--ir", dirty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dead-store"), "{stdout}");
+
+    // The same module has only Warning findings, so --errors-only is clean.
+    let strict = analyze(&["--lint", "--errors-only", "--ir", dirty.to_str().unwrap()]);
+    assert_eq!(strict.status.code(), Some(0));
+
+    // A clean module → exit 0.
+    let clean = temp_ir("clean", &clean_module());
+    let out = analyze(&["--lint", "--ir", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let _ = std::fs::remove_file(dirty);
+    let _ = std::fs::remove_file(clean);
+}
+
+#[test]
+fn oracle_smoke_is_clean_and_emits_the_graph() {
+    let out = analyze(&["oracle", "--smoke"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // The graph JSON goes to stdout and must round-trip.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let graph = citroen_analyze::InteractionGraph::from_json(&stdout)
+        .unwrap_or_else(|e| panic!("bad graph JSON ({e}):\n{stdout}"));
+    assert!(!graph.passes.is_empty());
+    // The summary (stderr) must witness that verdicts were really executed.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot-fire verdict(s) executed"), "{err}");
+    assert!(err.contains("0 violation(s)"), "{err}");
+}
+
+#[test]
+fn oracle_with_lying_pass_exits_1() {
+    let out = analyze(&["oracle", "--smoke", "--with-lying"]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("oracle violation: lying-precondition"), "{err}");
+    // ddmin must have shrunk the reproducer to the lying pass alone.
+    assert!(err.contains("reduced sequence: lying-precondition"), "{err}");
+}
