@@ -34,6 +34,7 @@ impl Acquisition {
     /// Evaluate the AF at `x` (unit space) given the GP and the incumbent
     /// best value `best_z` in *model (transformed) space*.
     pub fn eval(&self, gp: &Gp, best_z: f64, x: &[f64]) -> f64 {
+        citroen_telemetry::counter("acq.evals", 1);
         let (mu, var) = gp.predict(x);
         let sd = var.sqrt();
         match self {

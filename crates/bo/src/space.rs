@@ -76,6 +76,11 @@ pub struct SeqCanonicalizer {
     pub dead: Vec<bool>,
     /// Per-pass: bitmask of the passes it may enable (≤64 passes).
     pub enables: Vec<u64>,
+    /// Per-pass: idempotent — running it twice back-to-back is provably the
+    /// same as running it once, so immediate duplicates collapse. Defaults to
+    /// all-false ([`SeqCanonicalizer::new`]); opt in via
+    /// [`SeqCanonicalizer::with_idempotence`].
+    pub idem: Vec<bool>,
 }
 
 impl SeqCanonicalizer {
@@ -84,7 +89,18 @@ impl SeqCanonicalizer {
     pub fn new(dead: Vec<bool>, enables: Vec<u64>) -> SeqCanonicalizer {
         assert_eq!(dead.len(), enables.len(), "masks must cover the same passes");
         assert!(dead.len() <= 64, "bitmask form limited to 64 passes");
-        SeqCanonicalizer { dead, enables }
+        let idem = vec![false; dead.len()];
+        SeqCanonicalizer { dead, enables, idem }
+    }
+
+    /// Add an idempotence mask (from `Registry::idempotent_mask`): immediate
+    /// duplicate runs of pass `p` with `idem[p]` collapse to one run during
+    /// canonicalisation. The collapse is local — `p, q, p` is untouched,
+    /// because `q` may re-create work for `p`.
+    pub fn with_idempotence(mut self, idem: Vec<bool>) -> SeqCanonicalizer {
+        assert_eq!(idem.len(), self.dead.len(), "masks must cover the same passes");
+        self.idem = idem;
+        self
     }
 
     /// A canonicalizer that never drops anything (oracle disabled / unknown).
@@ -94,22 +110,31 @@ impl SeqCanonicalizer {
 
     /// Whether canonicalisation can ever change a sequence.
     pub fn is_identity(&self) -> bool {
-        !self.dead.iter().any(|&d| d)
+        !self.dead.iter().any(|&d| d) && !self.idem.iter().any(|&i| i)
     }
 
     /// Canonicalise `seq` (pass indices): drop pass `p` at each position iff
-    /// it is statically dead *and* no earlier kept pass may have woken it.
+    /// it is statically dead *and* no earlier kept pass may have woken it, or
+    /// it is idempotent and the previous *kept* pass was `p` itself.
     pub fn canonicalize(&self, seq: &[usize]) -> Vec<usize> {
         let mut woken = 0u64;
-        let mut out = Vec::with_capacity(seq.len());
+        let mut out: Vec<usize> = Vec::with_capacity(seq.len());
+        let (mut dead_dropped, mut idem_collapsed) = (0u64, 0u64);
         for &p in seq {
             debug_assert!(p < self.dead.len(), "pass index out of range");
             if self.dead[p] && woken & (1 << p) == 0 {
+                dead_dropped += 1;
+                continue;
+            }
+            if self.idem[p] && out.last() == Some(&p) {
+                idem_collapsed += 1;
                 continue;
             }
             woken |= self.enables[p];
             out.push(p);
         }
+        citroen_telemetry::counter("canon.dead_dropped", dead_dropped);
+        citroen_telemetry::counter("canon.idem_collapsed", idem_collapsed);
         out
     }
 }
@@ -162,6 +187,29 @@ mod tests {
         let c = SeqCanonicalizer::identity(4);
         assert!(c.is_identity());
         assert_eq!(c.canonicalize(&[3, 1, 1, 0, 2]), vec![3, 1, 1, 0, 2]);
+    }
+
+    #[test]
+    fn idempotence_collapses_immediate_duplicates_only() {
+        let c = SeqCanonicalizer::identity(3).with_idempotence(vec![false, true, false]);
+        assert!(!c.is_identity());
+        // `1,1,1` → `1`; but `1,0,1` stays — pass 0 between may re-create work.
+        assert_eq!(c.canonicalize(&[1, 1, 1, 0, 1, 2, 2]), vec![1, 0, 1, 2, 2]);
+        // Non-idempotent duplicates are untouched.
+        assert_eq!(c.canonicalize(&[2, 2, 0, 0]), vec![2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn idempotence_composes_with_dead_pruning() {
+        // Pass 1 dead, pass 2 idempotent: `2,1,2` collapses to `2` because
+        // dropping the dead pass 1 makes the two 2s adjacent.
+        let c = SeqCanonicalizer::new(vec![false, true, false], vec![0, 0, 0])
+            .with_idempotence(vec![false, false, true]);
+        assert_eq!(c.canonicalize(&[2, 1, 2, 0]), vec![2, 0]);
+        // But a *kept* (woken) pass between them blocks the collapse.
+        let c = SeqCanonicalizer::new(vec![false, true, false], vec![1 << 1, 0, 0])
+            .with_idempotence(vec![false, false, true]);
+        assert_eq!(c.canonicalize(&[0, 2, 1, 2]), vec![0, 2, 1, 2]);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use citroen_ir::module::Module;
 use citroen_passes::{PassId, Registry, Stats};
 use citroen_rt::rng::StdRng;
 use citroen_rt::rng::{Rng, SeedableRng};
+use citroen_telemetry as telemetry;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -75,6 +76,11 @@ pub struct CitroenConfig {
     /// Append the oracle's per-pass verdict bits (computed on the *optimised*
     /// candidate module) to the GP feature vector. Off by default.
     pub oracle_features: bool,
+    /// When `oracle_prune` is on, additionally collapse immediate duplicate
+    /// runs of idempotent passes ([`citroen_passes::Pass::is_idempotent`])
+    /// during canonicalisation, so `p,p` genomes share `p`'s compile-cache
+    /// entry. No effect when `oracle_prune` is off.
+    pub idem_collapse: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -94,6 +100,7 @@ impl Default for CitroenConfig {
             warm_start: None,
             oracle_prune: false,
             oracle_features: false,
+            idem_collapse: true,
             seed: 0,
         }
     }
@@ -119,6 +126,7 @@ pub struct ImpactReport {
 
 /// Run CITROEN on `task` for `budget` runtime measurements.
 pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (TuneTrace, ImpactReport) {
+    let _run_span = telemetry::span("citroen.run");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let len = task.seq_len();
     let npasses = task.registry.len();
@@ -157,7 +165,12 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         for e in &enables {
             mask[e.from] |= 1 << e.to;
         }
-        SeqCanonicalizer::new(dead, mask)
+        let c = SeqCanonicalizer::new(dead, mask);
+        if cfg.idem_collapse {
+            c.with_idempotence(task.registry.idempotent_mask())
+        } else {
+            c
+        }
     });
     let canon_genome = |g: &[u16]| -> Vec<u16> {
         match &canon {
@@ -231,12 +244,14 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     for _ in 1..cfg.init_random.max(1) {
         first.push((0..len).map(|_| rng.gen_range(0..npasses) as u16).collect());
     }
+    let init_span = telemetry::span("init");
     for g in first {
         if task.measurements >= budget {
             break;
         }
         observe!(g);
     }
+    drop(init_span);
 
     // 2. Model-guided search.
     let mut hypers: Option<GpHypers> = None;
@@ -244,6 +259,8 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     let mut last_meas = task.measurements;
     let mut stagnant = 0usize;
     while task.measurements < budget {
+        let _iter_span = telemetry::span("iteration");
+        telemetry::counter("citroen.iterations", 1);
         // Generate candidates.
         let mut cands: Vec<Vec<u16>> = match cfg.generator {
             GeneratorKind::Des => {
@@ -295,6 +312,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             compiled.retain(|(_, stats, _, _, fp)| {
                 batch_sigs.insert((stats_sig(stats), *fp))
             });
+            telemetry::counter("citroen.coverage_dropped", (before - compiled.len()) as u64);
             trace.coverage_dropped += before - compiled.len();
         }
         if compiled.is_empty() {
@@ -324,6 +342,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
 
         // Fit the cost model and score candidates.
         let t0 = Instant::now();
+        let fit_span = telemetry::span("fit");
         for (_, stats, _, _, _) in &compiled {
             for k in stats.keys() {
                 if !key_union.contains(&k) {
@@ -340,6 +359,8 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         }
         let gp = Gp::fit(xmat, &y, gpc);
         hypers = Some(gp.hypers());
+        drop(fit_span);
+        let acquire_span = telemetry::span("acquire");
         let best_raw = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let best_z = gp.transform().forward(best_raw);
         let acq = Acquisition::Ucb { beta: cfg.beta };
@@ -354,6 +375,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                 pick = i;
             }
         }
+        drop(acquire_span);
         task.add_model_time(t0.elapsed());
 
         let (g, _, _, _, _) = compiled.swap_remove(pick);
@@ -615,6 +637,53 @@ mod tests {
         assert!(
             m_on <= m_off * 1.05,
             "median best/O3 degraded with pruning: {m_on:.4} vs {m_off:.4}"
+        );
+    }
+
+    #[test]
+    fn idempotence_collapse_cuts_compiles_without_hurting_speedup() {
+        // Same quantile discipline: oracle pruning on for both arms, with
+        // the idempotence collapse toggled. Collapsing `p,p → p` for the 12
+        // verified-idempotent cleanup passes folds more genomes onto shared
+        // compile-cache entries, so compilations must drop at the median
+        // while the median best-found runtime stays within noise.
+        let seeds: Vec<u64> = (1..=10).collect();
+        let runs = citroen_rt::par::par_map(seeds, |seed| {
+            let run = |idem: bool| {
+                let mut task = gsm_task(seed);
+                let cfg = CitroenConfig {
+                    candidates: 24,
+                    init_random: 6,
+                    oracle_prune: true,
+                    idem_collapse: idem,
+                    seed,
+                    ..Default::default()
+                };
+                let (trace, _) = run_citroen(&mut task, 20, &cfg);
+                (trace.best() / task.o3_seconds, task.compilations)
+            };
+            (run(false), run(true))
+        });
+        let mut reduction: Vec<f64> = runs
+            .iter()
+            .map(|((_, c_off), (_, c_on))| 1.0 - *c_on as f64 / *c_off as f64)
+            .collect();
+        reduction.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut off: Vec<f64> = runs.iter().map(|((r, _), _)| *r).collect();
+        let mut on: Vec<f64> = runs.iter().map(|(_, (r, _))| *r).collect();
+        off.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        on.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!("idem compile reduction per seed: {reduction:?}");
+        eprintln!("best/O3 idem-off: {off:?}\nbest/O3 idem-on:  {on:?}");
+        let median_red = reduction[reduction.len() / 2];
+        assert!(
+            median_red > 0.0,
+            "median compile reduction {median_red:.3} not positive: {reduction:?}"
+        );
+        let (m_off, m_on) = (off[off.len() / 2], on[on.len() / 2]);
+        assert!(
+            m_on <= m_off * 1.05,
+            "median best/O3 degraded with idempotence collapse: {m_on:.4} vs {m_off:.4}"
         );
     }
 }

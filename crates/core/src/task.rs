@@ -15,6 +15,7 @@ use citroen_sim::Platform;
 use citroen_suite::Benchmark;
 use citroen_rt::rng::StdRng;
 use citroen_rt::rng::SeedableRng;
+use citroen_telemetry as telemetry;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -101,6 +102,7 @@ pub struct Task {
 impl Task {
     /// Build a task: profile hot modules on the `-O3` build, cache baselines.
     pub fn new(bench: Benchmark, registry: Registry, platform: Platform, cfg: TaskConfig) -> Task {
+        let _span = telemetry::span("task.setup");
         let pm = PassManager::new(&registry);
         let o3 = o3_pipeline(&registry);
         let o3_modules: Vec<Module> =
@@ -172,10 +174,12 @@ impl Task {
     /// Returns the per-module compilation statistics and the fingerprint of
     /// the *whole linked program* with the remaining modules at `-O3`.
     pub fn compile_hot(&mut self, module_idx: usize, seq: &[PassId]) -> (Stats, u64, Module) {
+        let _span = telemetry::span("compile");
         let t0 = Instant::now();
         let pm = PassManager::new(&self.registry);
         let res = pm.compile(&self.bench.modules[module_idx], seq);
         self.compilations += 1;
+        telemetry::counter("task.compilations", 1);
         self.times.compile += t0.elapsed();
         (res.stats, res.fingerprint, res.module)
     }
@@ -183,6 +187,7 @@ impl Task {
     /// Assemble the full program with the given per-hot-module optimised
     /// modules (cold modules at `-O3`) and return its linked fingerprint.
     pub fn assemble(&self, optimised_hot: &[(usize, &Module)]) -> (Module, u64) {
+        let _span = telemetry::span("link");
         let mut mods = self.o3_modules.clone();
         for (idx, m) in optimised_hot {
             mods[*idx] = (*m).clone();
@@ -195,8 +200,10 @@ impl Task {
     /// Measure a fully-assembled program. Consumes one budget unit unless
     /// the fingerprint was measured before. Returns noisy averaged seconds.
     pub fn measure_linked(&mut self, linked: &Module, fp: u64) -> Result<f64, TuneError> {
+        let _span = telemetry::span("measure");
         if let Some(&base) = self.runtime_cache.get(&fp) {
             self.cache_hits += 1;
+            telemetry::counter("task.cache_hits", 1);
             if self.charge_cached {
                 self.measurements += 1;
             }
@@ -219,6 +226,7 @@ impl Task {
         }
         self.runtime_cache.insert(fp, exec.seconds);
         self.measurements += 1;
+        telemetry::counter("task.measurements", 1);
         let t = self.noisy(exec.seconds);
         self.times.measure += t0.elapsed();
         Ok(t)

@@ -1,0 +1,59 @@
+//! The telemetry non-interference contract: instrumenting the tuning loop
+//! must not change what it computes. Telemetry never touches the RNG, the
+//! search state, or the measurement path — so a tuning run with the sink
+//! installed must produce *bit-identical* results to the same run with
+//! telemetry disabled, across a seed window. This is the counterpart of the
+//! `micro --telemetry-gate` overhead bound: one pins the cost, this pins the
+//! semantics.
+
+use citroen_core::{run_citroen, CitroenConfig, Task, TaskConfig, TuneTrace};
+use citroen_passes::Registry;
+use citroen_sim::Platform;
+use citroen_telemetry as telemetry;
+
+fn tune(seed: u64) -> (TuneTrace, usize) {
+    let mut task = Task::new(
+        citroen_suite::kernels::telecom_gsm(),
+        Registry::full(),
+        Platform::tx2(),
+        TaskConfig { seq_len: 16, seed, ..Default::default() },
+    );
+    let cfg = CitroenConfig {
+        candidates: 16,
+        init_random: 4,
+        oracle_prune: true, // exercise the canonicalizer counters too
+        seed,
+        ..Default::default()
+    };
+    let (trace, _) = run_citroen(&mut task, 8, &cfg);
+    (trace, task.compilations)
+}
+
+#[test]
+fn enabled_sink_is_result_identical_to_disabled() {
+    // Sequential on purpose: the runs toggle process-global telemetry state.
+    let seeds: Vec<u64> = (1..=10).collect();
+    for &seed in &seeds {
+        telemetry::disable();
+        let (off, compiles_off) = tune(seed);
+
+        telemetry::enable();
+        let (on, compiles_on) = tune(seed);
+        let telem = telemetry::take_trace().expect("sink must hold a trace");
+        telemetry::disable();
+
+        // Bit-identical: same noisy runtimes (f64 equality), same best
+        // sequences, same bookkeeping, same compile counts.
+        assert_eq!(off.runtimes, on.runtimes, "seed {seed}: runtimes diverged");
+        assert_eq!(off.best_history, on.best_history, "seed {seed}");
+        assert_eq!(off.best_seqs, on.best_seqs, "seed {seed}");
+        assert_eq!(off.coverage_dropped, on.coverage_dropped, "seed {seed}");
+        assert_eq!(off.candidates_generated, on.candidates_generated, "seed {seed}");
+        assert_eq!(compiles_off, compiles_on, "seed {seed}: compile counts diverged");
+
+        // And the enabled run must actually have recorded the tuning loop.
+        assert!(telem.spans.iter().any(|s| s.name == "citroen.run"), "seed {seed}");
+        assert!(telem.spans.iter().any(|s| s.name == "iteration"), "seed {seed}");
+        assert!(telem.counters.get("task.measurements").copied().unwrap_or(0) > 0);
+    }
+}

@@ -72,6 +72,9 @@ impl Gp {
     /// Fit a GP to `(x, y)`. `x` is `n × d` (inputs should be pre-scaled to
     /// `[0,1]^d`, as the thesis does); `y` are raw objective values.
     pub fn fit(x: Mat, y: &[f64], cfg: GpConfig) -> Gp {
+        let _fit_span = citroen_telemetry::span("gp.fit");
+        citroen_telemetry::value("gp.fit_iters", cfg.fit_iters as u64);
+        citroen_telemetry::value("gp.fit_obs", x.rows as u64);
         assert_eq!(x.rows, y.len());
         assert!(x.rows > 0, "cannot fit a GP to zero observations");
         let transform =
@@ -123,6 +126,7 @@ impl Gp {
 
     /// Posterior mean and variance at `q` (model/transformed space).
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        citroen_telemetry::counter("gp.predict.calls", 1);
         let n = self.x.rows;
         let mut kstar = vec![0.0; n];
         for i in 0..n {

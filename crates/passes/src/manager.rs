@@ -9,6 +9,7 @@ use crate::stats::Stats;
 use citroen_analyze::oracle::{Facts, Verdict};
 use citroen_ir::module::Module;
 use citroen_ir::verify;
+use citroen_telemetry as telemetry;
 
 /// A transformation pass.
 pub trait Pass: Sync + Send {
@@ -23,6 +24,17 @@ pub trait Pass: Sync + Send {
     /// The default is the always-sound conservative answer.
     fn precondition(&self, _m: &Module, _facts: &Facts) -> Verdict {
         Verdict::may("no precondition analysis for this pass")
+    }
+    /// Whether running this pass twice in a row is always equivalent to
+    /// running it once (`run; run` leaves the same module as `run`, with the
+    /// second run recording zero statistics). Like [`Pass::precondition`]'s
+    /// `CannotFire`, `true` is a *theorem* — the pass suite's idempotence
+    /// test executes it on the whole benchmark corpus and on fuzzed
+    /// intermediate modules. The tuner's `SeqCanonicalizer` collapses
+    /// immediate duplicates of idempotent passes so the duplicated genomes
+    /// share one compile-cache entry. The default is the always-sound `false`.
+    fn is_idempotent(&self) -> bool {
+        false
     }
 }
 
@@ -121,6 +133,11 @@ impl Registry {
     /// All pass names, in id order.
     pub fn names(&self) -> Vec<&'static str> {
         self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Per-pass idempotence bits ([`Pass::is_idempotent`]), in id order.
+    pub fn idempotent_mask(&self) -> Vec<bool> {
+        self.passes.iter().map(|p| p.is_idempotent()).collect()
     }
 
     /// Parse a comma/space separated list of pass names into a sequence.
@@ -240,14 +257,27 @@ impl<'r> PassManager<'r> {
                     max_vals
                 );
             }
-            pass.run(&mut module, &mut stats);
+            {
+                let _pass_span = telemetry::span_dyn(|| format!("pass.{}", pass.name()));
+                let stats_before = telemetry::is_enabled().then(|| stats.total());
+                pass.run(&mut module, &mut stats);
+                if let Some(before) = stats_before {
+                    telemetry::counter(&format!("pass.{}.runs", pass.name()), 1);
+                    telemetry::counter(
+                        &format!("pass.{}.stats", pass.name()),
+                        stats.total() - before,
+                    );
+                }
+            }
             if self.verify_each {
+                let _verify_span = telemetry::span("verify");
                 let errors = verify::verify_module(&module);
                 if !errors.is_empty() {
                     return Err(CompileError::Verify { pass: pass.name(), errors });
                 }
             }
             if let Some(pre) = &facts {
+                let _sanitize_span = telemetry::span("sanitize");
                 let post = citroen_analyze::sanitize::module_facts(&module);
                 let violations = citroen_analyze::sanitize::check(pre, &post);
                 if !violations.is_empty() {

@@ -144,6 +144,9 @@ impl Pass for ConstProp {
     fn name(&self) -> &'static str {
         "constprop"
     }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
             let mut n = 0u64;

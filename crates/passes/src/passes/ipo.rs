@@ -214,6 +214,9 @@ impl Pass for FunctionAttrs {
     fn name(&self) -> &'static str {
         "function-attrs"
     }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         // Start optimistic (readnone) and knock bits off to a fixpoint.
         // Unknown (declaration) bodies are assumed to read and write memory;
@@ -305,6 +308,9 @@ pub struct TailCallElim;
 impl Pass for TailCallElim {
     fn name(&self) -> &'static str {
         "tailcallelim"
+    }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         let mut n = 0u64;

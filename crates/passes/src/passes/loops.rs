@@ -261,6 +261,9 @@ impl Pass for LoopSimplify {
     fn name(&self) -> &'static str {
         "loop-simplify"
     }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
             let mut n = 0u64;
@@ -1134,6 +1137,9 @@ pub struct LoopDeletion;
 impl Pass for LoopDeletion {
     fn name(&self) -> &'static str {
         "loop-deletion"
+    }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {

@@ -22,6 +22,9 @@ impl Pass for Mem2Reg {
     fn name(&self) -> &'static str {
         "mem2reg"
     }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
             promote_function(f, stats);

@@ -150,6 +150,9 @@ impl Pass for EarlyCse {
     fn name(&self) -> &'static str {
         "early-cse"
     }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for fi in 0..m.funcs.len() {
             let (ni, nl) = gvn_function(m, fi, false);
@@ -386,6 +389,9 @@ impl Pass for Dce {
     fn name(&self) -> &'static str {
         "dce"
     }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
             let n = dce_function(f) as u64;
@@ -409,6 +415,9 @@ pub struct Adce;
 impl Pass for Adce {
     fn name(&self) -> &'static str {
         "adce"
+    }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         // Liveness of calls depends on callee attributes.
@@ -527,6 +536,9 @@ impl Pass for Dse {
     fn name(&self) -> &'static str {
         "dse"
     }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for fi in 0..m.funcs.len() {
             let mut n = 0u64;
@@ -626,6 +638,9 @@ pub struct Sink;
 impl Pass for Sink {
     fn name(&self) -> &'static str {
         "sink"
+    }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
@@ -888,6 +903,9 @@ struct OperandConst(Operand);
 impl Pass for Sccp {
     fn name(&self) -> &'static str {
         "sccp"
+    }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {

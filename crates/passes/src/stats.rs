@@ -48,6 +48,12 @@ impl Stats {
         self.map.iter().map(|((p, s), v)| (p.as_str(), s.as_str(), *v))
     }
 
+    /// Sum of every counter value (the "how much fired" scalar the
+    /// per-pass telemetry counters are built from).
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
     /// Merge another stats bag into this one (summing counters). Used when a
     /// pass sequence applies the same pass several times, and when multi-module
     /// programs concatenate per-module statistics.

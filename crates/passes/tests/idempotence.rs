@@ -1,0 +1,86 @@
+//! The idempotence theorem: `Pass::is_idempotent() == true` promises that
+//! `run; run` always equals `run` — same module fingerprint, zero statistics
+//! from the second run. Like the precondition oracle's `CannotFire`, this is
+//! a checkable contract: we execute it over every benchmark module *and* over
+//! fuzzed intermediate modules (random pass prefixes applied first), which is
+//! exactly the population of modules the tuner's canonicalizer sees.
+
+use citroen_ir::module::Module;
+use citroen_ir::print::fingerprint;
+use citroen_passes::{PassId, Registry, Stats};
+use citroen_rt::rng::{Rng, SeedableRng, StdRng};
+
+/// Benchmark source modules plus fuzzed intermediates: each source module
+/// with 1–8 random passes already applied (3 variants per module).
+fn corpus(reg: &Registry) -> Vec<Module> {
+    let mut corpus: Vec<Module> = citroen_suite::all_benchmarks()
+        .into_iter()
+        .flat_map(|b| b.modules)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0xC17B0E);
+    let base = corpus.clone();
+    for m in &base {
+        for _ in 0..3 {
+            let mut mm = m.clone();
+            for _ in 0..rng.gen_range(1..8usize) {
+                let id = PassId(rng.gen_range(0..reg.len()) as u16);
+                reg.pass(id).run(&mut mm, &mut Stats::new());
+            }
+            corpus.push(mm);
+        }
+    }
+    corpus
+}
+
+/// `(pass name, counterexamples)` for every pass over the corpus: a
+/// counterexample is a corpus module where the second back-to-back run
+/// changed the fingerprint or recorded statistics.
+fn survey() -> Vec<(&'static str, usize)> {
+    let reg = Registry::full();
+    let corpus = corpus(&reg);
+    reg.ids()
+        .into_iter()
+        .map(|id| {
+            let pass = reg.pass(id);
+            let bad = corpus
+                .iter()
+                .filter(|m| {
+                    let mut m1 = (*m).clone();
+                    pass.run(&mut m1, &mut Stats::new());
+                    let fp1 = fingerprint(&m1);
+                    let mut s2 = Stats::new();
+                    pass.run(&mut m1, &mut s2);
+                    fingerprint(&m1) != fp1 || s2.total() != 0
+                })
+                .count();
+            (pass.name(), bad)
+        })
+        .collect()
+}
+
+#[test]
+fn declared_idempotent_passes_are_idempotent() {
+    let reg = Registry::full();
+    let declared: Vec<&str> = reg
+        .ids()
+        .into_iter()
+        .filter(|&id| reg.pass(id).is_idempotent())
+        .map(|id| reg.name(id))
+        .collect();
+    let results = survey();
+    for (name, bad) in &results {
+        eprintln!(
+            "{name:<24} {} ({bad} counterexamples)",
+            if *bad == 0 { "idempotent   " } else { "NOT idempotent" }
+        );
+    }
+    assert!(!declared.is_empty(), "expected some opted-in idempotent passes");
+    let violations: Vec<&(&str, usize)> = results
+        .iter()
+        .filter(|(name, bad)| declared.contains(name) && *bad > 0)
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "passes declared idempotent but refuted on the corpus: {violations:?}"
+    );
+}

@@ -13,7 +13,40 @@
 //! the `CITROEN_THREADS` environment variable (set it to `1` to debug).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Telemetry hooks
+// ---------------------------------------------------------------------------
+
+/// Observer hooks a higher layer (the `citroen-telemetry` crate) installs so
+/// worker threads can attribute their work to the span that called `par_map`.
+/// `rt` sits below every other crate and cannot depend on the telemetry
+/// crate, so propagation happens through plain function pointers: `capture`
+/// runs on the calling thread before workers spawn, its token is handed to
+/// `worker_start` on each worker thread, and `worker_end` closes the
+/// worker's attribution scope. The two timing arguments let the observer
+/// split a worker's wall time into queue wait (spawn → first claim) and work.
+#[derive(Clone, Copy)]
+pub struct TaskHooks {
+    /// Called on the `par_map` caller's thread; returns an opaque scope token
+    /// (e.g. the current span id; 0 = none).
+    pub capture: fn() -> u64,
+    /// Called on each worker thread before it claims work:
+    /// `(token, queue_wait_ns)`.
+    pub worker_start: fn(u64, u64),
+    /// Called on each worker thread after its last chunk: `(work_ns)`.
+    pub worker_end: fn(u64),
+}
+
+static TASK_HOOKS: OnceLock<TaskHooks> = OnceLock::new();
+
+/// Install the process-wide worker hooks. The first caller wins; returns
+/// whether this call installed its hooks.
+pub fn set_task_hooks(hooks: TaskHooks) -> bool {
+    TASK_HOOKS.set(hooks).is_ok()
+}
 
 /// Number of worker threads to use for `n_items` of work.
 pub fn thread_count(n_items: usize) -> usize {
@@ -61,16 +94,29 @@ where
     let outputs: Vec<Mutex<Option<Vec<R>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
+    let hooks = TASK_HOOKS.get();
+    let scope_token = hooks.map(|h| (h.capture)()).unwrap_or(0);
+    let spawned_at = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let ci = next.fetch_add(1, Ordering::Relaxed);
-                if ci >= n_chunks {
-                    break;
+            let (chunks, outputs, next, f) = (&chunks, &outputs, &next, &f);
+            scope.spawn(move || {
+                if let Some(h) = hooks {
+                    (h.worker_start)(scope_token, spawned_at.elapsed().as_nanos() as u64);
                 }
-                let batch = chunks[ci].lock().unwrap().take().expect("chunk claimed once");
-                let out: Vec<R> = batch.into_iter().map(&f).collect();
-                *outputs[ci].lock().unwrap() = Some(out);
+                let work_start = Instant::now();
+                loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= n_chunks {
+                        break;
+                    }
+                    let batch = chunks[ci].lock().unwrap().take().expect("chunk claimed once");
+                    let out: Vec<R> = batch.into_iter().map(f).collect();
+                    *outputs[ci].lock().unwrap() = Some(out);
+                }
+                if let Some(h) = hooks {
+                    (h.worker_end)(work_start.elapsed().as_nanos() as u64);
+                }
             });
         }
     });

@@ -121,8 +121,10 @@ impl Platform {
 
     /// Execute `entry(args…)` in `m` once, producing deterministic cycles.
     pub fn execute(&self, m: &Module, entry: FuncId, args: &[Value]) -> Result<Execution, Trap> {
+        let _exec_span = citroen_telemetry::span("sim.execute");
         let mut sink = CostSink::new(&self.model);
         let output = interp::run(m, entry, args, &mut sink, self.limits)?;
+        citroen_telemetry::value("sim.cycles", sink.cycles as u64);
         let seconds = sink.cycles / (self.model.freq_ghz * 1e9);
         Ok(Execution {
             cycles: sink.cycles,

@@ -1,0 +1,189 @@
+//! Fixed-bucket histograms: power-of-two buckets over the full `u64` range,
+//! so recording is allocation-free and two histograms always merge exactly.
+//!
+//! Bucket 0 holds the value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)` (the
+//! last bucket, 64, additionally holds `u64::MAX`). That is coarse but
+//! plenty for the quantities tracked here (simulated cycles, fit
+//! iterations), and it needs no per-histogram configuration.
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A fixed power-of-two-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; NUM_BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index `v` falls into.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `(lo, hi)` value bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < NUM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the inclusive upper bound
+    /// of the first bucket whose cumulative count reaches `q·count`,
+    /// clamped to the observed `max`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Every boundary value lands in its own bucket; its predecessor in
+        // the previous one.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        for bit in 1..64 {
+            let lo = 1u64 << bit;
+            assert_eq!(Histogram::bucket_index(lo), bit + 1, "2^{bit}");
+            assert_eq!(Histogram::bucket_index(lo - 1), bit, "2^{bit}-1");
+            let (blo, bhi) = Histogram::bucket_bounds(bit + 1);
+            assert_eq!(blo, lo);
+            if bit < 63 {
+                assert_eq!(bhi, (lo << 1) - 1);
+            } else {
+                assert_eq!(bhi, u64::MAX);
+            }
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn record_and_summarise() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1106);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[7], 1); // 100 ∈ [64,128)
+        assert_eq!(h.buckets[10], 1); // 1000 ∈ [512,1024)
+        // Quantiles: median falls in the [2,4) bucket, upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert!(h.mean().is_nan());
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 10] {
+            a.record(v);
+        }
+        for v in [0, 1000] {
+            b.record(v);
+        }
+        let mut whole = Histogram::new();
+        for v in [1, 10, 0, 1000] {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

@@ -1,0 +1,328 @@
+//! # citroen-telemetry
+//!
+//! Hierarchical tracing and metrics for the whole tuning stack. CITROEN's
+//! value proposition is that cheap compilation statistics steer expensive
+//! runtime measurements; this crate makes the *reproduction's own* cost
+//! structure observable: where a tuning run spends its budget (compiles vs
+//! GP fits vs acquisition maximisation vs simulator runs), how often the
+//! caches hit, and how the `rt::par` workers split queue wait from work.
+//!
+//! Three primitives:
+//!
+//! - **Spans** ([`span`], [`SpanGuard`]) — RAII-timed, monotonic-clock,
+//!   hierarchical regions. Nesting is tracked per thread; `rt::par` workers
+//!   attribute their work to the span that called `par_map` through the
+//!   function-pointer hooks in [`citroen_rt::par::set_task_hooks`] (installed
+//!   automatically by [`install`]).
+//! - **Counters** ([`counter`]) — monotonically-increasing named `u64`s
+//!   (compiles, cache hits, oracle prunes, acquisition evaluations, …).
+//! - **Histograms** ([`value`], [`Histogram`]) — fixed power-of-two-bucket
+//!   distributions (GP fit iterations, simulated cycles, …).
+//!
+//! Everything funnels into one process-global [`TelemetrySink`]. The default
+//! state has **no sink installed**: every entry point is a single relaxed
+//! atomic load and an early return, so the paper-faithful tuning path is not
+//! perturbed (see `crates/core/tests/telemetry_identity.rs` and the
+//! `micro --telemetry-gate` overhead bound). With the built-in [`MemorySink`]
+//! installed ([`enable`]), completed records are pushed under a short-lived
+//! global mutex — spans in this codebase are coarse (per pass, per GP fit,
+//! per iteration), so lock traffic is negligible next to the timed work.
+//!
+//! Traces export as JSON through `rt::json::Value` ([`Trace::emit_pretty`] /
+//! [`Trace::parse`]); the `citroen-trace` binary renders breakdowns and
+//! diffs of exported traces.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use trace::{NameAgg, SpanRecord, Trace};
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Sink
+// ---------------------------------------------------------------------------
+
+/// Receiver of telemetry records. Exactly one sink is installed at a time
+/// (process-global); with none installed every recording entry point is a
+/// near-free early return.
+pub trait TelemetrySink: Send {
+    /// A span finished.
+    fn record_span(&mut self, rec: SpanRecord);
+    /// Add `delta` to counter `name`.
+    fn add_counter(&mut self, name: &str, delta: u64);
+    /// Record one observation of `value` into histogram `name`.
+    fn record_value(&mut self, name: &str, value: u64);
+    /// Give up the accumulated trace, if this sink holds one in memory.
+    /// Default: `None` (streaming/custom sinks).
+    fn take_trace(&mut self) -> Option<Trace> {
+        None
+    }
+}
+
+/// The built-in sink: accumulates everything into a [`Trace`] in memory.
+#[derive(Default)]
+pub struct MemorySink {
+    trace: Trace,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record_span(&mut self, rec: SpanRecord) {
+        self.trace.spans.push(rec);
+    }
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.trace.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+    fn record_value(&mut self, name: &str, value: u64) {
+        self.trace.hists.entry(name.to_string()).or_default().record(value);
+    }
+    fn take_trace(&mut self) -> Option<Trace> {
+        Some(std::mem::take(&mut self.trace))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global state
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn TelemetrySink>>> = Mutex::new(None);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The monotonic epoch all span timestamps are relative to (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// The synthetic `par.worker` span a worker thread runs under.
+    static WORKER: RefCell<Option<ActiveSpan>> = const { RefCell::new(None) };
+    /// Small dense id for this thread (std's ThreadId has no stable integer).
+    static THREAD: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Whether a sink is installed. A single relaxed load — this is the whole
+/// cost of the disabled path.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `sink` as the process-global receiver (replacing any previous
+/// one) and enable recording. Also installs the `rt::par` worker hooks on
+/// first use so parallel work is attributed to its parent span.
+pub fn install(sink: Box<dyn TelemetrySink>) {
+    install_par_hooks();
+    epoch();
+    *SINK.lock().unwrap() = Some(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// [`install`] the built-in in-memory sink.
+pub fn enable() {
+    install(Box::new(MemorySink::new()));
+}
+
+/// Stop recording and remove the sink (returned so callers can drain it).
+pub fn disable() -> Option<Box<dyn TelemetrySink>> {
+    ENABLED.store(false, Ordering::SeqCst);
+    SINK.lock().unwrap().take()
+}
+
+/// Drain the accumulated trace out of the installed sink (the sink stays
+/// installed and keeps recording into a fresh trace). `None` when disabled
+/// or when the sink does not hold an in-memory trace.
+pub fn take_trace() -> Option<Trace> {
+    SINK.lock().unwrap().as_mut().and_then(|s| s.take_trace())
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: Cow<'static, str>,
+    start: Instant,
+}
+
+/// RAII guard: the span runs from creation to drop. Inert (zero work on
+/// drop) when telemetry was disabled at creation.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// A guard that records nothing (for callers that pre-check
+    /// [`is_enabled`] to avoid building a dynamic name).
+    pub fn noop() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// This span's id (0 for inert guards) — usable as an explicit parent.
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map(|a| a.id).unwrap_or(0)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            close_span(a);
+        }
+    }
+}
+
+/// Open a span named `name` under the innermost open span of this thread.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(open_span(Cow::Borrowed(name), current_span())))
+}
+
+/// Open a span with a lazily-built dynamic name (the closure only runs when
+/// telemetry is enabled, so the disabled path never allocates).
+#[inline]
+pub fn span_dyn(name: impl FnOnce() -> String) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(open_span(Cow::Owned(name()), current_span())))
+}
+
+/// Id of the innermost open span on this thread (0 = none).
+pub fn current_span() -> u64 {
+    STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+fn open_span(name: Cow<'static, str>, parent: u64) -> ActiveSpan {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|s| s.borrow_mut().push(id));
+    ActiveSpan { id, parent, name, start: Instant::now() }
+}
+
+fn close_span(a: ActiveSpan) {
+    let dur_ns = a.start.elapsed().as_nanos() as u64;
+    STACK.with(|s| {
+        let mut st = s.borrow_mut();
+        // Guards normally drop in LIFO order; tolerate out-of-order drops.
+        if st.last() == Some(&a.id) {
+            st.pop();
+        } else {
+            st.retain(|&x| x != a.id);
+        }
+    });
+    let rec = SpanRecord {
+        id: a.id,
+        parent: a.parent,
+        name: a.name.into_owned(),
+        thread: THREAD.with(|t| *t),
+        start_ns: a.start.saturating_duration_since(epoch()).as_nanos() as u64,
+        dur_ns,
+    };
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        sink.record_span(rec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters and histograms
+// ---------------------------------------------------------------------------
+
+/// Add `delta` to counter `name` (no-op when disabled or `delta == 0`).
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !is_enabled() || delta == 0 {
+        return;
+    }
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        sink.add_counter(name, delta);
+    }
+}
+
+/// Record one observation into histogram `name` (no-op when disabled).
+#[inline]
+pub fn value(name: &str, v: u64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        sink.record_value(name, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rt::par worker attribution
+// ---------------------------------------------------------------------------
+
+fn install_par_hooks() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        citroen_rt::par::set_task_hooks(citroen_rt::par::TaskHooks {
+            capture: hook_capture,
+            worker_start: hook_worker_start,
+            worker_end: hook_worker_end,
+        });
+    });
+}
+
+fn hook_capture() -> u64 {
+    if is_enabled() {
+        current_span()
+    } else {
+        0
+    }
+}
+
+fn hook_worker_start(parent: u64, queue_wait_ns: u64) {
+    if !is_enabled() {
+        return;
+    }
+    counter("par.queue_wait_ns", queue_wait_ns);
+    counter("par.workers", 1);
+    let a = open_span(Cow::Borrowed("par.worker"), parent);
+    WORKER.with(|w| *w.borrow_mut() = Some(a));
+}
+
+fn hook_worker_end(work_ns: u64) {
+    let worker = WORKER.with(|w| w.borrow_mut().take());
+    if let Some(a) = worker {
+        counter("par.work_ns", work_ns);
+        close_span(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-state tests live in tests/telemetry.rs behind a serialising
+    // lock; here only the stateless pieces.
+
+    #[test]
+    fn noop_guard_is_inert() {
+        let g = SpanGuard::noop();
+        assert_eq!(g.id(), 0);
+        drop(g); // must not touch the stack
+        assert_eq!(current_span(), 0);
+    }
+}

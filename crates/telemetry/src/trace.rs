@@ -1,0 +1,339 @@
+//! The exported trace model: completed spans, counters and histograms, with
+//! JSON (de)serialisation through `rt::json::Value` and the aggregation
+//! queries the `citroen-trace` CLI is built on (per-name self/total time,
+//! parent/child coverage).
+
+use crate::hist::Histogram;
+use citroen_rt::json::{JsonError, Value};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, never 0).
+    pub id: u64,
+    /// Id of the enclosing span (0 = root).
+    pub parent: u64,
+    /// Span name (aggregation key).
+    pub name: String,
+    /// Dense id of the recording thread.
+    pub thread: u64,
+    /// Start, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A drained telemetry capture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+/// Per-span-name aggregate (the breakdown table's row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameAgg {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Summed duration minus summed direct-children duration.
+    pub self_ns: u64,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Sum of direct-children durations, per parent span id.
+    pub fn child_time(&self) -> HashMap<u64, u64> {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        for s in &self.spans {
+            if s.parent != 0 {
+                *m.entry(s.parent).or_insert(0) += s.dur_ns;
+            }
+        }
+        m
+    }
+
+    /// Aggregate spans by name: count, total time, and self time (total
+    /// minus direct children). Sorted by self time, largest first.
+    pub fn aggregate(&self) -> Vec<NameAgg> {
+        let child = self.child_time();
+        let mut by_name: BTreeMap<&str, NameAgg> = BTreeMap::new();
+        for s in &self.spans {
+            let e = by_name.entry(&s.name).or_insert_with(|| NameAgg {
+                name: s.name.clone(),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            e.count += 1;
+            e.total_ns += s.dur_ns;
+            e.self_ns += s.dur_ns.saturating_sub(child.get(&s.id).copied().unwrap_or(0));
+        }
+        let mut rows: Vec<NameAgg> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Fraction of the summed duration of spans named `parent_name` covered
+    /// by their direct children whose names are in `child_names`. `None`
+    /// when no such parent span exists.
+    pub fn coverage(&self, parent_name: &str, child_names: &[&str]) -> Option<f64> {
+        let parents: HashMap<u64, ()> = self
+            .spans
+            .iter()
+            .filter(|s| s.name == parent_name)
+            .map(|s| (s.id, ()))
+            .collect();
+        let parent_total: u64 =
+            self.spans.iter().filter(|s| s.name == parent_name).map(|s| s.dur_ns).sum();
+        if parents.is_empty() || parent_total == 0 {
+            return None;
+        }
+        let covered: u64 = self
+            .spans
+            .iter()
+            .filter(|s| parents.contains_key(&s.parent) && child_names.contains(&s.name.as_str()))
+            .map(|s| s.dur_ns)
+            .sum();
+        Some(covered as f64 / parent_total as f64)
+    }
+
+    /// Spans sorted by duration, longest first.
+    pub fn hottest(&self, n: usize) -> Vec<&SpanRecord> {
+        let mut v: Vec<&SpanRecord> = self.spans.iter().collect();
+        v.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.id.cmp(&b.id)));
+        v.truncate(n);
+        v
+    }
+
+    // -- JSON ---------------------------------------------------------------
+
+    /// Build the JSON value tree for this trace.
+    pub fn to_json(&self) -> Value {
+        let spans = Value::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Value::Obj(vec![
+                        ("id".into(), Value::U64(s.id)),
+                        ("parent".into(), Value::U64(s.parent)),
+                        ("name".into(), Value::str(s.name.clone())),
+                        ("thread".into(), Value::U64(s.thread)),
+                        ("start_ns".into(), Value::U64(s.start_ns)),
+                        ("dur_ns".into(), Value::U64(s.dur_ns)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = Value::Obj(
+            self.counters.iter().map(|(k, v)| (k.clone(), Value::U64(*v))).collect(),
+        );
+        let hists = Value::Obj(
+            self.hists
+                .iter()
+                .map(|(k, h)| {
+                    // Buckets are sparse in practice: emit `[index, count]`
+                    // pairs for the non-empty ones.
+                    let buckets = Value::Arr(
+                        h.buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| **c > 0)
+                            .map(|(i, c)| {
+                                Value::Arr(vec![Value::U64(i as u64), Value::U64(*c)])
+                            })
+                            .collect(),
+                    );
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("count".into(), Value::U64(h.count)),
+                            ("sum".into(), Value::U64(h.sum)),
+                            ("min".into(), Value::U64(if h.count == 0 { 0 } else { h.min })),
+                            ("max".into(), Value::U64(h.max)),
+                            ("buckets".into(), buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("version".into(), Value::U64(1)),
+            ("spans".into(), spans),
+            ("counters".into(), counters),
+            ("histograms".into(), hists),
+        ])
+    }
+
+    /// Serialise as pretty-printed JSON.
+    pub fn emit_pretty(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Rebuild a trace from its JSON value tree.
+    pub fn from_json(v: &Value) -> Result<Trace, String> {
+        let version = v
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("trace missing 'version'")?;
+        if version != 1 {
+            return Err(format!("unsupported trace version {version}"));
+        }
+        let mut t = Trace::new();
+        for s in v.get("spans").and_then(Value::as_arr).ok_or("trace missing 'spans'")? {
+            let field = |k: &str| -> Result<u64, String> {
+                s.get(k).and_then(Value::as_u64).ok_or(format!("span missing '{k}'"))
+            };
+            t.spans.push(SpanRecord {
+                id: field("id")?,
+                parent: field("parent")?,
+                name: s
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("span missing 'name'")?
+                    .to_string(),
+                thread: field("thread")?,
+                start_ns: field("start_ns")?,
+                dur_ns: field("dur_ns")?,
+            });
+        }
+        if let Some(Value::Obj(pairs)) = v.get("counters") {
+            for (k, c) in pairs {
+                t.counters.insert(
+                    k.clone(),
+                    c.as_u64().ok_or(format!("counter '{k}' is not an integer"))?,
+                );
+            }
+        }
+        if let Some(Value::Obj(pairs)) = v.get("histograms") {
+            for (k, hv) in pairs {
+                let field = |f: &str| -> Result<u64, String> {
+                    hv.get(f).and_then(Value::as_u64).ok_or(format!("histogram '{k}' missing '{f}'"))
+                };
+                let mut h = Histogram::new();
+                h.count = field("count")?;
+                h.sum = field("sum")?;
+                h.max = field("max")?;
+                h.min = if h.count == 0 { u64::MAX } else { field("min")? };
+                for pair in hv
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or(format!("histogram '{k}' missing 'buckets'"))?
+                {
+                    let p = pair.as_arr().filter(|p| p.len() == 2);
+                    let (i, c) = match p.map(|p| (p[0].as_u64(), p[1].as_u64())) {
+                        Some((Some(i), Some(c))) => (i, c),
+                        _ => return Err(format!("histogram '{k}': malformed bucket entry")),
+                    };
+                    *h.buckets
+                        .get_mut(i as usize)
+                        .ok_or(format!("histogram '{k}': bucket index {i} out of range"))? = c;
+                }
+                t.hists.insert(k.clone(), h);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Parse a trace from its pretty-printed JSON text.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let v = Value::parse(text).map_err(|e: JsonError| e.to_string())?;
+        Trace::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord { id, parent, name: name.into(), thread: 1, start_ns: start, dur_ns: dur }
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        // root(100) -> a(60) -> b(20); a also has sibling b(10) under root.
+        t.spans.push(span(2, 1, "a", 10, 60));
+        t.spans.push(span(3, 2, "b", 20, 20));
+        t.spans.push(span(4, 1, "b", 80, 10));
+        t.spans.push(span(1, 0, "root", 0, 100));
+        t.counters.insert("compiles".into(), 42);
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 1000] {
+            h.record(v);
+        }
+        t.hists.insert("cycles".into(), h);
+        t
+    }
+
+    #[test]
+    fn aggregate_self_and_total() {
+        let t = sample();
+        let rows = t.aggregate();
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        let root = get("root");
+        assert_eq!((root.count, root.total_ns, root.self_ns), (1, 100, 30)); // 100 - 60 - 10
+        let a = get("a");
+        assert_eq!((a.count, a.total_ns, a.self_ns), (1, 60, 40)); // 60 - 20
+        let b = get("b");
+        assert_eq!((b.count, b.total_ns, b.self_ns), (2, 30, 30));
+        // Sorted by self time descending.
+        assert_eq!(rows[0].name, "a");
+    }
+
+    #[test]
+    fn coverage_of_named_children() {
+        let t = sample();
+        // Children of "root" named a or b: 60 + 10 of 100.
+        assert!((t.coverage("root", &["a", "b"]).unwrap() - 0.7).abs() < 1e-12);
+        assert!((t.coverage("root", &["a"]).unwrap() - 0.6).abs() < 1e-12);
+        // b under a is not a direct child of root.
+        assert_eq!(t.coverage("missing", &["a"]), None);
+    }
+
+    #[test]
+    fn hottest_orders_by_duration() {
+        let t = sample();
+        let hot = t.hottest(2);
+        assert_eq!(hot[0].name, "root");
+        assert_eq!(hot[1].name, "a");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let text = t.emit_pretty();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, t);
+        // Empty trace round-trips too.
+        let empty = Trace::new();
+        assert_eq!(Trace::parse(&empty.emit_pretty()).unwrap(), empty);
+    }
+
+    #[test]
+    fn json_rejects_malformed() {
+        assert!(Trace::parse("not json").is_err());
+        assert!(Trace::parse("{}").is_err()); // no version
+        assert!(Trace::parse("{\"version\": 2, \"spans\": []}").is_err());
+        assert!(Trace::parse("{\"version\": 1}").is_err()); // no spans
+        let bad_span = "{\"version\": 1, \"spans\": [{\"id\": 1}]}";
+        assert!(Trace::parse(bad_span).is_err());
+        let bad_bucket = "{\"version\": 1, \"spans\": [], \"histograms\": \
+                          {\"h\": {\"count\": 1, \"sum\": 1, \"min\": 1, \"max\": 1, \
+                          \"buckets\": [[99, 1], [1, 1]]}}}";
+        assert!(Trace::parse(bad_bucket).is_err());
+    }
+}

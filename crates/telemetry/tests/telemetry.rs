@@ -1,0 +1,145 @@
+//! Integration tests for the global telemetry state: span nesting, `rt::par`
+//! worker attribution, enable/disable cycles, and the disabled fast path.
+//!
+//! The sink and the span-id stack are process-global, so every test in this
+//! binary serialises on one lock (separate test binaries are separate
+//! processes and cannot interfere).
+
+use citroen_rt::par::par_map;
+use citroen_telemetry as telemetry;
+use citroen_telemetry::Trace;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialised() -> std::sync::MutexGuard<'static, ()> {
+    // A panicking test must not wedge the rest of the binary.
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Run `f` with a fresh in-memory sink installed and return what it recorded.
+fn capture(f: impl FnOnce()) -> Trace {
+    telemetry::enable();
+    f();
+    let t = telemetry::take_trace().expect("memory sink holds a trace");
+    telemetry::disable();
+    t
+}
+
+#[test]
+fn spans_nest_and_record_parents() {
+    let _g = serialised();
+    let t = capture(|| {
+        let outer = telemetry::span("outer");
+        {
+            let _inner = telemetry::span("inner");
+            let _leaf = telemetry::span_dyn(|| format!("leaf.{}", 7));
+        }
+        assert_eq!(telemetry::current_span(), outer.id());
+        let _sibling = telemetry::span("sibling");
+        drop(outer);
+    });
+    assert_eq!(t.spans.len(), 4);
+    let by_name = |n: &str| t.spans.iter().find(|s| s.name == n).unwrap();
+    let (outer, inner, leaf, sib) =
+        (by_name("outer"), by_name("inner"), by_name("leaf.7"), by_name("sibling"));
+    assert_eq!(outer.parent, 0);
+    assert_eq!(inner.parent, outer.id);
+    assert_eq!(leaf.parent, inner.id);
+    assert_eq!(sib.parent, outer.id);
+    // Completion order: records land as guards drop. `outer` is dropped
+    // before `sibling` goes out of scope — the out-of-order drop is
+    // tolerated, and `sibling` keeps the parent captured at open time.
+    let order: Vec<&str> = t.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(order, ["leaf.7", "inner", "outer", "sibling"]);
+    // Children start within the parent and end no later than it.
+    for (c, p) in [(inner, outer), (leaf, inner)] {
+        assert!(c.start_ns >= p.start_ns);
+        assert!(c.start_ns + c.dur_ns <= p.start_ns + p.dur_ns);
+    }
+}
+
+#[test]
+fn par_workers_attribute_to_calling_span() {
+    let _g = serialised();
+    let t = capture(|| {
+        let _batch = telemetry::span("batch");
+        let out = par_map((0..64u64).collect(), |x| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            x * 2
+        });
+        assert_eq!(out[63], 126);
+    });
+    let batch = t.spans.iter().find(|s| s.name == "batch").unwrap();
+    let workers: Vec<_> = t.spans.iter().filter(|s| s.name == "par.worker").collect();
+    if citroen_rt::par::thread_count(64) <= 1 {
+        return; // sequential fallback: no workers to attribute
+    }
+    assert!(!workers.is_empty());
+    for w in &workers {
+        assert_eq!(w.parent, batch.id, "worker span must hang off the caller's span");
+        assert_ne!(w.thread, batch.thread, "worker spans run on worker threads");
+    }
+    assert_eq!(t.counters["par.workers"], workers.len() as u64);
+    assert!(t.counters.contains_key("par.work_ns"));
+    assert!(t.counters.contains_key("par.queue_wait_ns"));
+}
+
+#[test]
+fn counters_and_histograms_accumulate_and_roundtrip() {
+    let _g = serialised();
+    let t = capture(|| {
+        telemetry::counter("c.a", 2);
+        telemetry::counter("c.a", 3);
+        telemetry::counter("c.zero", 0); // no-op, must not create the key
+        telemetry::value("h.x", 5);
+        telemetry::value("h.x", 4096);
+        let _s = telemetry::span("only");
+    });
+    assert_eq!(t.counters["c.a"], 5);
+    assert!(!t.counters.contains_key("c.zero"));
+    let h = &t.hists["h.x"];
+    assert_eq!((h.count, h.sum, h.min, h.max), (2, 4101, 5, 4096));
+    // Full JSON round-trip of a real capture.
+    let back = Trace::parse(&t.emit_pretty()).unwrap();
+    assert_eq!(back, t);
+}
+
+#[test]
+fn disabled_path_records_nothing() {
+    let _g = serialised();
+    telemetry::disable();
+    assert!(!telemetry::is_enabled());
+    // All entry points must be inert no-ops.
+    let g = telemetry::span("ghost");
+    assert_eq!(g.id(), 0);
+    assert_eq!(telemetry::current_span(), 0);
+    telemetry::counter("ghost.c", 9);
+    telemetry::value("ghost.h", 9);
+    drop(g);
+    assert!(telemetry::take_trace().is_none());
+    // Whatever was emitted while disabled must not leak into the next capture.
+    let t = capture(|| {
+        let _s = telemetry::span("real");
+    });
+    assert_eq!(t.spans.len(), 1);
+    assert_eq!(t.spans[0].name, "real");
+    assert!(t.counters.is_empty() && t.hists.is_empty());
+}
+
+#[test]
+fn enable_disable_cycles_produce_independent_traces() {
+    let _g = serialised();
+    let t1 = capture(|| telemetry::counter("cycle", 1));
+    let t2 = capture(|| telemetry::counter("cycle", 41));
+    assert_eq!(t1.counters["cycle"], 1);
+    assert_eq!(t2.counters["cycle"], 41);
+    // A guard opened while enabled but dropped after disable must not panic
+    // and must not record.
+    telemetry::enable();
+    let g = telemetry::span("straddler");
+    let _ = telemetry::take_trace();
+    telemetry::disable();
+    drop(g);
+    assert!(telemetry::take_trace().is_none());
+}

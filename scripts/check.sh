@@ -10,6 +10,11 @@
 #   4. a 30-second `citroen-analyze oracle` soundness campaign: 500 module
 #      x sequence trials executing every CannotFire precondition verdict
 #      (plus the pass-interaction graph derivation over the suite)
+#   5. the telemetry gate: a traced tuning run must export a well-formed
+#      trace whose `iteration` spans are >=90% covered by their
+#      compile/measure/fit/acquire children (`citroen-trace check`), and
+#      the disabled-path overhead must stay within the pinned budget
+#      (`micro --telemetry-gate`)
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
@@ -26,5 +31,14 @@ timeout 30 ./target/release/citroen-analyze --smoke
 
 echo "== citroen-analyze oracle (500 soundness trials, 30s budget)"
 timeout 30 ./target/release/citroen-analyze oracle > /dev/null
+
+echo "== telemetry: traced run + trace structure + overhead gate"
+# micro lives in the citroen-bench member package, not the root package.
+cargo build --release -q -p citroen-bench --bin micro
+trace_file="$(mktemp)"
+trap 'rm -f "$trace_file"' EXIT
+timeout 60 ./target/release/citroen-trace record --budget 10 --out "$trace_file"
+timeout 30 ./target/release/citroen-trace check "$trace_file"
+timeout 120 ./target/release/micro --telemetry-gate
 
 echo "== tier-1 gate passed"

@@ -1,0 +1,306 @@
+//! `citroen-trace`: capture and analyse telemetry traces of the tuning stack.
+//!
+//! Four modes:
+//!
+//! * **record**: run a small CITROEN tuning run with the in-memory telemetry
+//!   sink installed and write the exported trace JSON.
+//! * **show**: render a trace — per-span-name self/total breakdown table,
+//!   the top-N hottest individual spans, counter totals, and histogram
+//!   summaries.
+//! * **check**: structural assertions on a trace (the tier-1 telemetry
+//!   gate): the expected span kinds exist, and the `iteration` spans are
+//!   ≥90% covered by their compile/measure/fit/acquire children.
+//! * **diff**: compare two traces — per-name time deltas and counter deltas,
+//!   for before/after comparisons of optimisation work.
+//!
+//! Exits non-zero on parse failures or failed checks.
+
+use citroen::core::{run_citroen, CitroenConfig, Task, TaskConfig};
+use citroen::telemetry::{self, Trace};
+use citroen_passes::Registry;
+use citroen_sim::Platform;
+
+const USAGE: &str = "\
+citroen-trace — telemetry capture and trace analysis
+
+USAGE:
+    citroen-trace record [--out FILE] [--bench NAME] [--budget N]
+                         [--seq-len N] [--seed S] [--oracle]
+    citroen-trace show FILE [--top N]
+    citroen-trace check FILE [--min-coverage F]
+    citroen-trace diff OLD NEW
+
+MODES:
+    record           run a traced tuning run, write the trace JSON
+                     (stdout unless --out)
+    show             breakdown table + hottest spans + counters + histograms
+    check            assert expected span kinds and iteration coverage
+    diff             per-name time deltas and counter deltas between traces
+
+RECORD OPTIONS:
+    --bench NAME     benchmark to tune            [default: telecom_gsm]
+    --budget N       runtime-measurement budget   [default: 12]
+    --seq-len N      pass-sequence length         [default: 16]
+    --seed S         tuner seed                   [default: 1]
+    --oracle         enable oracle pruning (canonicalizer counters)
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("citroen-trace: {msg}\n\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_num(args: &mut std::env::Args, flag: &str) -> u64 {
+    let v = args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+    v.parse().unwrap_or_else(|_| die(&format!("{flag}: bad number '{v}'")))
+}
+
+fn load(path: &str) -> Trace {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read '{path}': {e}")));
+    Trace::parse(&text).unwrap_or_else(|e| die(&format!("'{path}': {e}")))
+}
+
+/// Nanoseconds → fixed-width human milliseconds.
+fn ms(ns: u64) -> String {
+    format!("{:10.3}ms", ns as f64 / 1e6)
+}
+
+fn main() {
+    let mut args = std::env::args();
+    args.next(); // argv[0]
+    match args.next().as_deref() {
+        Some("record") => record(args),
+        Some("show") => show(args),
+        Some("check") => check(args),
+        Some("diff") => diff(args),
+        Some(other) => die(&format!("unknown mode '{other}'")),
+        None => die("missing mode"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// record
+// ---------------------------------------------------------------------------
+
+fn record(mut args: std::env::Args) {
+    let (mut out, mut bench) = (None::<String>, "telecom_gsm".to_string());
+    let (mut budget, mut seq_len, mut seed) = (12usize, 16usize, 1u64);
+    let mut oracle = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().unwrap_or_else(|| die("--out needs a file"))),
+            "--bench" => bench = args.next().unwrap_or_else(|| die("--bench needs a name")),
+            "--budget" => budget = parse_num(&mut args, "--budget") as usize,
+            "--seq-len" => seq_len = parse_num(&mut args, "--seq-len") as usize,
+            "--seed" => seed = parse_num(&mut args, "--seed"),
+            "--oracle" => oracle = true,
+            other => die(&format!("record: unknown argument '{other}'")),
+        }
+    }
+    let b = citroen_suite::all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == bench)
+        .unwrap_or_else(|| {
+            let names: Vec<&str> =
+                citroen_suite::all_benchmarks().iter().map(|b| b.name).collect();
+            die(&format!("unknown benchmark '{bench}'; have: {}", names.join(", ")))
+        });
+
+    telemetry::enable();
+    let mut task = Task::new(
+        b,
+        Registry::full(),
+        Platform::tx2(),
+        TaskConfig { seq_len, seed, ..Default::default() },
+    );
+    let cfg = CitroenConfig {
+        candidates: 24,
+        init_random: 6,
+        oracle_prune: oracle,
+        seed,
+        ..Default::default()
+    };
+    let (trace, _) = run_citroen(&mut task, budget, &cfg);
+    let telem = telemetry::take_trace().expect("memory sink must yield a trace");
+    telemetry::disable();
+
+    eprintln!(
+        "[record] {bench}: best {:.3e}s over {} measurements, {} spans, {} counters",
+        trace.best(),
+        task.measurements,
+        telem.spans.len(),
+        telem.counters.len()
+    );
+    let text = telem.emit_pretty();
+    match out {
+        Some(path) => std::fs::write(&path, text)
+            .unwrap_or_else(|e| die(&format!("cannot write '{path}': {e}"))),
+        None => println!("{text}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// show
+// ---------------------------------------------------------------------------
+
+fn show(mut args: std::env::Args) {
+    let mut file = None::<String>;
+    let mut top = 10usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--top" => top = parse_num(&mut args, "--top") as usize,
+            other if file.is_none() => file = Some(other.to_string()),
+            other => die(&format!("show: unexpected argument '{other}'")),
+        }
+    }
+    let t = load(&file.unwrap_or_else(|| die("show needs a trace file")));
+
+    let rows = t.aggregate();
+    let wall: u64 = t.spans.iter().filter(|s| s.parent == 0).map(|s| s.dur_ns).sum();
+    println!("== span breakdown (self time, descending; wall = root spans) ==");
+    println!("{:<28} {:>7} {:>12} {:>12} {:>7}", "name", "count", "total", "self", "self%");
+    for r in &rows {
+        let pct = if wall > 0 { 100.0 * r.self_ns as f64 / wall as f64 } else { 0.0 };
+        println!("{:<28} {:>7} {} {} {:>6.1}%", r.name, r.count, ms(r.total_ns), ms(r.self_ns), pct);
+    }
+
+    println!("\n== hottest {top} spans ==");
+    for s in t.hottest(top) {
+        println!("{:<28} {}  (id {}, thread {}, +{})", s.name, ms(s.dur_ns), s.id, s.thread, ms(s.start_ns));
+    }
+
+    if !t.counters.is_empty() {
+        println!("\n== counters ==");
+        for (k, v) in &t.counters {
+            println!("{k:<32} {v}");
+        }
+    }
+    if !t.hists.is_empty() {
+        println!("\n== histograms ==");
+        println!("{:<24} {:>8} {:>12} {:>10} {:>10} {:>10}", "name", "count", "mean", "p50", "p99", "max");
+        for (k, h) in &t.hists {
+            println!(
+                "{k:<24} {:>8} {:>12.1} {:>10} {:>10} {:>10}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+    }
+    if let Some(cov) = t.coverage("iteration", &["compile", "measure", "fit", "acquire"]) {
+        println!("\niteration coverage by compile/measure/fit/acquire: {:.1}%", cov * 100.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// check
+// ---------------------------------------------------------------------------
+
+fn check(mut args: std::env::Args) {
+    let mut file = None::<String>;
+    let mut min_cov = 0.9f64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--min-coverage" => {
+                let v = args.next().unwrap_or_else(|| die("--min-coverage needs a value"));
+                min_cov = v.parse().unwrap_or_else(|_| die("--min-coverage: bad number"));
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => die(&format!("check: unexpected argument '{other}'")),
+        }
+    }
+    let t = load(&file.unwrap_or_else(|| die("check needs a trace file")));
+
+    let mut failed = false;
+    let mut fail = |msg: String| {
+        eprintln!("FAIL: {msg}");
+        failed = true;
+    };
+
+    // The span kinds a traced tuning run must produce.
+    for required in ["citroen.run", "init", "iteration", "compile", "measure", "fit", "acquire", "gp.fit", "sim.execute"] {
+        if !t.spans.iter().any(|s| s.name == required) {
+            fail(format!("required span kind '{required}' missing"));
+        }
+    }
+    // And the counters the hot paths bump.
+    for required in ["task.compilations", "task.measurements", "citroen.iterations", "gp.predict.calls", "acq.evals"] {
+        if !t.counters.contains_key(required) {
+            fail(format!("required counter '{required}' missing"));
+        }
+    }
+    match t.coverage("iteration", &["compile", "measure", "fit", "acquire"]) {
+        Some(cov) => {
+            println!("iteration coverage: {:.1}% (floor {:.0}%)", cov * 100.0, min_cov * 100.0);
+            if cov < min_cov {
+                fail(format!(
+                    "iteration spans only {:.1}% covered by compile/measure/fit/acquire (need {:.0}%)",
+                    cov * 100.0,
+                    min_cov * 100.0
+                ));
+            }
+        }
+        None => fail("no 'iteration' spans to check coverage on".into()),
+    }
+    // Parent links must resolve (0 or a recorded span id).
+    let ids: std::collections::HashSet<u64> = t.spans.iter().map(|s| s.id).collect();
+    let dangling = t.spans.iter().filter(|s| s.parent != 0 && !ids.contains(&s.parent)).count();
+    if dangling > 0 {
+        fail(format!("{dangling} spans have dangling parent ids"));
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("trace OK: {} spans, {} counters, {} histograms", t.spans.len(), t.counters.len(), t.hists.len());
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+fn diff(mut args: std::env::Args) {
+    let old = args.next().unwrap_or_else(|| die("diff needs OLD and NEW trace files"));
+    let new = args.next().unwrap_or_else(|| die("diff needs OLD and NEW trace files"));
+    if let Some(extra) = args.next() {
+        die(&format!("diff: unexpected argument '{extra}'"));
+    }
+    let (a, b) = (load(&old), load(&new));
+
+    let into_map = |t: &Trace| -> std::collections::BTreeMap<String, (u64, u64, u64)> {
+        t.aggregate().into_iter().map(|r| (r.name, (r.count, r.total_ns, r.self_ns))).collect()
+    };
+    let (ra, rb) = (into_map(&a), into_map(&b));
+    let names: std::collections::BTreeSet<&String> = ra.keys().chain(rb.keys()).collect();
+
+    println!("== span time deltas (new - old, by self time) ==");
+    println!("{:<28} {:>14} {:>14} {:>14}", "name", "old self", "new self", "delta");
+    let mut rows: Vec<(&String, u64, u64)> = names
+        .iter()
+        .map(|n| {
+            let sa = ra.get(*n).map(|r| r.2).unwrap_or(0);
+            let sb = rb.get(*n).map(|r| r.2).unwrap_or(0);
+            (*n, sa, sb)
+        })
+        .collect();
+    rows.sort_by_key(|(_, sa, sb)| std::cmp::Reverse(sa.abs_diff(*sb)));
+    for (n, sa, sb) in rows {
+        let delta = sb as i128 - sa as i128;
+        println!("{n:<28} {} {} {:>+13.3}ms", ms(sa), ms(sb), delta as f64 / 1e6);
+    }
+
+    println!("\n== counter deltas (new - old) ==");
+    let keys: std::collections::BTreeSet<&String> = a.counters.keys().chain(b.counters.keys()).collect();
+    for k in keys {
+        let va = a.counters.get(k).copied().unwrap_or(0);
+        let vb = b.counters.get(k).copied().unwrap_or(0);
+        if va != vb {
+            println!("{k:<32} {va:>12} -> {vb:<12} ({:+})", vb as i128 - va as i128);
+        } else {
+            println!("{k:<32} {va:>12} (unchanged)");
+        }
+    }
+}
