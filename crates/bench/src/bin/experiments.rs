@@ -1,5 +1,5 @@
 //! Experiment dispatcher: `experiments <id> [--reps N] [--budget N]
-//! [--seq-len N] [--full] [--out DIR]`.
+//! [--seq-len N] [--full] [--out DIR] [--trace-dir DIR] [--benchmarks a,b]`.
 //!
 //! Ids mirror the paper's tables/figures (DESIGN.md §3). `ch4`, `ch5` and
 //! `all` run groups.
@@ -84,7 +84,11 @@ fn run(id: &str, cfg: &ExpCfg) {
 fn usage() {
     eprintln!(
         "usage: experiments <id> [--reps N] [--budget N] [--seq-len N] [--full] [--out DIR]
+                   [--trace-dir DIR] [--benchmarks a,b,c]
 ids: fig5_1 tab5_1..tab5_5 fig5_6_7 fig5_8..fig5_12 multimodule headroom
-     fig4_3..fig4_15 tab4_2 | ch4 | ch5 | all"
+     fig4_3..fig4_15 tab4_2 | ch4 | ch5 | all
+fig5_6_7 only: --trace-dir streams one JSONL telemetry trace per
+benchmark×tuner×seed cell (cells run sequentially; analyse with
+`citroen-trace curve/flame/tail`); --benchmarks restricts the grid."
     );
 }

@@ -9,6 +9,7 @@ use citroen_ir::interp::run_counting;
 use citroen_passes::{o3_pipeline, PassManager, Registry};
 use citroen_sim::Platform;
 use citroen_suite::Benchmark;
+use citroen_telemetry as telemetry;
 use citroen_tuners::{ablation, baselines, CitroenTuner, SeqTuner};
 use citroen_rt::par::IntoParIter;
 
@@ -266,13 +267,21 @@ pub fn fig5_6_7(cfg: &ExpCfg) {
     let names: Vec<&str> = {
         let mut v = cbench_names();
         v.extend(spec_names());
+        if let Some(filter) = &cfg.benchmarks {
+            for want in filter {
+                assert!(v.contains(&want.as_str()), "--benchmarks: unknown benchmark '{want}'");
+            }
+            v.retain(|n| filter.iter().any(|w| w == n));
+        }
         v
     };
     let tuner_names: Vec<&'static str> =
         all_tuners(0).iter().map(|t| t.name()).collect();
 
     for platform in platforms(cfg) {
-        // Flatten (benchmark × seed × tuner) into independent parallel jobs.
+        // Flatten (benchmark × seed × tuner) into independent jobs. Each
+        // job reports its convergence curve plus the task's budget
+        // accounting (measurements, compilations) for live progress lines.
         let ntuners = tuner_names.len();
         let jobs: Vec<(usize, u64, usize)> = names
             .iter()
@@ -282,24 +291,54 @@ pub fn fig5_6_7(cfg: &ExpCfg) {
                     .flat_map(move |seed| (0..ntuners).map(move |ti| (bi, seed, ti)))
             })
             .collect();
-        let results: Vec<((usize, u64, usize), Vec<f64>)> = jobs
-            .into_par_iter()
-            .map(|(bi, seed, ti)| {
-                let tuner = &all_tuners(seed)[ti];
-                let mut task = make_task(names[bi], &platform, cfg, seed);
-                let trace = tuner.run(&mut task, cfg.budget);
-                eprintln!(
-                    "[fig5_6] {} / {} / seed {} done (best {:.3}x)",
-                    names[bi],
-                    tuner.name(),
-                    seed,
-                    task.speedup(trace.best())
-                );
-                let curve: Vec<f64> =
-                    checkpoints.iter().map(|&c| task.speedup(trace.best_at(c))).collect();
-                ((bi, seed, ti), curve)
-            })
-            .collect();
+        let run_job = |(bi, seed, ti): (usize, u64, usize)| {
+            let tuner = &all_tuners(seed)[ti];
+            let mut task = make_task(names[bi], &platform, cfg, seed);
+            let trace = tuner.run(&mut task, cfg.budget);
+            eprintln!(
+                "[fig5_6] {} / {} / seed {} done (best {:.3}x)",
+                names[bi],
+                tuner.name(),
+                seed,
+                task.speedup(trace.best())
+            );
+            let curve: Vec<f64> =
+                checkpoints.iter().map(|&c| task.speedup(trace.best_at(c))).collect();
+            (((bi, seed, ti), curve), task.measurements, task.compilations)
+        };
+        let results: Vec<((usize, u64, usize), Vec<f64>)> = match &cfg.trace_dir {
+            // Traced mode: one JSONL stream per cell, cells sequential (the
+            // telemetry sink is process-global).
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("--trace-dir {}: {e}", dir.display()));
+                jobs.into_iter()
+                    .map(|job| {
+                        let (bi, seed, ti) = job;
+                        let cell = cell_name(&platform.model.name, names[bi], tuner_names[ti], seed);
+                        let path = dir.join(format!("{cell}.jsonl"));
+                        telemetry::install(Box::new(
+                            telemetry::StreamSink::create(&path).unwrap_or_else(|e| {
+                                panic!("cannot stream to {}: {e}", path.display())
+                            }),
+                        ));
+                        eprintln!("[trace] {cell}: streaming to {}", path.display());
+                        let t0 = std::time::Instant::now();
+                        let (res, meas, compiles) = run_job(job);
+                        drop(telemetry::disable()); // join writer, flush file
+                        eprintln!(
+                            "[trace] {cell}: best {:.3}x, {meas}/{} budget, \
+                             {compiles} compiles, {:.1}s",
+                            res.1.last().copied().unwrap_or(f64::NAN),
+                            cfg.budget,
+                            t0.elapsed().as_secs_f64()
+                        );
+                        res
+                    })
+                    .collect()
+            }
+            None => jobs.into_par_iter().map(|job| run_job(job).0).collect(),
+        };
         for (bi, name) in names.iter().enumerate() {
             for (ti, tname) in tuner_names.iter().enumerate() {
                 let mut row =
@@ -348,6 +387,14 @@ pub fn fig5_6_7(cfg: &ExpCfg) {
         }
     }
     rep.finish(cfg);
+}
+
+/// File-system-safe trace-file stem for one benchmark×tuner×seed cell.
+fn cell_name(platform: &str, bench: &str, tuner: &str, seed: u64) -> String {
+    format!("{platform}_{bench}_{tuner}_s{seed}")
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '-' })
+        .collect()
 }
 
 // Pull final-checkpoint speedups back out of the report rows (keeps the

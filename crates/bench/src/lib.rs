@@ -26,6 +26,14 @@ pub struct ExpCfg {
     pub full: bool,
     /// Output directory for CSVs.
     pub out_dir: PathBuf,
+    /// Stream one JSONL telemetry trace per benchmark×tuner×seed cell into
+    /// this directory (`fig5_6` only). Forces sequential cell execution:
+    /// the telemetry sink is process-global, so parallel cells would
+    /// interleave into one stream.
+    pub trace_dir: Option<PathBuf>,
+    /// Restrict benchmark-grid experiments to these benchmark names
+    /// (`--benchmarks a,b,c`); `None` = the full suite.
+    pub benchmarks: Option<Vec<String>>,
 }
 
 impl Default for ExpCfg {
@@ -36,6 +44,8 @@ impl Default for ExpCfg {
             seq_len: 24,
             full: false,
             out_dir: PathBuf::from("results"),
+            trace_dir: None,
+            benchmarks: None,
         }
     }
 }
@@ -62,6 +72,16 @@ impl ExpCfg {
                 "--full" => cfg.full = true,
                 "--out" => {
                     cfg.out_dir = PathBuf::from(&args[i + 1]);
+                    i += 1;
+                }
+                "--trace-dir" => {
+                    cfg.trace_dir = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--benchmarks" => {
+                    cfg.benchmarks = Some(
+                        args[i + 1].split(',').map(|s| s.trim().to_string()).collect(),
+                    );
                     i += 1;
                 }
                 other => panic!("unknown flag '{other}'"),
@@ -182,5 +202,22 @@ mod tests {
         assert_eq!(cfg.reps, 5);
         assert_eq!(cfg.budget, 99);
         assert!(cfg.full);
+        assert_eq!(cfg.trace_dir, None);
+        assert_eq!(cfg.benchmarks, None);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let cfg = ExpCfg::from_args(&[
+            "--trace-dir".into(),
+            "traces".into(),
+            "--benchmarks".into(),
+            "telecom_gsm, telecom_crc32".into(),
+        ]);
+        assert_eq!(cfg.trace_dir, Some(PathBuf::from("traces")));
+        assert_eq!(
+            cfg.benchmarks,
+            Some(vec!["telecom_gsm".to_string(), "telecom_crc32".to_string()])
+        );
     }
 }

@@ -127,6 +127,17 @@ pub struct ImpactReport {
 /// Run CITROEN on `task` for `budget` runtime measurements.
 pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (TuneTrace, ImpactReport) {
     let _run_span = telemetry::span("citroen.run");
+    // Run-level metadata event: lets trace consumers compute speedups
+    // (`o3_ns / best_ns`) and budget fractions without the CSV row.
+    telemetry::event(
+        "run.meta",
+        &[
+            ("o3_ns", (task.o3_seconds * 1e9) as u64),
+            ("budget", budget as u64),
+            ("seq_len", task.seq_len() as u64),
+            ("passes", task.registry.len() as u64),
+        ],
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let len = task.seq_len();
     let npasses = task.registry.len();
@@ -184,6 +195,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     // Canonical genome → compile result; only consulted when pruning is on,
     // so the paper-faithful default path is untouched.
     let mut compile_cache: HashMap<Vec<u16>, (Stats, u64, Module)> = HashMap::new();
+    let mut compile_cache_hits: u64 = 0;
 
     // Compile a genome (through the canonical-genome cache when pruning is
     // on); returns (canonical genome, stats, hot-module fingerprint, module).
@@ -193,6 +205,8 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             if let Some((stats, fp, module)) =
                 canon.is_some().then(|| compile_cache.get(&eff)).flatten()
             {
+                compile_cache_hits += 1;
+                telemetry::counter("citroen.compile_cache_hits", 1);
                 (eff, stats.clone(), *fp, module.clone())
             } else {
                 let seq = genome_to_seq(&eff);
@@ -239,6 +253,31 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         }};
     }
 
+    let mut iter = 0usize;
+
+    // Convergence-curve event, emitted after every budget-consuming
+    // measurement. Guarded on `is_enabled` so the disabled path builds no
+    // field array; `best_ns == 0` never occurs (runtimes are positive), so
+    // consumers can treat 0 as "no measurement yet".
+    macro_rules! progress {
+        () => {
+            if telemetry::is_enabled() {
+                telemetry::event(
+                    "progress",
+                    &[
+                        ("iter", iter as u64),
+                        ("measurements", task.measurements as u64),
+                        ("compilations", task.compilations as u64),
+                        ("cache_hits", compile_cache_hits),
+                        ("coverage_dropped", trace.coverage_dropped as u64),
+                        ("last_ns", to_ns(trace.runtimes.last().copied())),
+                        ("best_ns", to_ns(trace.best_history.last().copied())),
+                    ],
+                );
+            }
+        };
+    }
+
     // 1. Initial random design (plus the DES incumbent itself).
     let mut first: Vec<Vec<u16>> = vec![des.incumbent.clone()];
     for _ in 1..cfg.init_random.max(1) {
@@ -250,12 +289,12 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             break;
         }
         observe!(g);
+        progress!();
     }
     drop(init_span);
 
     // 2. Model-guided search.
     let mut hypers: Option<GpHypers> = None;
-    let mut iter = 0usize;
     let mut last_meas = task.measurements;
     let mut stagnant = 0usize;
     while task.measurements < budget {
@@ -322,6 +361,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             let g: Vec<u16> = (0..len).map(|_| rng.gen_range(0..npasses) as u16).collect();
             observe!(g);
             iter += 1;
+            progress!();
             if task.measurements == last_meas {
                 stagnant += 1;
                 if stagnant % 20 == 19 {
@@ -381,6 +421,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         let (g, _, _, _, _) = compiled.swap_remove(pick);
         observe!(g);
         iter += 1;
+        progress!();
         if std::env::var_os("CITROEN_TRACE").is_some() {
             eprintln!(
                 "[citroen] wall {:?} iter {iter} meas {} obs {} keys {} stagnant {stagnant} t_compile {:?} t_measure {:?} t_model {:?}",
@@ -428,6 +469,11 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         ImpactReport { ranked: Vec::new() }
     };
     (trace, report)
+}
+
+/// Seconds → nanosecond event field (0 = absent; runtimes are positive).
+fn to_ns(seconds: Option<f64>) -> u64 {
+    seconds.map(|s| (s * 1e9) as u64).unwrap_or(0)
 }
 
 /// Oracle verdict bits of `module` (1.0 = `MayFire`), or empty when the

@@ -42,18 +42,43 @@ fn enabled_sink_is_result_identical_to_disabled() {
         let telem = telemetry::take_trace().expect("sink must hold a trace");
         telemetry::disable();
 
+        // Third arm: the same run under the streaming JSONL sink.
+        let path = std::env::temp_dir()
+            .join(format!("citroen-identity-{}-{seed}.jsonl", std::process::id()));
+        telemetry::enable_stream(&path).expect("stream sink");
+        let (streamed, compiles_streamed) = tune(seed);
+        drop(telemetry::disable()); // joins the writer, flushes the file
+        let jsonl = std::fs::read_to_string(&path).expect("trace file");
+        std::fs::remove_file(&path).ok();
+
         // Bit-identical: same noisy runtimes (f64 equality), same best
-        // sequences, same bookkeeping, same compile counts.
+        // sequences, same bookkeeping, same compile counts — across the
+        // disabled, memory-sink, and stream-sink arms.
         assert_eq!(off.runtimes, on.runtimes, "seed {seed}: runtimes diverged");
         assert_eq!(off.best_history, on.best_history, "seed {seed}");
         assert_eq!(off.best_seqs, on.best_seqs, "seed {seed}");
         assert_eq!(off.coverage_dropped, on.coverage_dropped, "seed {seed}");
         assert_eq!(off.candidates_generated, on.candidates_generated, "seed {seed}");
         assert_eq!(compiles_off, compiles_on, "seed {seed}: compile counts diverged");
+        assert_eq!(off.runtimes, streamed.runtimes, "seed {seed}: stream arm diverged");
+        assert_eq!(off.best_history, streamed.best_history, "seed {seed}: stream arm");
+        assert_eq!(off.best_seqs, streamed.best_seqs, "seed {seed}: stream arm");
+        assert_eq!(compiles_off, compiles_streamed, "seed {seed}: stream arm compiles");
 
         // And the enabled run must actually have recorded the tuning loop.
         assert!(telem.spans.iter().any(|s| s.name == "citroen.run"), "seed {seed}");
         assert!(telem.spans.iter().any(|s| s.name == "iteration"), "seed {seed}");
         assert!(telem.counters.get("task.measurements").copied().unwrap_or(0) > 0);
+
+        // The streamed file replays to an equivalent trace: same counters,
+        // enough iteration coverage for `citroen-trace check` to accept it.
+        let replayed = telemetry::Trace::parse_jsonl(&jsonl)
+            .unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e}"));
+        assert_eq!(replayed.counters, telem.counters, "seed {seed}: counters diverged");
+        assert!(!replayed.events.is_empty(), "seed {seed}: no progress events streamed");
+        let cov = replayed
+            .coverage("iteration", &["compile", "measure", "fit", "acquire"])
+            .unwrap_or_else(|| panic!("seed {seed}: no iteration spans in replay"));
+        assert!(cov >= 0.9, "seed {seed}: iteration coverage {cov:.3} < 0.9");
     }
 }

@@ -378,6 +378,49 @@ impl Value {
         }
     }
 
+    /// Emit on a single line with no whitespace (`{"k":1,"a":[2,3]}`) — the
+    /// JSONL record format used by the streaming telemetry sink, where one
+    /// value must occupy exactly one line.
+    pub fn emit_compact(&self) -> String {
+        let mut out = String::new();
+        self.emit_compact_into(&mut out);
+        out
+    }
+
+    fn emit_compact_into(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_compact_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.emit_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Parse an arbitrary value tree (with the same grammar restrictions as
     /// the flat parser: numbers are unsigned integers).
     pub fn parse(input: &str) -> Result<Value, JsonError> {
@@ -583,6 +626,42 @@ mod tests {
         assert_eq!(v.emit_pretty(), emit_object_pretty(&flat));
         assert_eq!(Value::Obj(vec![]).emit_pretty(), "{}");
         assert_eq!(Value::Arr(vec![]).emit_pretty(), "[]");
+    }
+
+    #[test]
+    fn value_compact_is_one_line_and_roundtrips() {
+        let v = sample_tree();
+        let compact = v.emit_compact();
+        assert!(!compact.contains('\n'), "compact emit must be a single line");
+        assert!(!compact.contains(": "), "compact emit has no space after ':'");
+        assert_eq!(Value::parse(&compact).unwrap(), v);
+        assert_eq!(Value::Obj(vec![]).emit_compact(), "{}");
+        assert_eq!(Value::Arr(vec![]).emit_compact(), "[]");
+        assert_eq!(
+            Value::Obj(vec![("a".into(), Value::Arr(vec![Value::U64(1), Value::U64(2)]))])
+                .emit_compact(),
+            "{\"a\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn compact_escapes_keep_control_characters_on_one_line() {
+        // Strings with newlines, quotes, control chars, and non-ASCII must
+        // stay on a single line after escaping (the JSONL invariant) and
+        // round-trip exactly.
+        for s in [
+            "span\nwith\nnewlines",
+            "quote\"inside",
+            "back\\slash",
+            "bell\u{07}and\u{01}ctl",
+            "unicode-é-Δ-中-\u{1F600}",
+            "\r\t\u{08}\u{0C}",
+        ] {
+            let v = Value::Obj(vec![(s.to_string(), Value::str(s))]);
+            let line = v.emit_compact();
+            assert!(!line.contains('\n') && !line.contains('\r'), "{line:?}");
+            assert_eq!(Value::parse(&line).unwrap(), v, "{s:?}");
+        }
     }
 
     #[test]

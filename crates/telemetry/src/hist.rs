@@ -186,4 +186,74 @@ mod tests {
         a.merge(&b);
         assert_eq!(a, whole);
     }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = Histogram::new();
+        for v in [3, 7, 2048] {
+            h.record(v);
+        }
+        let snapshot = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, snapshot);
+        let mut empty = Histogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+        // Empty ∪ empty stays empty (min stays at the sentinel).
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert!(e.is_empty());
+        assert_eq!(e.min, u64::MAX);
+    }
+
+    #[test]
+    fn merge_extreme_buckets_and_saturating_sum() {
+        // 0, 1, and u64::MAX land in the first, second, and last buckets;
+        // merging must preserve exact bucket counts, propagate min/max, and
+        // saturate the sum rather than wrap.
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(u64::MAX);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!((a.min, a.max), (0, u64::MAX));
+        assert_eq!(a.sum, u64::MAX); // saturated: MAX + MAX + 1
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.buckets[1], 1);
+        assert_eq!(a.buckets[NUM_BUCKETS - 1], 2);
+        assert_eq!(a.buckets[2..NUM_BUCKETS - 1].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_interleaved_and_quantiles_agree() {
+        // Merging two disjoint captures is indistinguishable from having
+        // recorded every observation into one histogram, in any order —
+        // so post-merge quantiles match the single-histogram ones.
+        let xs = [5u64, 9, 120, 120, 4096];
+        let ys = [0u64, 2, 63, 64, 1 << 40];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut merged_ab = a.clone();
+        merged_ab.merge(&b);
+        let mut merged_ba = b.clone();
+        merged_ba.merge(&a);
+        assert_eq!(merged_ab, whole);
+        assert_eq!(merged_ba, whole); // merge is commutative
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(merged_ab.quantile(q), whole.quantile(q), "q={q}");
+        }
+        assert_eq!(merged_ab.quantile(1.0), 1 << 40);
+    }
 }

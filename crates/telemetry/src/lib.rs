@@ -18,6 +18,10 @@
 //!   (compiles, cache hits, oracle prunes, acquisition evaluations, …).
 //! - **Histograms** ([`value`], [`Histogram`]) — fixed power-of-two-bucket
 //!   distributions (GP fit iterations, simulated cycles, …).
+//! - **Events** ([`event`], [`EventRecord`]) — named point-in-time records
+//!   with integer fields, attributed to the emitting span. The tuning
+//!   loop's `progress` events are the primary producer: every traced run
+//!   yields a machine-readable convergence curve (`citroen-trace curve`).
 //!
 //! Everything funnels into one process-global [`TelemetrySink`]. The default
 //! state has **no sink installed**: every entry point is a single relaxed
@@ -30,15 +34,20 @@
 //!
 //! Traces export as JSON through `rt::json::Value` ([`Trace::emit_pretty`] /
 //! [`Trace::parse`]); the `citroen-trace` binary renders breakdowns and
-//! diffs of exported traces.
+//! diffs of exported traces. For runs too long to hold in memory, the
+//! [`StreamSink`] ([`enable_stream`]) writes each record as one JSONL line
+//! through a dedicated writer thread; [`Trace::parse_jsonl`] replays the
+//! file into the same in-memory form.
 
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod stream;
 pub mod trace;
 
 pub use hist::Histogram;
-pub use trace::{NameAgg, SpanRecord, Trace};
+pub use stream::StreamSink;
+pub use trace::{EventRecord, NameAgg, SpanRecord, Trace};
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -60,6 +69,11 @@ pub trait TelemetrySink: Send {
     fn add_counter(&mut self, name: &str, delta: u64);
     /// Record one observation of `value` into histogram `name`.
     fn record_value(&mut self, name: &str, value: u64);
+    /// A structured event was emitted. Default: ignore (sinks predating
+    /// events keep working).
+    fn record_event(&mut self, rec: EventRecord) {
+        let _ = rec;
+    }
     /// Give up the accumulated trace, if this sink holds one in memory.
     /// Default: `None` (streaming/custom sinks).
     fn take_trace(&mut self) -> Option<Trace> {
@@ -89,6 +103,9 @@ impl TelemetrySink for MemorySink {
     }
     fn record_value(&mut self, name: &str, value: u64) {
         self.trace.hists.entry(name.to_string()).or_default().record(value);
+    }
+    fn record_event(&mut self, rec: EventRecord) {
+        self.trace.events.push(rec);
     }
     fn take_trace(&mut self) -> Option<Trace> {
         Some(std::mem::take(&mut self.trace))
@@ -139,6 +156,13 @@ pub fn install(sink: Box<dyn TelemetrySink>) {
 /// [`install`] the built-in in-memory sink.
 pub fn enable() {
     install(Box::new(MemorySink::new()));
+}
+
+/// [`install`] a [`StreamSink`] writing JSONL records to `path`. Finish the
+/// file with `drop(disable())`.
+pub fn enable_stream(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    install(Box::new(StreamSink::create(path)?));
+    Ok(())
 }
 
 /// Stop recording and remove the sink (returned so callers can drain it).
@@ -241,6 +265,30 @@ fn close_span(a: ActiveSpan) {
     };
     if let Some(sink) = SINK.lock().unwrap().as_mut() {
         sink.record_span(rec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Emit a structured event: a named point-in-time record with integer
+/// fields, attributed to the innermost open span on this thread. No-op when
+/// disabled — but field *values* are evaluated by the caller, so wrap the
+/// call in [`is_enabled`] when building them is not free.
+pub fn event(name: &str, fields: &[(&str, u64)]) {
+    if !is_enabled() {
+        return;
+    }
+    let rec = EventRecord {
+        name: name.to_string(),
+        span: current_span(),
+        thread: THREAD.with(|t| *t),
+        at_ns: Instant::now().saturating_duration_since(epoch()).as_nanos() as u64,
+        fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    };
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        sink.record_event(rec);
     }
 }
 

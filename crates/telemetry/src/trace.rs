@@ -1,7 +1,9 @@
-//! The exported trace model: completed spans, counters and histograms, with
-//! JSON (de)serialisation through `rt::json::Value` and the aggregation
-//! queries the `citroen-trace` CLI is built on (per-name self/total time,
-//! parent/child coverage).
+//! The exported trace model: completed spans, events, counters and
+//! histograms, with JSON (de)serialisation through `rt::json::Value` — both
+//! the pretty whole-trace document and the streaming JSONL record format the
+//! [`crate::StreamSink`] writes — and the aggregation queries the
+//! `citroen-trace` CLI is built on (per-name self/total time, parent/child
+//! coverage, flame stacks).
 
 use crate::hist::Histogram;
 use citroen_rt::json::{JsonError, Value};
@@ -25,11 +27,39 @@ pub struct SpanRecord {
     pub dur_ns: u64,
 }
 
+/// One structured event: a named point-in-time record with integer fields,
+/// attributed to the span it was emitted under. The tuning loop's
+/// `progress` events (iteration index, budget spent, best-so-far) are the
+/// primary producer — every traced run yields a machine-readable
+/// convergence curve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name (e.g. `progress`, `run.meta`).
+    pub name: String,
+    /// Id of the span the event was emitted under (0 = none).
+    pub span: u64,
+    /// Dense id of the emitting thread.
+    pub thread: u64,
+    /// Emission time, nanoseconds since the telemetry epoch.
+    pub at_ns: u64,
+    /// Named integer payload, in emission order.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl EventRecord {
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+}
+
 /// A drained telemetry capture.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Completed spans, in completion order.
     pub spans: Vec<SpanRecord>,
+    /// Events, in emission order.
+    pub events: Vec<EventRecord>,
     /// Counter totals.
     pub counters: BTreeMap<String, u64>,
     /// Histograms by name.
@@ -56,11 +86,23 @@ impl Trace {
     }
 
     /// Sum of direct-children durations, per parent span id.
+    ///
+    /// Robust against streaming artifacts: record order carries no meaning
+    /// (a streamed trace writes children before their parents finish), a
+    /// child whose parent record is absent (still open when the stream was
+    /// cut) contributes nothing, and each child's contribution is clamped to
+    /// its parent's own duration so clock skew cannot produce a child that
+    /// "outlasts" its parent.
     pub fn child_time(&self) -> HashMap<u64, u64> {
+        let dur_by_id: HashMap<u64, u64> =
+            self.spans.iter().map(|s| (s.id, s.dur_ns)).collect();
         let mut m: HashMap<u64, u64> = HashMap::new();
         for s in &self.spans {
-            if s.parent != 0 {
-                *m.entry(s.parent).or_insert(0) += s.dur_ns;
+            if s.parent == 0 {
+                continue;
+            }
+            if let Some(&parent_dur) = dur_by_id.get(&s.parent) {
+                *m.entry(s.parent).or_insert(0) += s.dur_ns.min(parent_dur);
             }
         }
         m
@@ -90,25 +132,30 @@ impl Trace {
     /// Fraction of the summed duration of spans named `parent_name` covered
     /// by their direct children whose names are in `child_names`. `None`
     /// when no such parent span exists.
+    ///
+    /// Tolerates out-of-order and partial streamed traces: record order is
+    /// irrelevant, children of an unfinished (absent) parent are excluded —
+    /// as is that parent's own time — and per-child contributions are
+    /// clamped to the parent's duration with the final fraction capped at
+    /// 1.0, so skewed clocks cannot report more than full coverage.
     pub fn coverage(&self, parent_name: &str, child_names: &[&str]) -> Option<f64> {
-        let parents: HashMap<u64, ()> = self
+        let parents: HashMap<u64, u64> = self
             .spans
             .iter()
             .filter(|s| s.name == parent_name)
-            .map(|s| (s.id, ()))
+            .map(|s| (s.id, s.dur_ns))
             .collect();
-        let parent_total: u64 =
-            self.spans.iter().filter(|s| s.name == parent_name).map(|s| s.dur_ns).sum();
+        let parent_total: u64 = parents.values().sum();
         if parents.is_empty() || parent_total == 0 {
             return None;
         }
         let covered: u64 = self
             .spans
             .iter()
-            .filter(|s| parents.contains_key(&s.parent) && child_names.contains(&s.name.as_str()))
-            .map(|s| s.dur_ns)
+            .filter(|s| child_names.contains(&s.name.as_str()))
+            .filter_map(|s| parents.get(&s.parent).map(|&pd| s.dur_ns.min(pd)))
             .sum();
-        Some(covered as f64 / parent_total as f64)
+        Some((covered as f64 / parent_total as f64).min(1.0))
     }
 
     /// Spans sorted by duration, longest first.
@@ -119,60 +166,51 @@ impl Trace {
         v
     }
 
+    /// Collapsed flame stacks: for every span, the semicolon-joined name
+    /// chain from its outermost recorded ancestor down to itself, mapped to
+    /// its summed *self* time in nanoseconds — the input format standard
+    /// flamegraph tools consume (`a;b;c 1234`). Spans whose parent record is
+    /// absent (partial traces) root their own stack.
+    pub fn flame_stacks(&self) -> BTreeMap<String, u64> {
+        let by_id: HashMap<u64, &SpanRecord> = self.spans.iter().map(|s| (s.id, s)).collect();
+        let child = self.child_time();
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &self.spans {
+            let mut chain: Vec<&str> = vec![&s.name];
+            let mut cur = s.parent;
+            // Defensive bound: a parent cycle in a corrupt trace must not hang.
+            for _ in 0..1024 {
+                match by_id.get(&cur) {
+                    Some(p) if cur != 0 => {
+                        chain.push(&p.name);
+                        cur = p.parent;
+                    }
+                    _ => break,
+                }
+            }
+            chain.reverse();
+            let self_ns = s.dur_ns.saturating_sub(child.get(&s.id).copied().unwrap_or(0));
+            *stacks.entry(chain.join(";")).or_insert(0) += self_ns;
+        }
+        stacks
+    }
+
     // -- JSON ---------------------------------------------------------------
 
     /// Build the JSON value tree for this trace.
     pub fn to_json(&self) -> Value {
-        let spans = Value::Arr(
-            self.spans
-                .iter()
-                .map(|s| {
-                    Value::Obj(vec![
-                        ("id".into(), Value::U64(s.id)),
-                        ("parent".into(), Value::U64(s.parent)),
-                        ("name".into(), Value::str(s.name.clone())),
-                        ("thread".into(), Value::U64(s.thread)),
-                        ("start_ns".into(), Value::U64(s.start_ns)),
-                        ("dur_ns".into(), Value::U64(s.dur_ns)),
-                    ])
-                })
-                .collect(),
-        );
+        let spans = Value::Arr(self.spans.iter().map(span_to_json).collect());
+        let events = Value::Arr(self.events.iter().map(event_to_json).collect());
         let counters = Value::Obj(
             self.counters.iter().map(|(k, v)| (k.clone(), Value::U64(*v))).collect(),
         );
         let hists = Value::Obj(
-            self.hists
-                .iter()
-                .map(|(k, h)| {
-                    // Buckets are sparse in practice: emit `[index, count]`
-                    // pairs for the non-empty ones.
-                    let buckets = Value::Arr(
-                        h.buckets
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, c)| **c > 0)
-                            .map(|(i, c)| {
-                                Value::Arr(vec![Value::U64(i as u64), Value::U64(*c)])
-                            })
-                            .collect(),
-                    );
-                    (
-                        k.clone(),
-                        Value::Obj(vec![
-                            ("count".into(), Value::U64(h.count)),
-                            ("sum".into(), Value::U64(h.sum)),
-                            ("min".into(), Value::U64(if h.count == 0 { 0 } else { h.min })),
-                            ("max".into(), Value::U64(h.max)),
-                            ("buckets".into(), buckets),
-                        ]),
-                    )
-                })
-                .collect(),
+            self.hists.iter().map(|(k, h)| (k.clone(), hist_to_json(h))).collect(),
         );
         Value::Obj(vec![
             ("version".into(), Value::U64(1)),
             ("spans".into(), spans),
+            ("events".into(), events),
             ("counters".into(), counters),
             ("histograms".into(), hists),
         ])
@@ -181,6 +219,43 @@ impl Trace {
     /// Serialise as pretty-printed JSON.
     pub fn emit_pretty(&self) -> String {
         self.to_json().emit_pretty()
+    }
+
+    /// Serialise as streaming JSONL: a `meta` header line followed by one
+    /// line per span, event, counter total, and histogram — exactly the
+    /// record vocabulary [`Trace::parse_jsonl`] accepts, so
+    /// `parse_jsonl(to_jsonl(t)) == t`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut line = |v: Value| {
+            out.push_str(&v.emit_compact());
+            out.push('\n');
+        };
+        line(meta_record());
+        for s in &self.spans {
+            line(tagged("span", span_to_json(s)));
+        }
+        for e in &self.events {
+            line(tagged("event", event_to_json(e)));
+        }
+        for (k, v) in &self.counters {
+            line(Value::Obj(vec![
+                ("t".into(), Value::str("counter")),
+                ("name".into(), Value::str(k.clone())),
+                ("delta".into(), Value::U64(*v)),
+            ]));
+        }
+        for (k, h) in &self.hists {
+            let mut obj = vec![
+                ("t".into(), Value::str("hist")),
+                ("name".into(), Value::str(k.clone())),
+            ];
+            if let Value::Obj(pairs) = hist_to_json(h) {
+                obj.extend(pairs);
+            }
+            line(Value::Obj(obj));
+        }
+        out
     }
 
     /// Rebuild a trace from its JSON value tree.
@@ -194,21 +269,12 @@ impl Trace {
         }
         let mut t = Trace::new();
         for s in v.get("spans").and_then(Value::as_arr).ok_or("trace missing 'spans'")? {
-            let field = |k: &str| -> Result<u64, String> {
-                s.get(k).and_then(Value::as_u64).ok_or(format!("span missing '{k}'"))
-            };
-            t.spans.push(SpanRecord {
-                id: field("id")?,
-                parent: field("parent")?,
-                name: s
-                    .get("name")
-                    .and_then(Value::as_str)
-                    .ok_or("span missing 'name'")?
-                    .to_string(),
-                thread: field("thread")?,
-                start_ns: field("start_ns")?,
-                dur_ns: field("dur_ns")?,
-            });
+            t.spans.push(span_from_json(s)?);
+        }
+        if let Some(events) = v.get("events").and_then(Value::as_arr) {
+            for e in events {
+                t.events.push(event_from_json(e)?);
+            }
         }
         if let Some(Value::Obj(pairs)) = v.get("counters") {
             for (k, c) in pairs {
@@ -220,29 +286,7 @@ impl Trace {
         }
         if let Some(Value::Obj(pairs)) = v.get("histograms") {
             for (k, hv) in pairs {
-                let field = |f: &str| -> Result<u64, String> {
-                    hv.get(f).and_then(Value::as_u64).ok_or(format!("histogram '{k}' missing '{f}'"))
-                };
-                let mut h = Histogram::new();
-                h.count = field("count")?;
-                h.sum = field("sum")?;
-                h.max = field("max")?;
-                h.min = if h.count == 0 { u64::MAX } else { field("min")? };
-                for pair in hv
-                    .get("buckets")
-                    .and_then(Value::as_arr)
-                    .ok_or(format!("histogram '{k}' missing 'buckets'"))?
-                {
-                    let p = pair.as_arr().filter(|p| p.len() == 2);
-                    let (i, c) = match p.map(|p| (p[0].as_u64(), p[1].as_u64())) {
-                        Some((Some(i), Some(c))) => (i, c),
-                        _ => return Err(format!("histogram '{k}': malformed bucket entry")),
-                    };
-                    *h.buckets
-                        .get_mut(i as usize)
-                        .ok_or(format!("histogram '{k}': bucket index {i} out of range"))? = c;
-                }
-                t.hists.insert(k.clone(), h);
+                t.hists.insert(k.clone(), hist_from_json(k, hv)?);
             }
         }
         Ok(t)
@@ -253,6 +297,225 @@ impl Trace {
         let v = Value::parse(text).map_err(|e: JsonError| e.to_string())?;
         Trace::from_json(&v)
     }
+
+    /// Parse a streamed JSONL trace: one record object per line, tagged by
+    /// its `"t"` field (`meta`/`span`/`event`/`counter`/`value`/`hist`).
+    /// Counter deltas sum, `value` observations accumulate into histograms,
+    /// and full `hist` records merge — replaying a stream reconstructs
+    /// exactly what an in-memory sink would have aggregated. Strict: any
+    /// malformed line is an error (use [`Trace::parse_jsonl_lossy`] for
+    /// live/truncated files).
+    pub fn parse_jsonl(text: &str) -> Result<Trace, String> {
+        let mut t = Trace::new();
+        for (i, lineno, line) in nonempty_lines(text) {
+            apply_record_line(&mut t, line)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            let _ = i;
+        }
+        Ok(t)
+    }
+
+    /// Like [`Trace::parse_jsonl`] but skipping unparseable lines (a live
+    /// stream's last line may be mid-write; a crashed run's file may end in
+    /// a torn record). Returns the trace and the number of skipped lines.
+    pub fn parse_jsonl_lossy(text: &str) -> (Trace, usize) {
+        let mut t = Trace::new();
+        let mut skipped = 0usize;
+        for (_, _, line) in nonempty_lines(text) {
+            if apply_record_line(&mut t, line).is_err() {
+                skipped += 1;
+            }
+        }
+        (t, skipped)
+    }
+
+    /// Parse either trace format: streamed JSONL (first line is a tagged
+    /// record, `{"t":...}`) or the pretty whole-trace document. This is what
+    /// lets `show`/`check`/`diff` consume both.
+    pub fn parse_any(text: &str) -> Result<Trace, String> {
+        let head = text.trim_start();
+        if head.starts_with("{\"t\"") {
+            Trace::parse_jsonl(text)
+        } else {
+            Trace::parse(text)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-record (de)serialisation, shared by the document and JSONL formats
+// ---------------------------------------------------------------------------
+
+/// The JSONL stream header record.
+pub(crate) fn meta_record() -> Value {
+    Value::Obj(vec![("t".into(), Value::str("meta")), ("version".into(), Value::U64(1))])
+}
+
+/// Prefix an object with the JSONL `"t"` tag.
+pub(crate) fn tagged(tag: &str, v: Value) -> Value {
+    let mut obj = vec![("t".into(), Value::str(tag))];
+    if let Value::Obj(pairs) = v {
+        obj.extend(pairs);
+    }
+    Value::Obj(obj)
+}
+
+pub(crate) fn span_to_json(s: &SpanRecord) -> Value {
+    Value::Obj(vec![
+        ("id".into(), Value::U64(s.id)),
+        ("parent".into(), Value::U64(s.parent)),
+        ("name".into(), Value::str(s.name.clone())),
+        ("thread".into(), Value::U64(s.thread)),
+        ("start_ns".into(), Value::U64(s.start_ns)),
+        ("dur_ns".into(), Value::U64(s.dur_ns)),
+    ])
+}
+
+fn span_from_json(s: &Value) -> Result<SpanRecord, String> {
+    let field = |k: &str| -> Result<u64, String> {
+        s.get(k).and_then(Value::as_u64).ok_or(format!("span missing '{k}'"))
+    };
+    Ok(SpanRecord {
+        id: field("id")?,
+        parent: field("parent")?,
+        name: s
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("span missing 'name'")?
+            .to_string(),
+        thread: field("thread")?,
+        start_ns: field("start_ns")?,
+        dur_ns: field("dur_ns")?,
+    })
+}
+
+pub(crate) fn event_to_json(e: &EventRecord) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::str(e.name.clone())),
+        ("span".into(), Value::U64(e.span)),
+        ("thread".into(), Value::U64(e.thread)),
+        ("at_ns".into(), Value::U64(e.at_ns)),
+        (
+            "fields".into(),
+            Value::Obj(e.fields.iter().map(|(k, v)| (k.clone(), Value::U64(*v))).collect()),
+        ),
+    ])
+}
+
+fn event_from_json(e: &Value) -> Result<EventRecord, String> {
+    let field = |k: &str| -> Result<u64, String> {
+        e.get(k).and_then(Value::as_u64).ok_or(format!("event missing '{k}'"))
+    };
+    let fields = match e.get("fields") {
+        Some(Value::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|v| (k.clone(), v))
+                    .ok_or(format!("event field '{k}' is not an integer"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("event missing 'fields'".into()),
+    };
+    Ok(EventRecord {
+        name: e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("event missing 'name'")?
+            .to_string(),
+        span: field("span")?,
+        thread: field("thread")?,
+        at_ns: field("at_ns")?,
+        fields,
+    })
+}
+
+fn hist_to_json(h: &Histogram) -> Value {
+    // Buckets are sparse in practice: emit `[index, count]` pairs for the
+    // non-empty ones.
+    let buckets = Value::Arr(
+        h.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| Value::Arr(vec![Value::U64(i as u64), Value::U64(*c)]))
+            .collect(),
+    );
+    Value::Obj(vec![
+        ("count".into(), Value::U64(h.count)),
+        ("sum".into(), Value::U64(h.sum)),
+        ("min".into(), Value::U64(if h.count == 0 { 0 } else { h.min })),
+        ("max".into(), Value::U64(h.max)),
+        ("buckets".into(), buckets),
+    ])
+}
+
+fn hist_from_json(k: &str, hv: &Value) -> Result<Histogram, String> {
+    let field = |f: &str| -> Result<u64, String> {
+        hv.get(f).and_then(Value::as_u64).ok_or(format!("histogram '{k}' missing '{f}'"))
+    };
+    let mut h = Histogram::new();
+    h.count = field("count")?;
+    h.sum = field("sum")?;
+    h.max = field("max")?;
+    h.min = if h.count == 0 { u64::MAX } else { field("min")? };
+    for pair in hv
+        .get("buckets")
+        .and_then(Value::as_arr)
+        .ok_or(format!("histogram '{k}' missing 'buckets'"))?
+    {
+        let p = pair.as_arr().filter(|p| p.len() == 2);
+        let (i, c) = match p.map(|p| (p[0].as_u64(), p[1].as_u64())) {
+            Some((Some(i), Some(c))) => (i, c),
+            _ => return Err(format!("histogram '{k}': malformed bucket entry")),
+        };
+        *h.buckets
+            .get_mut(i as usize)
+            .ok_or(format!("histogram '{k}': bucket index {i} out of range"))? = c;
+    }
+    Ok(h)
+}
+
+/// Iterate `(index, 1-based line number, line)` over non-empty lines.
+fn nonempty_lines(text: &str) -> impl Iterator<Item = (usize, usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i, i + 1, l.trim()))
+        .filter(|(_, _, l)| !l.is_empty())
+}
+
+/// Apply one JSONL record line to an accumulating trace.
+fn apply_record_line(t: &mut Trace, line: &str) -> Result<(), String> {
+    let v = Value::parse(line).map_err(|e| e.to_string())?;
+    let tag = v.get("t").and_then(Value::as_str).ok_or("record missing 't' tag")?;
+    match tag {
+        "meta" => {
+            let version = v.get("version").and_then(Value::as_u64).unwrap_or(0);
+            if version != 1 {
+                return Err(format!("unsupported stream version {version}"));
+            }
+        }
+        "span" => t.spans.push(span_from_json(&v)?),
+        "event" => t.events.push(event_from_json(&v)?),
+        "counter" => {
+            let name = v.get("name").and_then(Value::as_str).ok_or("counter missing 'name'")?;
+            let delta =
+                v.get("delta").and_then(Value::as_u64).ok_or("counter missing 'delta'")?;
+            *t.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+        "value" => {
+            let name = v.get("name").and_then(Value::as_str).ok_or("value missing 'name'")?;
+            let val = v.get("value").and_then(Value::as_u64).ok_or("value missing 'value'")?;
+            t.hists.entry(name.to_string()).or_default().record(val);
+        }
+        "hist" => {
+            let name = v.get("name").and_then(Value::as_str).ok_or("hist missing 'name'")?;
+            let h = hist_from_json(name, &v)?;
+            t.hists.entry(name.to_string()).or_default().merge(&h);
+        }
+        other => return Err(format!("unknown record tag '{other}'")),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -276,6 +539,13 @@ mod tests {
             h.record(v);
         }
         t.hists.insert("cycles".into(), h);
+        t.events.push(EventRecord {
+            name: "progress".into(),
+            span: 1,
+            thread: 1,
+            at_ns: 50,
+            fields: vec![("iter".into(), 1), ("best_ns".into(), 900)],
+        });
         t
     }
 
@@ -305,6 +575,59 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_and_partial_traces_are_tolerated() {
+        // A streamed trace commits children before their parents finish and
+        // may be cut at any point. Hand-build an interleaved capture:
+        // children first, parents later, one child of a parent that never
+        // completed (id 9), and one child whose clock-skewed duration
+        // exceeds its parent's.
+        let mut t = Trace::new();
+        t.spans.push(span(3, 2, "compile", 10, 30)); // child before parent
+        t.spans.push(span(4, 2, "measure", 40, 50));
+        t.spans.push(span(6, 9, "compile", 200, 10)); // parent 9 never recorded
+        t.spans.push(span(5, 2, "skewed", 90, 500)); // dur exceeds parent's
+        t.spans.push(span(2, 1, "iteration", 0, 100)); // parent arrives last
+        t.spans.push(span(1, 0, "run", 0, 120));
+
+        // child_time: orphan contributes nothing; skewed child clamps to 100.
+        let ct = t.child_time();
+        assert_eq!(ct.get(&2).copied(), Some(30 + 50 + 100));
+        assert!(!ct.contains_key(&9));
+        // Self time saturates at zero rather than wrapping.
+        let agg = t.aggregate();
+        let iter_row = agg.iter().find(|r| r.name == "iteration").unwrap();
+        assert_eq!(iter_row.self_ns, 0);
+        // Coverage counts only completed parents, clamps, and caps at 1.0.
+        let cov = t.coverage("iteration", &["compile", "measure", "skewed"]).unwrap();
+        assert!((cov - 1.0).abs() < 1e-12, "{cov}");
+        // The orphan's time is excluded from compile+measure coverage.
+        assert!((t.coverage("iteration", &["compile", "measure"]).unwrap() - 0.8).abs() < 1e-12);
+
+        // All of the above must be order-independent: any permutation of the
+        // record order yields identical aggregates.
+        let mut rotated = t.clone();
+        rotated.spans.rotate_left(3);
+        assert_eq!(rotated.aggregate(), agg);
+        assert_eq!(
+            rotated.coverage("iteration", &["compile", "measure"]),
+            t.coverage("iteration", &["compile", "measure"])
+        );
+        assert_eq!(rotated.flame_stacks(), t.flame_stacks());
+    }
+
+    #[test]
+    fn flame_stacks_collapse_by_ancestry() {
+        let t = sample();
+        let stacks = t.flame_stacks();
+        assert_eq!(stacks.get("root").copied(), Some(30));
+        assert_eq!(stacks.get("root;a").copied(), Some(40));
+        assert_eq!(stacks.get("root;a;b").copied(), Some(20));
+        assert_eq!(stacks.get("root;b").copied(), Some(10));
+        // Total self time is conserved across the collapse.
+        assert_eq!(stacks.values().sum::<u64>(), 100);
+    }
+
+    #[test]
     fn hottest_orders_by_duration() {
         let t = sample();
         let hot = t.hottest(2);
@@ -321,6 +644,54 @@ mod tests {
         // Empty trace round-trips too.
         let empty = Trace::new();
         assert_eq!(Trace::parse(&empty.emit_pretty()).unwrap(), empty);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_format_sniffing() {
+        let t = sample();
+        let text = t.to_jsonl();
+        assert!(text.starts_with("{\"t\":\"meta\""));
+        let back = Trace::parse_jsonl(&text).unwrap();
+        assert_eq!(back, t);
+        // parse_any dispatches on the leading record tag.
+        assert_eq!(Trace::parse_any(&text).unwrap(), t);
+        assert_eq!(Trace::parse_any(&t.emit_pretty()).unwrap(), t);
+        // Counter deltas accumulate across lines.
+        let split = "{\"t\":\"counter\",\"name\":\"c\",\"delta\":2}\n\
+                     {\"t\":\"counter\",\"name\":\"c\",\"delta\":3}\n";
+        assert_eq!(Trace::parse_jsonl(split).unwrap().counters["c"], 5);
+        // `value` observations build the same histogram record() would.
+        let vals = "{\"t\":\"value\",\"name\":\"h\",\"value\":1}\n\
+                    {\"t\":\"value\",\"name\":\"h\",\"value\":1000}\n";
+        let vt = Trace::parse_jsonl(vals).unwrap();
+        let mut want = Histogram::new();
+        want.record(1);
+        want.record(1000);
+        assert_eq!(vt.hists["h"], want);
+    }
+
+    #[test]
+    fn jsonl_lossy_skips_torn_lines() {
+        let t = sample();
+        let mut text = t.to_jsonl();
+        // Simulate a crash mid-write: truncate the final line.
+        text.truncate(text.len() - 10);
+        assert!(Trace::parse_jsonl(&text).is_err());
+        let (back, skipped) = Trace::parse_jsonl_lossy(&text);
+        assert_eq!(skipped, 1);
+        assert_eq!(back.spans, t.spans);
+        assert_eq!(back.events, t.events);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed() {
+        assert!(Trace::parse_jsonl("{\"no\":\"tag\"}").is_err());
+        assert!(Trace::parse_jsonl("{\"t\":\"mystery\"}").is_err());
+        assert!(Trace::parse_jsonl("{\"t\":\"meta\",\"version\":2}").is_err());
+        assert!(Trace::parse_jsonl("{\"t\":\"span\",\"id\":1}").is_err());
+        assert!(Trace::parse_jsonl("{\"t\":\"counter\",\"name\":\"c\"}").is_err());
+        let bad_event = "{\"t\":\"event\",\"name\":\"e\",\"span\":0,\"thread\":1,\"at_ns\":0}";
+        assert!(Trace::parse_jsonl(bad_event).is_err());
     }
 
     #[test]

@@ -127,6 +127,65 @@ fn disabled_path_records_nothing() {
     assert!(t.counters.is_empty() && t.hists.is_empty());
 }
 
+/// A deterministic workload exercising every record type, with span names
+/// that stress JSONL escaping (quotes, newlines, non-ASCII).
+fn workload() {
+    let _run = telemetry::span("run");
+    for i in 0..3u64 {
+        let _it = telemetry::span_dyn(|| format!("itér \"{i}\"\nline2"));
+        telemetry::counter("iters", 1);
+        telemetry::value("cost", 10 + i);
+        telemetry::event("progress", &[("iter", i), ("best_ns", 100 - i)]);
+    }
+}
+
+#[test]
+fn stream_sink_replays_to_the_memory_sink_trace() {
+    let _g = serialised();
+    let mem = capture(workload);
+
+    let path = std::env::temp_dir()
+        .join(format!("citroen-telemetry-it-{}.jsonl", std::process::id()));
+    telemetry::enable_stream(&path).unwrap();
+    workload();
+    drop(telemetry::disable()); // joins the writer and flushes the file
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let streamed = Trace::parse_jsonl(&text).unwrap();
+
+    // Identical modulo timestamps and absolute span ids (the id counter is
+    // process-global and does not reset between runs).
+    assert_eq!(streamed.counters, mem.counters);
+    assert_eq!(streamed.hists, mem.hists);
+    let names =
+        |t: &Trace| t.spans.iter().map(|s| s.name.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&streamed), names(&mem));
+    let parent_names = |t: &Trace| -> Vec<(String, String)> {
+        t.spans
+            .iter()
+            .map(|s| {
+                let p = t
+                    .spans
+                    .iter()
+                    .find(|q| q.id == s.parent)
+                    .map(|q| q.name.clone())
+                    .unwrap_or_default();
+                (s.name.clone(), p)
+            })
+            .collect()
+    };
+    assert_eq!(parent_names(&streamed), parent_names(&mem));
+    let events = |t: &Trace| {
+        t.events
+            .iter()
+            .map(|e| (e.name.clone(), e.fields.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(events(&streamed), events(&mem));
+    assert_eq!(mem.events.len(), 3);
+    assert_eq!(mem.events[2].field("best_ns"), Some(98));
+}
+
 #[test]
 fn enable_disable_cycles_produce_independent_traces() {
     let _g = serialised();

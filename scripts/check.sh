@@ -15,6 +15,11 @@
 #      compile/measure/fit/acquire children (`citroen-trace check`), and
 #      the disabled-path overhead must stay within the pinned budget
 #      (`micro --telemetry-gate`)
+#   6. the streaming gate: the same tuning run streamed as JSONL must pass
+#      `check`, render a monotone convergence curve (`curve`), export
+#      flamegraph stacks (`flame`), match a fresh baseline of itself
+#      (`regress` exit 0), and keep the marginal streaming overhead within
+#      the pinned budget (`micro --stream-gate`)
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
@@ -40,5 +45,17 @@ trap 'rm -f "$trace_file"' EXIT
 timeout 60 ./target/release/citroen-trace record --budget 10 --out "$trace_file"
 timeout 30 ./target/release/citroen-trace check "$trace_file"
 timeout 120 ./target/release/micro --telemetry-gate
+
+echo "== streaming: JSONL trace + curve/flame + regression self-check + overhead gate"
+stream_file="$(mktemp)"
+baseline_file="$(mktemp)"
+trap 'rm -f "$trace_file" "$stream_file" "$baseline_file"' EXIT
+timeout 60 ./target/release/citroen-trace record --budget 10 --stream-out "$stream_file"
+timeout 30 ./target/release/citroen-trace check "$stream_file"
+timeout 30 ./target/release/citroen-trace curve "$stream_file"
+timeout 30 ./target/release/citroen-trace flame "$stream_file" > /dev/null
+timeout 30 ./target/release/citroen-trace baseline "$stream_file" --out "$baseline_file"
+timeout 30 ./target/release/citroen-trace regress "$stream_file" --baseline "$baseline_file"
+timeout 300 ./target/release/micro --stream-gate
 
 echo "== tier-1 gate passed"

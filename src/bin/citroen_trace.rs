@@ -1,41 +1,58 @@
 //! `citroen-trace`: capture and analyse telemetry traces of the tuning stack.
 //!
-//! Four modes:
+//! Capture: **record** runs a small CITROEN tuning run with a telemetry sink
+//! installed — in-memory (`--out`, pretty JSON) or streaming (`--stream-out`,
+//! JSONL through [`telemetry::StreamSink`]). Every analysis mode accepts
+//! both formats (sniffed by the leading `{"t":...}` record tag).
 //!
-//! * **record**: run a small CITROEN tuning run with the in-memory telemetry
-//!   sink installed and write the exported trace JSON.
-//! * **show**: render a trace — per-span-name self/total breakdown table,
-//!   the top-N hottest individual spans, counter totals, and histogram
-//!   summaries.
-//! * **check**: structural assertions on a trace (the tier-1 telemetry
-//!   gate): the expected span kinds exist, and the `iteration` spans are
-//!   ≥90% covered by their compile/measure/fit/acquire children.
-//! * **diff**: compare two traces — per-name time deltas and counter deltas,
-//!   for before/after comparisons of optimisation work.
+//! Analysis: **show** (self/total breakdown, hottest spans, counters,
+//! histograms), **check** (structural assertions — the tier-1 telemetry
+//! gate), **diff** (per-name time and counter deltas between two traces),
+//! **tail** (render a live/partial JSONL stream, torn lines tolerated),
+//! **flame** (collapsed stacks for standard flamegraph tools), **curve**
+//! (per-run convergence table from the tuner's `progress` events).
+//!
+//! Regression tracking: **baseline** persists a compact per-span-name/counter
+//! summary of a trace; **regress** compares a new trace against it with
+//! percentage deltas and exits 1 past the threshold — the repo's
+//! perf-regression gate.
 //!
 //! Exits non-zero on parse failures or failed checks.
 
 use citroen::core::{run_citroen, CitroenConfig, Task, TaskConfig};
 use citroen::telemetry::{self, Trace};
 use citroen_passes::Registry;
+use citroen_rt::json::Value;
 use citroen_sim::Platform;
 
 const USAGE: &str = "\
 citroen-trace — telemetry capture and trace analysis
 
 USAGE:
-    citroen-trace record [--out FILE] [--bench NAME] [--budget N]
-                         [--seq-len N] [--seed S] [--oracle]
+    citroen-trace record [--out FILE | --stream-out FILE] [--bench NAME]
+                         [--budget N] [--seq-len N] [--seed S] [--oracle]
     citroen-trace show FILE [--top N]
     citroen-trace check FILE [--min-coverage F]
     citroen-trace diff OLD NEW
+    citroen-trace tail FILE
+    citroen-trace flame FILE
+    citroen-trace curve FILE
+    citroen-trace baseline FILE [--out FILE]
+    citroen-trace regress FILE --baseline FILE [--threshold PCT]
 
 MODES:
-    record           run a traced tuning run, write the trace JSON
-                     (stdout unless --out)
+    record           run a traced tuning run; write pretty JSON (--out /
+                     stdout) or stream JSONL records live (--stream-out)
     show             breakdown table + hottest spans + counters + histograms
     check            assert expected span kinds and iteration coverage
     diff             per-name time deltas and counter deltas between traces
+    tail             render a live/partial JSONL stream (torn lines skipped)
+    flame            collapsed flame stacks ('a;b;c <self_ns>' per line)
+    curve            convergence table from the tuner's progress events;
+                     exits 1 if the best-so-far column is not monotone
+    baseline         persist a per-span-name/counter summary for regress
+    regress          compare a trace against a stored baseline; exits 1 when
+                     any tracked time or counter grew past the threshold
 
 RECORD OPTIONS:
     --bench NAME     benchmark to tune            [default: telecom_gsm]
@@ -43,6 +60,10 @@ RECORD OPTIONS:
     --seq-len N      pass-sequence length         [default: 16]
     --seed S         tuner seed                   [default: 1]
     --oracle         enable oracle pruning (canonicalizer counters)
+
+REGRESS OPTIONS:
+    --threshold PCT  max tolerated increase, percent   [default: 25]
+                     (times under 1ms / counters under 10 are ignored)
 ";
 
 fn die(msg: &str) -> ! {
@@ -58,7 +79,7 @@ fn parse_num(args: &mut std::env::Args, flag: &str) -> u64 {
 fn load(path: &str) -> Trace {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read '{path}': {e}")));
-    Trace::parse(&text).unwrap_or_else(|e| die(&format!("'{path}': {e}")))
+    Trace::parse_any(&text).unwrap_or_else(|e| die(&format!("'{path}': {e}")))
 }
 
 /// Nanoseconds → fixed-width human milliseconds.
@@ -74,6 +95,11 @@ fn main() {
         Some("show") => show(args),
         Some("check") => check(args),
         Some("diff") => diff(args),
+        Some("tail") => tail(args),
+        Some("flame") => flame(args),
+        Some("curve") => curve(args),
+        Some("baseline") => baseline(args),
+        Some("regress") => regress(args),
         Some(other) => die(&format!("unknown mode '{other}'")),
         None => die("missing mode"),
     }
@@ -85,11 +111,15 @@ fn main() {
 
 fn record(mut args: std::env::Args) {
     let (mut out, mut bench) = (None::<String>, "telecom_gsm".to_string());
+    let mut stream_out = None::<String>;
     let (mut budget, mut seq_len, mut seed) = (12usize, 16usize, 1u64);
     let mut oracle = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = Some(args.next().unwrap_or_else(|| die("--out needs a file"))),
+            "--stream-out" => {
+                stream_out = Some(args.next().unwrap_or_else(|| die("--stream-out needs a file")))
+            }
             "--bench" => bench = args.next().unwrap_or_else(|| die("--bench needs a name")),
             "--budget" => budget = parse_num(&mut args, "--budget") as usize,
             "--seq-len" => seq_len = parse_num(&mut args, "--seq-len") as usize,
@@ -97,6 +127,9 @@ fn record(mut args: std::env::Args) {
             "--oracle" => oracle = true,
             other => die(&format!("record: unknown argument '{other}'")),
         }
+    }
+    if out.is_some() && stream_out.is_some() {
+        die("record: --out and --stream-out are mutually exclusive");
     }
     let b = citroen_suite::all_benchmarks()
         .into_iter()
@@ -107,7 +140,11 @@ fn record(mut args: std::env::Args) {
             die(&format!("unknown benchmark '{bench}'; have: {}", names.join(", ")))
         });
 
-    telemetry::enable();
+    match &stream_out {
+        Some(path) => telemetry::enable_stream(path)
+            .unwrap_or_else(|e| die(&format!("cannot stream to '{path}': {e}"))),
+        None => telemetry::enable(),
+    }
     let mut task = Task::new(
         b,
         Registry::full(),
@@ -122,6 +159,26 @@ fn record(mut args: std::env::Args) {
         ..Default::default()
     };
     let (trace, _) = run_citroen(&mut task, budget, &cfg);
+
+    if let Some(path) = &stream_out {
+        // Dropping the sink joins the writer thread and flushes the file.
+        drop(telemetry::disable());
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read back '{path}': {e}")));
+        let telem = Trace::parse_jsonl(&text)
+            .unwrap_or_else(|e| die(&format!("streamed trace '{path}': {e}")));
+        eprintln!(
+            "[record] {bench}: best {:.3e}s over {} measurements; streamed {} lines \
+             ({} spans, {} events) to {path}",
+            trace.best(),
+            task.measurements,
+            text.lines().count(),
+            telem.spans.len(),
+            telem.events.len()
+        );
+        return;
+    }
+
     let telem = telemetry::take_trace().expect("memory sink must yield a trace");
     telemetry::disable();
 
@@ -302,5 +359,276 @@ fn diff(mut args: std::env::Args) {
         } else {
             println!("{k:<32} {va:>12} (unchanged)");
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tail
+// ---------------------------------------------------------------------------
+
+/// Render a live/partial JSONL stream: the writer may be mid-line and the
+/// run may still be going, so parse lossily and summarise what's there.
+fn tail(mut args: std::env::Args) {
+    let file = args.next().unwrap_or_else(|| die("tail needs a trace file"));
+    if let Some(extra) = args.next() {
+        die(&format!("tail: unexpected argument '{extra}'"));
+    }
+    let text = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| die(&format!("cannot read '{file}': {e}")));
+    let (t, skipped) = Trace::parse_jsonl_lossy(&text);
+
+    println!(
+        "{}: {} spans, {} events, {} counters, {} histograms{}",
+        file,
+        t.spans.len(),
+        t.events.len(),
+        t.counters.len(),
+        t.hists.len(),
+        if skipped > 0 { format!(" ({skipped} unparseable lines skipped)") } else { String::new() }
+    );
+    println!("\n== span breakdown (self time, descending) ==");
+    println!("{:<28} {:>7} {:>12} {:>12}", "name", "count", "total", "self");
+    for r in t.aggregate() {
+        println!("{:<28} {:>7} {} {}", r.name, r.count, ms(r.total_ns), ms(r.self_ns));
+    }
+    let progress: Vec<_> = t.events.iter().filter(|e| e.name == "progress").collect();
+    if let Some(last) = progress.last() {
+        println!("\n== last {} progress events (of {}) ==", progress.len().min(5), progress.len());
+        for e in progress.iter().rev().take(5).rev() {
+            println!(
+                "iter {:>4}  meas {:>4}  compiles {:>5}  best {}",
+                e.field("iter").unwrap_or(0),
+                e.field("measurements").unwrap_or(0),
+                e.field("compilations").unwrap_or(0),
+                ms(e.field("best_ns").unwrap_or(0)),
+            );
+        }
+        let _ = last;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// flame
+// ---------------------------------------------------------------------------
+
+/// Collapsed-stack output: one `name;name;name <self_ns>` line per distinct
+/// stack — the input format standard flamegraph renderers consume.
+fn flame(mut args: std::env::Args) {
+    let file = args.next().unwrap_or_else(|| die("flame needs a trace file"));
+    if let Some(extra) = args.next() {
+        die(&format!("flame: unexpected argument '{extra}'"));
+    }
+    let t = load(&file);
+    if t.spans.is_empty() {
+        die(&format!("'{file}' contains no spans"));
+    }
+    for (stack, self_ns) in t.flame_stacks() {
+        if self_ns > 0 {
+            println!("{stack} {self_ns}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// curve
+// ---------------------------------------------------------------------------
+
+/// Convergence table from the tuner's `progress` events. Self-checking: the
+/// best-so-far column must be non-increasing (it tracks a running minimum),
+/// so a violation means the event stream is corrupt — exit 1.
+fn curve(mut args: std::env::Args) {
+    let file = args.next().unwrap_or_else(|| die("curve needs a trace file"));
+    if let Some(extra) = args.next() {
+        die(&format!("curve: unexpected argument '{extra}'"));
+    }
+    let t = load(&file);
+    let o3_ns = t
+        .events
+        .iter()
+        .find(|e| e.name == "run.meta")
+        .and_then(|e| e.field("o3_ns"))
+        .filter(|&v| v > 0);
+    let progress: Vec<_> = t.events.iter().filter(|e| e.name == "progress").collect();
+    if progress.is_empty() {
+        eprintln!("citroen-trace: '{file}' has no progress events (not a traced tuning run?)");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{:>5} {:>5} {:>8} {:>6} {:>7} {:>12} {:>12} {:>8}",
+        "iter", "meas", "compile", "cache", "dropped", "last", "best", "speedup"
+    );
+    let mut prev_best = u64::MAX;
+    let mut monotone = true;
+    for e in &progress {
+        let best = e.field("best_ns").unwrap_or(0);
+        if best > prev_best {
+            monotone = false;
+        }
+        if best > 0 {
+            prev_best = best;
+        }
+        let speedup = match (o3_ns, best) {
+            (Some(o3), b) if b > 0 => format!("{:>7.3}x", o3 as f64 / b as f64),
+            _ => format!("{:>8}", "-"),
+        };
+        println!(
+            "{:>5} {:>5} {:>8} {:>6} {:>7} {} {} {}",
+            e.field("iter").unwrap_or(0),
+            e.field("measurements").unwrap_or(0),
+            e.field("compilations").unwrap_or(0),
+            e.field("cache_hits").unwrap_or(0),
+            e.field("coverage_dropped").unwrap_or(0),
+            ms(e.field("last_ns").unwrap_or(0)),
+            ms(best),
+            speedup
+        );
+    }
+    if !monotone {
+        eprintln!("FAIL: best-so-far column is not monotone non-increasing");
+        std::process::exit(1);
+    }
+    println!("\n{} progress events; best-so-far column monotone OK", progress.len());
+}
+
+// ---------------------------------------------------------------------------
+// baseline / regress
+// ---------------------------------------------------------------------------
+
+/// Serialise the regression-tracking summary of a trace: per-span-name
+/// aggregates plus counter totals. Deliberately excludes wall-clock-free
+/// quantities only (counts *and* times are kept — `regress` decides what's
+/// stable enough to compare).
+fn summary_json(t: &Trace) -> Value {
+    let names = Value::Arr(
+        t.aggregate()
+            .into_iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("name".into(), Value::str(r.name)),
+                    ("count".into(), Value::U64(r.count)),
+                    ("total_ns".into(), Value::U64(r.total_ns)),
+                    ("self_ns".into(), Value::U64(r.self_ns)),
+                ])
+            })
+            .collect(),
+    );
+    let counters = Value::Obj(
+        t.counters.iter().map(|(k, v)| (k.clone(), Value::U64(*v))).collect(),
+    );
+    Value::Obj(vec![
+        ("version".into(), Value::U64(1)),
+        ("names".into(), names),
+        ("counters".into(), counters),
+    ])
+}
+
+fn baseline(mut args: std::env::Args) {
+    let mut file = None::<String>;
+    let mut out = None::<String>;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().unwrap_or_else(|| die("--out needs a file"))),
+            other if file.is_none() => file = Some(other.to_string()),
+            other => die(&format!("baseline: unexpected argument '{other}'")),
+        }
+    }
+    let t = load(&file.unwrap_or_else(|| die("baseline needs a trace file")));
+    let text = summary_json(&t).emit_pretty();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text)
+                .unwrap_or_else(|e| die(&format!("cannot write '{path}': {e}")));
+            eprintln!("[baseline] wrote {} span names, {} counters to {path}",
+                t.aggregate().len(), t.counters.len());
+        }
+        None => println!("{text}"),
+    }
+}
+
+/// Time floor below which a span name is too noisy to gate on (1ms), and the
+/// counter floor below which relative deltas are meaningless.
+const REGRESS_MIN_NS: u64 = 1_000_000;
+const REGRESS_MIN_COUNT: u64 = 10;
+
+fn regress(mut args: std::env::Args) {
+    let mut file = None::<String>;
+    let mut base_path = None::<String>;
+    let mut threshold = 25.0f64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                base_path = Some(args.next().unwrap_or_else(|| die("--baseline needs a file")))
+            }
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| die("--threshold needs a value"));
+                threshold = v.parse().unwrap_or_else(|_| die("--threshold: bad number"));
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => die(&format!("regress: unexpected argument '{other}'")),
+        }
+    }
+    let t = load(&file.unwrap_or_else(|| die("regress needs a trace file")));
+    let base_path = base_path.unwrap_or_else(|| die("regress needs --baseline FILE"));
+    let base_text = std::fs::read_to_string(&base_path)
+        .unwrap_or_else(|e| die(&format!("cannot read '{base_path}': {e}")));
+    let base = Value::parse(&base_text)
+        .unwrap_or_else(|e| die(&format!("'{base_path}': {e}")));
+    if base.get("version").and_then(Value::as_u64) != Some(1) {
+        die(&format!("'{base_path}' is not a version-1 baseline summary"));
+    }
+
+    let new_names: std::collections::BTreeMap<String, u64> =
+        t.aggregate().into_iter().map(|r| (r.name, r.total_ns)).collect();
+    let mut breaches: Vec<String> = Vec::new();
+    let pct = |old: u64, new: u64| -> f64 { 100.0 * (new as f64 - old as f64) / old as f64 };
+
+    println!("== regress vs {base_path} (threshold +{threshold:.0}%) ==");
+    println!("{:<28} {:>14} {:>14} {:>8}", "span name (total)", "baseline", "current", "delta");
+    for entry in base.get("names").and_then(Value::as_arr).unwrap_or(&[]) {
+        let (Some(name), Some(old)) = (
+            entry.get("name").and_then(Value::as_str),
+            entry.get("total_ns").and_then(Value::as_u64),
+        ) else {
+            die(&format!("'{base_path}': malformed names entry"));
+        };
+        if old < REGRESS_MIN_NS {
+            continue; // too small to gate on
+        }
+        let new = new_names.get(name).copied().unwrap_or(0);
+        let delta = pct(old, new);
+        let mark = if delta > threshold { " <-- REGRESSION" } else { "" };
+        println!("{name:<28} {} {} {delta:>+7.1}%{mark}", ms(old), ms(new));
+        if delta > threshold {
+            breaches.push(format!("span '{name}' total time {delta:+.1}%"));
+        }
+    }
+    println!("\n{:<28} {:>14} {:>14} {:>8}", "counter", "baseline", "current", "delta");
+    if let Some(Value::Obj(pairs)) = base.get("counters") {
+        for (name, v) in pairs {
+            let old = v
+                .as_u64()
+                .unwrap_or_else(|| die(&format!("'{base_path}': counter '{name}' not integer")));
+            if old < REGRESS_MIN_COUNT {
+                continue;
+            }
+            let new = t.counters.get(name).copied().unwrap_or(0);
+            let delta = pct(old, new);
+            let mark = if delta > threshold { " <-- REGRESSION" } else { "" };
+            println!("{name:<28} {old:>14} {new:>14} {delta:>+7.1}%{mark}");
+            if delta > threshold {
+                breaches.push(format!("counter '{name}' {delta:+.1}%"));
+            }
+        }
+    }
+
+    if breaches.is_empty() {
+        println!("\nregress OK: nothing grew more than {threshold:.0}%");
+    } else {
+        eprintln!("\nFAIL: {} regression(s) past +{threshold:.0}%:", breaches.len());
+        for b in &breaches {
+            eprintln!("  - {b}");
+        }
+        std::process::exit(1);
     }
 }

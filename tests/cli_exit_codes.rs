@@ -1,7 +1,8 @@
-//! Exit-code contract of the `citroen-analyze` binary: 0 on a clean run,
-//! 1 when findings (lint diagnostics or oracle violations) exist, 2 on usage
-//! errors. CI scripts branch on these codes, so they are pinned here against
-//! the real binary rather than the library functions behind it.
+//! Exit-code contract of the `citroen-analyze` and `citroen-trace` binaries:
+//! 0 on a clean run, 1 when findings (lint diagnostics, oracle violations,
+//! trace-check failures, regressions) exist, 2 on usage errors. CI scripts
+//! branch on these codes, so they are pinned here against the real binaries
+//! rather than the library functions behind them.
 
 use citroen_ir::builder::FunctionBuilder;
 use citroen_ir::inst::Operand;
@@ -100,4 +101,174 @@ fn oracle_with_lying_pass_exits_1() {
     assert!(err.contains("oracle violation: lying-precondition"), "{err}");
     // ddmin must have shrunk the reproducer to the lying pass alone.
     assert!(err.contains("reduced sequence: lying-precondition"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// citroen-trace
+// ---------------------------------------------------------------------------
+
+fn trace_bin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_citroen-trace"))
+        .args(args)
+        .output()
+        .expect("spawn citroen-trace")
+}
+
+fn temp_text(name: &str, text: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("citroen-exit-{}-{name}", std::process::id()));
+    std::fs::write(&path, text).expect("write temp file");
+    path
+}
+
+/// A hand-built streamed trace of a plausible tuning run: every span kind
+/// and counter `check` requires, spans listed in completion order (children
+/// before parents — the streaming order), run.meta + improving progress
+/// events for `curve`, and all span totals above the 1 ms floor `regress`
+/// compares. `scale` multiplies durations, to fabricate a perturbed run.
+fn tuning_jsonl(scale: u64) -> String {
+    let s = scale;
+    let spans = [
+        (2u64, 1u64, "init", 0u64, 1_000_000u64),
+        (4, 3, "compile", 1_000_000, 4_000_000),
+        (9, 5, "sim.execute", 5_000_000, 2_500_000),
+        (5, 3, "measure", 5_000_000, 3_000_000),
+        (8, 6, "gp.fit", 8_000_000, 900_000),
+        (6, 3, "fit", 8_000_000, 1_000_000),
+        (7, 3, "acquire", 9_000_000, 1_000_000),
+        (3, 1, "iteration", 1_000_000, 9_500_000),
+        (1, 0, "citroen.run", 0, 11_000_000),
+    ];
+    let mut out = String::from("{\"t\":\"meta\",\"version\":1}\n");
+    for (id, parent, name, start, dur) in spans {
+        out += &format!(
+            "{{\"t\":\"span\",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\",\
+             \"thread\":0,\"start_ns\":{},\"dur_ns\":{}}}\n",
+            start * s,
+            dur * s
+        );
+    }
+    for (name, delta) in [
+        ("task.compilations", 40u64),
+        ("task.measurements", 50),
+        ("citroen.iterations", 12),
+        ("gp.predict.calls", 100),
+        ("acq.evals", 200),
+    ] {
+        out += &format!("{{\"t\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}}}\n");
+    }
+    out += "{\"t\":\"event\",\"name\":\"run.meta\",\"span\":1,\"thread\":0,\"at_ns\":1,\
+            \"fields\":{\"o3_ns\":2000000}}\n";
+    for (iter, last, best) in [(0u64, 1_500_000u64, 1_500_000u64), (1, 1_600_000, 1_500_000), (2, 1_200_000, 1_200_000)] {
+        out += &format!(
+            "{{\"t\":\"event\",\"name\":\"progress\",\"span\":3,\"thread\":0,\"at_ns\":{},\
+             \"fields\":{{\"iter\":{iter},\"measurements\":{},\"compilations\":{},\
+             \"cache_hits\":{iter},\"coverage_dropped\":0,\"last_ns\":{last},\"best_ns\":{best}}}}}\n",
+            (iter + 2) * 2_000_000,
+            iter + 4,
+            iter + 4
+        );
+    }
+    out
+}
+
+#[test]
+fn trace_usage_errors_exit_2() {
+    assert_eq!(trace_bin(&[]).status.code(), Some(2));
+    let out = trace_bin(&["no-such-mode"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"), "usage not printed");
+    // A mode missing its required file argument is also a usage error.
+    assert_eq!(trace_bin(&["check"]).status.code(), Some(2));
+    assert_eq!(trace_bin(&["regress"]).status.code(), Some(2));
+}
+
+#[test]
+fn trace_check_and_curve_accept_a_streamed_tuning_trace() {
+    let good = temp_text("good.jsonl", &tuning_jsonl(1));
+    let path = good.to_str().unwrap();
+
+    let out = trace_bin(&["check", path]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("trace OK"));
+
+    let out = trace_bin(&["curve", path]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("monotone OK"), "{stdout}");
+    assert!(stdout.contains("1.667x"), "speedup column missing: {stdout}"); // 2ms / 1.2ms
+
+    // flame and tail both read the same file.
+    let out = trace_bin(&["flame", path]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("citroen.run;iteration;compile"), "{stdout}");
+    let out = trace_bin(&["tail", path]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("progress"), "tail shows progress");
+
+    let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn trace_curve_exits_1_when_best_so_far_regresses() {
+    // Flip the progress stream so best-so-far gets *worse*: corrupt.
+    let broken = tuning_jsonl(1)
+        .replace("\"best_ns\":1200000", "\"best_ns\":1800000");
+    let file = temp_text("nonmono.jsonl", &broken);
+    let out = trace_bin(&["curve", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not monotone"), "wrong failure");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn trace_regress_exit_codes_follow_the_threshold() {
+    let good = temp_text("base-run.jsonl", &tuning_jsonl(1));
+    let slow = temp_text("slow-run.jsonl", &tuning_jsonl(3)); // 3× every span
+    let baseline = std::env::temp_dir()
+        .join(format!("citroen-exit-{}-baseline.json", std::process::id()));
+
+    let out = trace_bin(&[
+        "baseline",
+        good.to_str().unwrap(),
+        "--out",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Same run vs its own baseline: no deltas, exit 0.
+    let out = trace_bin(&[
+        "regress",
+        good.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    // A 3×-slower run blows through the default 25% threshold: exit 1.
+    let out = trace_bin(&[
+        "regress",
+        slow.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+
+    // ... but a generous threshold tolerates it.
+    let out = trace_bin(&[
+        "regress",
+        slow.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--threshold",
+        "250",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    for f in [good, slow, baseline] {
+        let _ = std::fs::remove_file(f);
+    }
 }
