@@ -35,6 +35,7 @@ fn run(id: &str, cfg: &ExpCfg) {
         "fig5_10" => ch5::fig5_10(cfg),
         "fig5_11" => ch5::fig5_11(cfg),
         "fig5_12" => ch5::fig5_12(cfg),
+        "batch_sweep" => ch5::batch_sweep(cfg),
         "multimodule" => ch5::adaptive_multimodule(cfg),
         "headroom" => ch5::headroom(cfg),
         "transfer" => ch5::transfer(cfg),
@@ -55,7 +56,8 @@ fn run(id: &str, cfg: &ExpCfg) {
         "ch5" => {
             for e in [
                 "fig5_1", "tab5_1", "tab5_2", "tab5_3", "tab5_4", "tab5_5", "fig5_6_7",
-                "fig5_8", "fig5_9", "fig5_10", "fig5_11", "fig5_12", "multimodule", "headroom",
+                "fig5_8", "fig5_9", "fig5_10", "fig5_11", "fig5_12", "batch_sweep",
+                "multimodule", "headroom",
             ] {
                 println!("\n==== {e} ====");
                 run(e, cfg);
@@ -85,7 +87,7 @@ fn usage() {
     eprintln!(
         "usage: experiments <id> [--reps N] [--budget N] [--seq-len N] [--full] [--out DIR]
                    [--trace-dir DIR] [--benchmarks a,b,c]
-ids: fig5_1 tab5_1..tab5_5 fig5_6_7 fig5_8..fig5_12 multimodule headroom
+ids: fig5_1 tab5_1..tab5_5 fig5_6_7 fig5_8..fig5_12 batch_sweep multimodule headroom
      fig4_3..fig4_15 tab4_2 | ch4 | ch5 | all
 fig5_6_7 only: --trace-dir streams one JSONL telemetry trace per
 benchmark×tuner×seed cell (cells run sequentially; analyse with

@@ -625,6 +625,61 @@ pub fn fig5_12(cfg: &ExpCfg) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched tuning — the Fig 5.12 story under q > 1
+// ---------------------------------------------------------------------------
+
+/// Batch-size ablation: wall time, best speedup and the Fig 5.12 time
+/// proportions as the per-iteration batch size q grows. q=1 is the
+/// sequential loop; q>1 selects with greedy qUCB and runs the compile and
+/// measurement sweeps on the `rt::par` worker pool, overlapping the GP fit
+/// with the measurements. Quality (best-found speedup) should hold roughly
+/// flat while wall time drops — compile time amortises over the batch even
+/// on one core, and parallelises across cores.
+pub fn batch_sweep(cfg: &ExpCfg) {
+    let mut rep = Report::new(
+        "batch_sweep",
+        &["benchmark", "q", "speedup", "sd", "wall_ms", "compile_pct", "measure_pct", "model_pct"],
+    );
+    let platform = Platform::tx2();
+    for name in cbench_subset() {
+        for q in [1usize, 2, 4, 8] {
+            // Seeds run sequentially: the inner loop already owns the worker
+            // pool when q>1, and the wall-clock column must not be polluted
+            // by sibling seeds competing for cores.
+            let mut speedups = Vec::new();
+            let mut walls = Vec::new();
+            let mut props = (0.0f64, 0.0f64, 0.0f64);
+            for seed in 0..cfg.reps {
+                let mut task = make_task(name, &platform, cfg, seed);
+                let c = CitroenConfig { batch: q, seed, ..Default::default() };
+                let t0 = std::time::Instant::now();
+                let (trace, _) = run_citroen(&mut task, cfg.budget, &c);
+                walls.push(t0.elapsed().as_secs_f64() * 1e3);
+                speedups.push(task.speedup(trace.best()));
+                let total = (task.times.compile + task.times.measure + task.times.model)
+                    .as_secs_f64()
+                    .max(1e-12);
+                props.0 += task.times.compile.as_secs_f64() / total * 100.0;
+                props.1 += task.times.measure.as_secs_f64() / total * 100.0;
+                props.2 += task.times.model.as_secs_f64() / total * 100.0;
+            }
+            let n = cfg.reps.max(1) as f64;
+            rep.row(vec![
+                name.to_string(),
+                q.to_string(),
+                f3(mean(&speedups)),
+                f3(std_dev(&speedups)),
+                f3(mean(&walls)),
+                f3(props.0 / n),
+                f3(props.1 / n),
+                f3(props.2 / n),
+            ]);
+        }
+    }
+    rep.finish(cfg);
+}
+
+// ---------------------------------------------------------------------------
 // Adaptive multi-module allocation
 // ---------------------------------------------------------------------------
 

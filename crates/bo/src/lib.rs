@@ -20,5 +20,5 @@ pub use acquisition::Acquisition;
 pub use aibo::{run_aibo, run_heuristic, run_random_search, AiboConfig, BoResult, IterationRecord, StrategyKind};
 pub use baselines::{run_hesbo, run_turbo, TurboConfig};
 pub use heuristics::{AskTell, CmaEs, DiscreteOneLambda, GaOpt, RandomOpt};
-pub use maximizer::GradMaximizer;
+pub use maximizer::{draw_mc_eps, greedy_batch, GradMaximizer};
 pub use space::{Bounds, SeqCanonicalizer};

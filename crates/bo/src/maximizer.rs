@@ -77,6 +77,72 @@ impl GradMaximizer {
     }
 }
 
+/// Draw the fixed Monte-Carlo standard-normal matrix a greedy batch
+/// construction evaluates every prefix against: `samples` rows of `q`
+/// independent draws. Sharing one matrix across all `mc_eval_batch` calls of
+/// a selection round makes the greedy argmax deterministic and keeps
+/// prefix scores comparable (common random numbers).
+pub fn draw_mc_eps(rng: &mut StdRng, samples: usize, q: usize) -> Vec<Vec<f64>> {
+    (0..samples).map(|_| (0..q).map(|_| standard_normal(rng)).collect()).collect()
+}
+
+/// Sequential-greedy batch construction on top of
+/// [`Acquisition::mc_eval_batch`] (thesis §2.1.2, the qEI/qUCB construction
+/// CITROEN's batched loop uses): the first point is the plain analytic
+/// argmax — so a batch of one reduces *exactly* to the sequential
+/// acquisition step — and each further point is the candidate whose addition
+/// maximises the Monte-Carlo batch AF of the grown prefix under the shared
+/// `eps` draws. Returns the selected indices into `xs` in pick order
+/// (deduplicated; ties break to the lowest index, so the construction is
+/// deterministic).
+pub fn greedy_batch(
+    gp: &Gp,
+    acq: Acquisition,
+    best_z: f64,
+    xs: &[Vec<f64>],
+    q: usize,
+    eps: &[Vec<f64>],
+) -> Vec<usize> {
+    if xs.is_empty() || q == 0 {
+        return Vec::new();
+    }
+    let mut best_af = f64::NEG_INFINITY;
+    let mut first = 0usize;
+    for (i, x) in xs.iter().enumerate() {
+        let af = acq.eval(gp, best_z, x);
+        if af > best_af {
+            best_af = af;
+            first = i;
+        }
+    }
+    let mut picked = vec![first];
+    let mut batch: Vec<Vec<f64>> = vec![xs[first].clone()];
+    while picked.len() < q.min(xs.len()) {
+        let mut best_score = f64::NEG_INFINITY;
+        let mut pick = None;
+        for (i, x) in xs.iter().enumerate() {
+            if picked.contains(&i) {
+                continue;
+            }
+            batch.push(x.clone());
+            let score = acq.mc_eval_batch(gp, best_z, &batch, eps);
+            batch.pop();
+            if score > best_score {
+                best_score = score;
+                pick = Some(i);
+            }
+        }
+        match pick {
+            Some(i) => {
+                picked.push(i);
+                batch.push(xs[i].clone());
+            }
+            None => break,
+        }
+    }
+    picked
+}
+
 /// Rank raw candidates by AF and keep the best `n` as maximiser starts
 /// (the "top-n" selection shared by the initialisation strategies).
 pub fn top_n_by_af(
@@ -224,6 +290,51 @@ mod tests {
         for x in gaussian_spray(&[0.02, 0.99], 0.3, 40, &mut rng) {
             assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
         }
+    }
+
+    #[test]
+    fn greedy_batch_of_one_is_the_analytic_argmax() {
+        let gp = gp_1d();
+        let acq = Acquisition::Ucb { beta: 1.96 };
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let mut scored: Vec<(f64, usize)> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (acq.eval(&gp, 0.0, x), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        // No MC draws are consumed for q=1: an empty eps matrix suffices.
+        let picked = greedy_batch(&gp, acq, 0.0, &xs, 1, &[]);
+        assert_eq!(picked, vec![scored[0].1]);
+    }
+
+    #[test]
+    fn greedy_batch_is_deterministic_and_diverse() {
+        let gp = gp_1d();
+        let acq = Acquisition::Ei;
+        let best = gp.transform().forward(0.0);
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 / 15.0]).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let eps = draw_mc_eps(&mut rng, 64, 4);
+        let a = greedy_batch(&gp, acq, best, &xs, 4, &eps);
+        let b = greedy_batch(&gp, acq, best, &xs, 4, &eps);
+        assert_eq!(a, b, "same inputs must give the same batch");
+        assert_eq!(a.len(), 4);
+        // All distinct picks.
+        let set: std::collections::HashSet<usize> = a.iter().copied().collect();
+        assert_eq!(set.len(), 4, "batch must not repeat candidates: {a:?}");
+    }
+
+    #[test]
+    fn greedy_batch_caps_at_candidate_count() {
+        let gp = gp_1d();
+        let acq = Acquisition::Ucb { beta: 1.0 };
+        let xs = vec![vec![0.2], vec![0.8]];
+        let mut rng = StdRng::seed_from_u64(5);
+        let eps = draw_mc_eps(&mut rng, 16, 8);
+        let picked = greedy_batch(&gp, acq, 0.0, &xs, 8, &eps);
+        assert_eq!(picked.len(), 2);
+        assert!(greedy_batch(&gp, acq, 0.0, &[], 4, &eps).is_empty());
     }
 
     #[test]

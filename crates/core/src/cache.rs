@@ -1,0 +1,107 @@
+//! A bounded insertion-order map for the tuner's compile cache.
+//!
+//! The canonical-genome compile cache used to be a plain `HashMap` holding a
+//! full [`citroen_ir::module::Module`] clone per entry and growing without
+//! bound — harmless for a 30-measurement test run, a leak for long-budget
+//! runs and the future multi-tenant daemon. This cap evicts in insertion
+//! order (FIFO): the tuner's cache hits are dominated by *recently generated*
+//! duplicates (DES mutants of the current incumbent), so the oldest entry is
+//! the cheapest to lose.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A `HashMap` with a capacity cap and FIFO (insertion-order) eviction.
+pub struct BoundedCache<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    cap: usize,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
+    /// An empty cache holding at most `cap` entries (`0` = unbounded).
+    pub fn new(cap: usize) -> BoundedCache<K, V> {
+        BoundedCache { map: HashMap::new(), order: VecDeque::new(), cap, evictions: 0 }
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Insert `key → value`; returns `true` when this insert evicted the
+    /// oldest entry to stay within the cap. Re-inserting an existing key
+    /// replaces the value without touching its eviction position.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if self.map.insert(key.clone(), value).is_some() {
+            return false;
+        }
+        self.order.push_back(key);
+        if self.cap > 0 && self.map.len() > self.cap {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_and_evicts_in_insertion_order() {
+        let mut c: BoundedCache<u32, &str> = BoundedCache::new(2);
+        assert!(!c.insert(1, "a"));
+        assert!(!c.insert(2, "b"));
+        assert!(c.insert(3, "c"), "third insert must evict");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), None, "oldest entry evicted first");
+        assert_eq!(c.get(&2), Some(&"b"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.evictions(), 1);
+        assert!(c.insert(4, "d"));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(!c.insert(1, 11), "replacing an existing key never evicts");
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_cap_is_unbounded() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(0);
+        for i in 0..1000 {
+            assert!(!c.insert(i, i));
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.evictions(), 0);
+    }
+}

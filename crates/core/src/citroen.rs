@@ -8,17 +8,19 @@
 //! Table 5.2); a GP cost model over statistics features (§5.3.3) scores the
 //! rest with a UCB acquisition; the winner is *measured* (expensive, budgeted).
 
-use crate::task::{Task, TuneTrace};
+use crate::cache::BoundedCache;
+use crate::task::{Task, TuneError, TuneTrace};
 use citroen_bo::heuristics::DiscreteOneLambda;
-use citroen_bo::{Acquisition, SeqCanonicalizer};
+use citroen_bo::{draw_mc_eps, greedy_batch, Acquisition, SeqCanonicalizer};
 use citroen_gp::{Gp, GpConfig, GpHypers, Mat};
 use citroen_ir::module::Module;
 use citroen_passes::{PassId, Registry, Stats};
+use citroen_rt::par::WorkerPool;
 use citroen_rt::rng::StdRng;
 use citroen_rt::rng::{Rng, SeedableRng};
 use citroen_telemetry as telemetry;
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which features the cost model is fitted on (Fig. 5.8/5.9 ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +83,19 @@ pub struct CitroenConfig {
     /// during canonicalisation, so `p,p` genomes share `p`'s compile-cache
     /// entry. No effect when `oracle_prune` is off.
     pub idem_collapse: bool,
+    /// Measurements selected and profiled per model-guided iteration (q).
+    /// `1` runs the historical strictly-sequential loop, bit-identical to
+    /// previous releases; `q > 1` selects a greedy qUCB/qEI batch, compiles
+    /// and measures it on a persistent `rt::par` worker pool, and overlaps
+    /// the GP fit with the in-flight measurements (one-batch-stale model).
+    /// Deterministic for a fixed seed at any q.
+    pub batch: usize,
+    /// Monte-Carlo samples per acquisition evaluation during greedy batch
+    /// construction (only used when `batch > 1`).
+    pub mc_samples: usize,
+    /// Canonical-genome compile-cache capacity (entries; `0` = unbounded).
+    /// Evictions are FIFO and counted on `citroen.compile_cache_evictions`.
+    pub compile_cache_cap: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -101,6 +116,9 @@ impl Default for CitroenConfig {
             oracle_prune: false,
             oracle_features: false,
             idem_collapse: true,
+            batch: 1,
+            mc_samples: 32,
+            compile_cache_cap: 1024,
             seed: 0,
         }
     }
@@ -193,8 +211,11 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         }
     };
     // Canonical genome → compile result; only consulted when pruning is on,
-    // so the paper-faithful default path is untouched.
-    let mut compile_cache: HashMap<Vec<u16>, (Stats, u64, Module)> = HashMap::new();
+    // so the paper-faithful default path is untouched. Bounded: entries hold
+    // a full `Module` clone, so long-budget runs (and the daemon) must not
+    // grow it without limit.
+    let mut compile_cache: BoundedCache<Vec<u16>, (Stats, u64, Module)> =
+        BoundedCache::new(cfg.compile_cache_cap);
     let mut compile_cache_hits: u64 = 0;
 
     // Compile a genome (through the canonical-genome cache when pruning is
@@ -211,8 +232,10 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             } else {
                 let seq = genome_to_seq(&eff);
                 let (stats, fp, module) = task.compile_hot(hot, &seq);
-                if canon.is_some() {
-                    compile_cache.insert(eff.clone(), (stats.clone(), fp, module.clone()));
+                if canon.is_some()
+                    && compile_cache.insert(eff.clone(), (stats.clone(), fp, module.clone()))
+                {
+                    telemetry::counter("citroen.compile_cache_evictions", 1);
                 }
                 (eff, stats, fp, module)
             }
@@ -254,6 +277,11 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     }
 
     let mut iter = 0usize;
+    // Probe the tracing env vars once per run: `var_os` takes a lock on some
+    // platforms and the old code probed it (and stamped `Instant::now`) for
+    // every candidate in the compile sweep.
+    let trace_seq = std::env::var_os("CITROEN_TRACE_SEQ").is_some();
+    let trace_iters = std::env::var_os("CITROEN_TRACE").is_some();
 
     // Convergence-curve event, emitted after every budget-consuming
     // measurement. Guarded on `is_enabled` so the disabled path builds no
@@ -293,11 +321,313 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     }
     drop(init_span);
 
-    // 2. Model-guided search.
+    // 2. Model-guided search. `cfg.batch == 1` runs the historical
+    // strictly-sequential loop below, bit-identical to previous releases;
+    // `cfg.batch > 1` runs the batched, pipelined loop first and leaves the
+    // sequential loop's entry condition false.
     let mut hypers: Option<GpHypers> = None;
-    let mut last_meas = task.measurements;
-    let mut stagnant = 0usize;
-    while task.measurements < budget {
+    let mut stag = StagnationState::new(task.measurements);
+
+    if cfg.batch > 1 {
+        // Per-candidate work units shipped to the worker pool: q measurement
+        // jobs (assemble + execute + feature extraction for the picked
+        // modules) plus one GP-fit job that overlaps with them. The fit uses
+        // the observation set as of the previous barrier, so the selection
+        // model is exactly one batch stale — the standard asynchronous-BO
+        // trade (fresh measurements land one iteration later).
+        enum Work {
+            Measure(Box<(Vec<u16>, Vec<u16>, Stats, u64, Module)>),
+            Fit(Mat, Vec<f64>, GpConfig),
+        }
+        enum Done {
+            Measure {
+                genome: Vec<u16>,
+                eff: Vec<u16>,
+                stats: Stats,
+                mod_fp: u64,
+                fp: u64,
+                outcome: Option<Result<(f64, Duration), (TuneError, Duration)>>,
+                autophase: Vec<f64>,
+                oracle: Vec<f64>,
+            },
+            Fit(Gp),
+        }
+
+        // Persistent pool, sized for the wider of the two per-iteration
+        // fan-outs (candidate compile sweep; q measurements + 1 fit).
+        // Spawning per iteration would dominate at small q.
+        let pool = WorkerPool::new(citroen_rt::par::thread_count(
+            cfg.candidates.max(cfg.batch + 1),
+        ));
+        // MC noise for greedy batch construction comes from a dedicated
+        // stream so the candidate-generation RNG stays aligned with q=1.
+        let mut batch_rng =
+            StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        // Selection model: (gp, feature scale), fitted one barrier back.
+        let mut model: Option<(Gp, Vec<f64>)> = None;
+
+        while task.measurements < budget {
+            let _iter_span = telemetry::span("iteration");
+            telemetry::counter("citroen.iterations", 1);
+            let cands: Vec<Vec<u16>> = match cfg.generator {
+                GeneratorKind::Des => {
+                    let n_des = (cfg.candidates * 3) / 4;
+                    let mut v = des.ask(&mut rng, n_des);
+                    for _ in 0..cfg.candidates - n_des {
+                        v.push((0..len).map(|_| rng.gen_range(0..npasses) as u16).collect());
+                    }
+                    v
+                }
+                GeneratorKind::Random => (0..cfg.candidates)
+                    .map(|_| (0..len).map(|_| rng.gen_range(0..npasses) as u16).collect())
+                    .collect(),
+            };
+            trace.candidates_generated += cands.len();
+
+            // Parallel compile sweep. The compile cache is resolved
+            // sequentially first (hit accounting stays deterministic), then
+            // the unique misses compile on the pool; per-candidate `compile`
+            // spans nest under this `batch` span via the worker hooks.
+            let sweep_t0 = Instant::now();
+            let sweep_span = telemetry::span("batch");
+            let mut jobs: Vec<Vec<u16>> = Vec::new();
+            let mut job_of: HashMap<Vec<u16>, usize> = HashMap::new();
+            // Per candidate: Ok(cached result) | Err(index into `jobs`).
+            let mut slots: Vec<Result<(Stats, u64, Module), usize>> = Vec::new();
+            let mut effs: Vec<Vec<u16>> = Vec::new();
+            for g in &cands {
+                let eff = canon_genome(g);
+                if let Some(hit) = canon.is_some().then(|| compile_cache.get(&eff)).flatten() {
+                    compile_cache_hits += 1;
+                    telemetry::counter("citroen.compile_cache_hits", 1);
+                    slots.push(Ok(hit.clone()));
+                } else if let Some(&j) = job_of.get(&eff) {
+                    // Within-batch duplicate canonical genome: share the
+                    // first occurrence's compile (a cache hit in the
+                    // sequential loop's accounting when pruning is on).
+                    if canon.is_some() {
+                        compile_cache_hits += 1;
+                        telemetry::counter("citroen.compile_cache_hits", 1);
+                    }
+                    slots.push(Err(j));
+                } else {
+                    let j = jobs.len();
+                    job_of.insert(eff.clone(), j);
+                    jobs.push(eff.clone());
+                    slots.push(Err(j));
+                }
+                effs.push(eff);
+            }
+            let n_jobs = jobs.len();
+            let task_ref: &Task = task;
+            let compiled_jobs: Vec<(Stats, u64, Module)> = pool.map(jobs, |eff| {
+                let _c = telemetry::span("compile");
+                task_ref.compile_hot_pure(hot, &genome_to_seq(&eff))
+            });
+            drop(sweep_span);
+            // Wall-clock of the whole sweep (the honest figure for the
+            // fig5_12-style proportions), not the sum of per-core times.
+            task.note_compilations(n_jobs, sweep_t0.elapsed());
+
+            let mut compiled: Vec<(Vec<u16>, Vec<u16>, Stats, Vec<f64>, Vec<f64>, u64, Module)> =
+                Vec::new();
+            for (g, (eff, slot)) in cands.into_iter().zip(effs.into_iter().zip(slots)) {
+                let (stats, mod_fp, module) = match slot {
+                    Ok(hit) => hit,
+                    Err(j) => compiled_jobs[j].clone(),
+                };
+                if canon.is_some()
+                    && compile_cache.get(&eff).is_none()
+                    && compile_cache.insert(eff.clone(), (stats.clone(), mod_fp, module.clone()))
+                {
+                    telemetry::counter("citroen.compile_cache_evictions", 1);
+                }
+                let ap = if cfg.features == FeatureKind::Autophase {
+                    citroen_passes::autophase::autophase_features(&module)
+                } else {
+                    Vec::new()
+                };
+                let ob = oracle_bits(&task.registry, &module, cfg.oracle_features);
+                compiled.push((g, eff, stats, ap, ob, mod_fp, module));
+            }
+
+            if cfg.coverage_filter {
+                let before = compiled.len();
+                compiled.retain(|(_, _, stats, _, _, fp, _)| {
+                    !seen_fps.contains(fp) && !seen_stats.contains(&stats_sig(stats))
+                });
+                retain_batch_unique(&mut compiled, |(_, _, stats, _, _, fp, _)| {
+                    (stats_sig(stats), *fp)
+                });
+                telemetry::counter(
+                    "citroen.coverage_dropped",
+                    (before - compiled.len()) as u64,
+                );
+                trace.coverage_dropped += before - compiled.len();
+            }
+            if compiled.is_empty() {
+                // Whole batch redundant: random probe, as in the q=1 loop.
+                let g: Vec<u16> = (0..len).map(|_| rng.gen_range(0..npasses) as u16).collect();
+                observe!(g);
+                iter += 1;
+                progress!();
+                if stag.update(task.measurements, &mut des, len, npasses, &mut rng) {
+                    break;
+                }
+                if iter > budget * 20 {
+                    break;
+                }
+                continue;
+            }
+
+            let t_model = Instant::now();
+            for (_, _, stats, _, _, _, _) in &compiled {
+                for k in stats.keys() {
+                    if !key_union.contains(&k) {
+                        key_union.push(k);
+                    }
+                }
+            }
+            // First model-guided iteration: no overlapped fit yet — fit now.
+            if model.is_none() {
+                let fit_span = telemetry::span("fit");
+                let (xmat, scale) = feature_matrix(&obs, &key_union, cfg.features);
+                let y: Vec<f64> = obs.iter().map(|o| o.runtime).collect();
+                let mut gpc = cfg.gp.clone();
+                gpc.init = hypers.clone();
+                let gp = Gp::fit(xmat, &y, gpc);
+                hypers = Some(gp.hypers());
+                model = Some((gp, scale));
+                drop(fit_span);
+            }
+
+            // Greedy qUCB batch selection on the (one-batch-stale) model.
+            let acquire_span = telemetry::span("acquire");
+            let (gp, scale) = model.as_ref().expect("model fitted above");
+            let best_raw = obs.iter().map(|o| o.runtime).fold(f64::INFINITY, f64::min);
+            let best_z = gp.transform().forward(best_raw);
+            let acq = Acquisition::Ucb { beta: cfg.beta };
+            let xs: Vec<Vec<f64>> = compiled
+                .iter()
+                .map(|(g, _, stats, ap, ob, _, _)| {
+                    featurise(g, stats, ap, ob, &key_union, scale, cfg.features)
+                })
+                .collect();
+            let q_eff = cfg
+                .batch
+                .min(budget - task.measurements)
+                .min(compiled.len())
+                .max(1);
+            let eps = draw_mc_eps(&mut batch_rng, cfg.mc_samples, q_eff);
+            let picks = greedy_batch(gp, acq, best_z, &xs, q_eff, &eps);
+            drop(acquire_span);
+
+            // Next iteration's fit input: the observation set as of this
+            // barrier (the current batch is still in flight).
+            let (xmat, next_scale) = feature_matrix(&obs, &key_union, cfg.features);
+            let y: Vec<f64> = obs.iter().map(|o| o.runtime).collect();
+            let mut gpc = cfg.gp.clone();
+            gpc.init = hypers.clone();
+            if iter % cfg.fit_every != 0 && hypers.is_some() {
+                gpc.fit_iters = 0;
+            }
+            task.add_model_time(t_model.elapsed());
+
+            // Pull picked candidates out in pick order; the already-compiled
+            // modules are reused (the q=1 loop recompiles its single pick).
+            let mut entries: Vec<Option<_>> = compiled.into_iter().map(Some).collect();
+            let mut items: Vec<Work> = picks
+                .iter()
+                .map(|&i| {
+                    let (g, eff, stats, _, _, mod_fp, module) =
+                        entries[i].take().expect("picks are distinct");
+                    Work::Measure(Box::new((g, eff, stats, mod_fp, module)))
+                })
+                .collect();
+            items.push(Work::Fit(xmat, y, gpc));
+
+            // Drain the batch: measurements and the overlapped fit run
+            // concurrently; results come back in input order.
+            let batch_span = telemetry::span("batch");
+            let task_ref: &Task = task;
+            let outs: Vec<Done> = pool.map(items, |w| match w {
+                Work::Measure(entry) => {
+                    let (genome, eff, stats, mod_fp, module) = *entry;
+                    let (linked, fp) = task_ref.assemble(&[(hot, &module)]);
+                    let outcome = if task_ref.cached_runtime(fp).is_some() {
+                        None
+                    } else {
+                        let _m = telemetry::span("measure");
+                        Some(task_ref.execute_linked_pure(&linked))
+                    };
+                    let autophase = citroen_passes::autophase::autophase_features(&module);
+                    let oracle = oracle_bits(&task_ref.registry, &module, cfg.oracle_features);
+                    Done::Measure { genome, eff, stats, mod_fp, fp, outcome, autophase, oracle }
+                }
+                Work::Fit(xmat, y, gpc) => {
+                    let _f = telemetry::span("fit");
+                    Done::Fit(Gp::fit(xmat, &y, gpc))
+                }
+            });
+            drop(batch_span);
+
+            // Admit strictly in batch order: admission draws the measurement
+            // noise from the task RNG, so this order (not worker timing)
+            // defines the stream — q>1 stays deterministic for a fixed seed.
+            for done in outs {
+                match done {
+                    Done::Measure {
+                        genome, eff, stats, mod_fp, fp, outcome, autophase, oracle,
+                    } => match task.admit_execution(fp, outcome) {
+                        Ok(runtime) => {
+                            des.tell(&genome, runtime);
+                            for k in stats.keys() {
+                                if !key_union.contains(&k) {
+                                    key_union.push(k);
+                                }
+                            }
+                            seen_fps.insert(mod_fp);
+                            seen_stats.insert(stats_sig(&stats));
+                            trace.record(runtime, vec![genome_to_seq(&eff)]);
+                            obs.push(Observation { genome, stats, autophase, oracle, runtime });
+                        }
+                        Err(_) => {
+                            // Differential-testing discard, as in the q=1
+                            // loop: the candidate is dropped.
+                        }
+                    },
+                    Done::Fit(gp) => {
+                        hypers = Some(gp.hypers());
+                        model = Some((gp, next_scale.clone()));
+                    }
+                }
+            }
+
+            iter += 1;
+            progress!();
+            if trace_iters {
+                eprintln!(
+                    "[citroen] wall {:?} iter {iter} meas {} obs {} keys {} stagnant {} t_compile {:?} t_measure {:?} t_model {:?}",
+                    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap(),
+                    task.measurements,
+                    obs.len(),
+                    key_union.len(),
+                    stag.stagnant,
+                    task.times.compile,
+                    task.times.measure,
+                    task.times.model
+                );
+            }
+            if stag.update(task.measurements, &mut des, len, npasses, &mut rng) {
+                break;
+            }
+            if iter > budget * 20 {
+                break;
+            }
+        }
+    }
+
+    while task.measurements < budget && cfg.batch <= 1 {
         let _iter_span = telemetry::span("iteration");
         telemetry::counter("citroen.iterations", 1);
         // Generate candidates.
@@ -321,14 +651,13 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         // fixed, so it identifies the final binary without linking.
         let mut compiled: Vec<(Vec<u16>, Stats, Vec<f64>, Vec<f64>, u64)> = Vec::new();
         for g in cands.drain(..) {
-            let trace_seq = std::env::var_os("CITROEN_TRACE_SEQ").is_some();
             if trace_seq {
                 eprintln!("[cand] {}", task.registry.seq_to_string(&genome_to_seq(&g)));
             }
-            let t_cand = std::time::Instant::now();
+            let t_cand = trace_seq.then(Instant::now);
             let (_eff, stats, mod_fp, module) = compile_genome!(&g);
-            if trace_seq {
-                eprintln!("[cand-done] {:?} insts {}", t_cand.elapsed(), module.num_insts());
+            if let Some(t0) = t_cand {
+                eprintln!("[cand-done] {:?} insts {}", t0.elapsed(), module.num_insts());
             }
             let ap = if cfg.features == FeatureKind::Autophase {
                 citroen_passes::autophase::autophase_features(&module)
@@ -346,11 +675,8 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             compiled.retain(|(_, stats, _, _, fp)| {
                 !seen_fps.contains(fp) && !seen_stats.contains(&stats_sig(stats))
             });
-            // Also dedup within the batch.
-            let mut batch_sigs = HashSet::new();
-            compiled.retain(|(_, stats, _, _, fp)| {
-                batch_sigs.insert((stats_sig(stats), *fp))
-            });
+            // Also dedup within the batch, on each component independently.
+            retain_batch_unique(&mut compiled, |(_, stats, _, _, fp)| (stats_sig(stats), *fp));
             telemetry::counter("citroen.coverage_dropped", (before - compiled.len()) as u64);
             trace.coverage_dropped += before - compiled.len();
         }
@@ -362,17 +688,8 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             observe!(g);
             iter += 1;
             progress!();
-            if task.measurements == last_meas {
-                stagnant += 1;
-                if stagnant % 20 == 19 {
-                    des = DiscreteOneLambda::new(len, npasses, &mut rng);
-                }
-                if stagnant > 80 {
-                    break;
-                }
-            } else {
-                stagnant = 0;
-                last_meas = task.measurements;
+            if stag.update(task.measurements, &mut des, len, npasses, &mut rng) {
+                break;
             }
             if iter > budget * 20 {
                 break;
@@ -422,33 +739,21 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         observe!(g);
         iter += 1;
         progress!();
-        if std::env::var_os("CITROEN_TRACE").is_some() {
+        if trace_iters {
             eprintln!(
-                "[citroen] wall {:?} iter {iter} meas {} obs {} keys {} stagnant {stagnant} t_compile {:?} t_measure {:?} t_model {:?}",
+                "[citroen] wall {:?} iter {iter} meas {} obs {} keys {} stagnant {} t_compile {:?} t_measure {:?} t_model {:?}",
                 std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap(),
                 task.measurements,
                 obs.len(),
                 key_union.len(),
+                stag.stagnant,
                 task.times.compile,
                 task.times.measure,
                 task.times.model
             );
         }
-        // Stagnation handling: on benchmarks whose hot module collapses to
-        // few distinct binaries, most candidates are duplicates and cached
-        // measurements consume no budget. Restart the DES incumbent to
-        // escape, and stop when the search is exhausted.
-        if task.measurements == last_meas {
-            stagnant += 1;
-            if stagnant % 20 == 19 {
-                des = DiscreteOneLambda::new(len, npasses, &mut rng);
-            }
-            if stagnant > 80 {
-                break;
-            }
-        } else {
-            stagnant = 0;
-            last_meas = task.measurements;
+        if stag.update(task.measurements, &mut des, len, npasses, &mut rng) {
+            break;
         }
         if iter > budget * 20 {
             break; // safety valve
@@ -484,6 +789,65 @@ fn oracle_bits(reg: &Registry, module: &Module, enabled: bool) -> Vec<f64> {
         return Vec::new();
     }
     citroen_passes::oracle::verdict_bits(&citroen_passes::oracle::verdicts(reg, module))
+}
+
+/// Stagnation bookkeeping shared by the empty-batch arm and the loop tail
+/// (previously duplicated verbatim in both, letting the arms drift): on
+/// benchmarks whose hot module collapses to few distinct binaries, most
+/// candidates are duplicates and cached measurements consume no budget.
+/// Restart the DES incumbent to escape, and stop when the search is
+/// exhausted.
+struct StagnationState {
+    last_meas: usize,
+    stagnant: usize,
+}
+
+impl StagnationState {
+    fn new(measurements: usize) -> StagnationState {
+        StagnationState { last_meas: measurements, stagnant: 0 }
+    }
+
+    /// Advance after one iteration; `true` means the search looks exhausted
+    /// and the loop should stop.
+    fn update(
+        &mut self,
+        measurements: usize,
+        des: &mut DiscreteOneLambda,
+        len: usize,
+        npasses: usize,
+        rng: &mut StdRng,
+    ) -> bool {
+        if measurements == self.last_meas {
+            self.stagnant += 1;
+            if self.stagnant % 20 == 19 {
+                *des = DiscreteOneLambda::new(len, npasses, rng);
+            }
+            self.stagnant > 80
+        } else {
+            self.stagnant = 0;
+            self.last_meas = measurements;
+            false
+        }
+    }
+}
+
+/// Within-batch coverage dedup (§5.3.4): a candidate is redundant if
+/// *either* its statistics signature *or* its binary fingerprint duplicates
+/// one already kept in this batch — matching the cross-batch filter, which
+/// rejects on either component. (An earlier version keyed on the pair, so
+/// two same-stats/different-binary candidates both survived.)
+fn retain_batch_unique<T>(batch: &mut Vec<T>, key: impl Fn(&T) -> (String, u64)) {
+    let mut sigs: HashSet<String> = HashSet::new();
+    let mut fps: HashSet<u64> = HashSet::new();
+    batch.retain(|item| {
+        let (sig, fp) = key(item);
+        if sigs.contains(&sig) || fps.contains(&fp) {
+            return false;
+        }
+        sigs.insert(sig);
+        fps.insert(fp);
+        true
+    });
 }
 
 /// A canonical signature of a statistics bag (for coverage dedup).
@@ -612,6 +976,46 @@ mod tests {
         // sequence space full of no-op duplicates.
         let dropped: usize = runs.iter().map(|(_, d)| *d).sum();
         assert!(dropped > 0, "expected coverage drops across the seed window");
+    }
+
+    #[test]
+    fn within_batch_dedup_rejects_on_either_component() {
+        // Regression: the within-batch filter used to key on the *pair*
+        // `(stats_sig, fp)`, so two candidates sharing a stats signature but
+        // not a fingerprint (or vice versa) both survived — contradicting
+        // §5.3.4 and the cross-batch filter, which rejects on either match.
+        let mut s1 = Stats::new();
+        s1.inc("gvn", "eliminated", 3);
+        let s2 = s1.clone();
+
+        // Same stats signature, different binaries: one must be dropped.
+        let mut batch = vec![(vec![1u16], s1.clone(), 10u64), (vec![2u16], s2.clone(), 20u64)];
+        let old_pair_key = {
+            let mut pairs = HashSet::new();
+            let mut b = batch.clone();
+            b.retain(|(_, st, fp)| pairs.insert((stats_sig(st), *fp)));
+            b.len()
+        };
+        assert_eq!(old_pair_key, 2, "the old pair-keyed retain kept both");
+        retain_batch_unique(&mut batch, |(_, st, fp)| (stats_sig(st), *fp));
+        assert_eq!(batch.len(), 1, "same-stats/different-binary duplicate survived");
+        assert_eq!(batch[0].2, 10, "the first occurrence must be the one kept");
+
+        // Same binary, different stats signatures: one must be dropped.
+        let mut s3 = Stats::new();
+        s3.inc("dce", "removed", 1);
+        let mut batch = vec![(vec![1u16], s1, 10u64), (vec![2u16], s3, 10u64)];
+        retain_batch_unique(&mut batch, |(_, st, fp)| (stats_sig(st), *fp));
+        assert_eq!(batch.len(), 1, "same-binary/different-stats duplicate survived");
+
+        // Fully distinct candidates all survive.
+        let mut s4 = Stats::new();
+        s4.inc("licm", "hoisted", 2);
+        let mut s5 = Stats::new();
+        s5.inc("sccp", "folded", 5);
+        let mut batch = vec![(vec![1u16], s4, 1u64), (vec![2u16], s5, 2u64)];
+        retain_batch_unique(&mut batch, |(_, st, fp)| (stats_sig(st), *fp));
+        assert_eq!(batch.len(), 2);
     }
 
     #[test]

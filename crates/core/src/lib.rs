@@ -7,10 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod citroen;
 pub mod multimodule;
 pub mod task;
 
+pub use cache::BoundedCache;
 pub use citroen::{run_citroen, CitroenConfig, FeatureKind, GeneratorKind, ImpactReport};
 pub use multimodule::{run_multimodule, Allocation, MultiModuleConfig, MultiModuleResult};
 pub use task::{Task, TaskConfig, TimeBreakdown, TuneError, TuneTrace};

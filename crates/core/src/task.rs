@@ -176,12 +176,29 @@ impl Task {
     pub fn compile_hot(&mut self, module_idx: usize, seq: &[PassId]) -> (Stats, u64, Module) {
         let _span = telemetry::span("compile");
         let t0 = Instant::now();
+        let out = self.compile_hot_pure(module_idx, seq);
+        self.note_compilations(1, t0.elapsed());
+        out
+    }
+
+    /// The side-effect-free half of [`Task::compile_hot`]: compiles through a
+    /// shared reference (so worker threads can run it concurrently) and emits
+    /// the `task.compilations` counter, but touches no task accounting. The
+    /// caller charges the work afterwards with [`Task::note_compilations`];
+    /// span attribution is the caller's job too (the batched tuner opens a
+    /// per-candidate `compile` span on the worker).
+    pub fn compile_hot_pure(&self, module_idx: usize, seq: &[PassId]) -> (Stats, u64, Module) {
         let pm = PassManager::new(&self.registry);
         let res = pm.compile(&self.bench.modules[module_idx], seq);
-        self.compilations += 1;
         telemetry::counter("task.compilations", 1);
-        self.times.compile += t0.elapsed();
         (res.stats, res.fingerprint, res.module)
+    }
+
+    /// Charge `n` compilations totalling `elapsed` of wall time against the
+    /// task — the sequential bookkeeping half of [`Task::compile_hot_pure`].
+    pub fn note_compilations(&mut self, n: usize, elapsed: Duration) {
+        self.compilations += n;
+        self.times.compile += elapsed;
     }
 
     /// Assemble the full program with the given per-hot-module optimised
@@ -201,6 +218,52 @@ impl Task {
     /// the fingerprint was measured before. Returns noisy averaged seconds.
     pub fn measure_linked(&mut self, linked: &Module, fp: u64) -> Result<f64, TuneError> {
         let _span = telemetry::span("measure");
+        if self.runtime_cache.contains_key(&fp) {
+            return self.admit_execution(fp, None);
+        }
+        let outcome = self.execute_linked_pure(linked);
+        self.admit_execution(fp, Some(outcome))
+    }
+
+    /// Noise-free runtime for a fingerprint measured earlier, if any.
+    pub fn cached_runtime(&self, fp: u64) -> Option<f64> {
+        self.runtime_cache.get(&fp).copied()
+    }
+
+    /// The side-effect-free half of [`Task::measure_linked`]: execute an
+    /// assembled program and differential-test it through a shared reference
+    /// (worker-thread safe). Touches no budget, cache, RNG, or counters —
+    /// admit the outcome sequentially with [`Task::admit_execution`]. Both
+    /// arms carry the execution wall time so admission can charge it.
+    pub fn execute_linked_pure(
+        &self,
+        linked: &Module,
+    ) -> Result<(f64, Duration), (TuneError, Duration)> {
+        let t0 = Instant::now();
+        let entry = self.bench.entry_in(linked);
+        let exec = match self.platform.execute(linked, entry, &self.bench.args) {
+            Ok(e) => e,
+            Err(t) => return Err((TuneError::Trap(t), t0.elapsed())),
+        };
+        if self.cfg.differential_testing
+            && (exec.output.ret, exec.output.mem_digest) != self.reference
+        {
+            return Err((TuneError::DifferentialMismatch { seqs: Vec::new() }, t0.elapsed()));
+        }
+        Ok((exec.seconds, t0.elapsed()))
+    }
+
+    /// Sequentially admit one execution outcome (or answer it from the
+    /// fingerprint cache when `executed` is `None` or the fingerprint raced
+    /// into the cache earlier in the same batch): updates budget accounting
+    /// and the runtime cache, then draws the measurement noise from the task
+    /// RNG. Admission order defines the noise stream, so the batched tuner
+    /// admits strictly in batch order to stay deterministic.
+    pub fn admit_execution(
+        &mut self,
+        fp: u64,
+        executed: Option<Result<(f64, Duration), (TuneError, Duration)>>,
+    ) -> Result<f64, TuneError> {
         if let Some(&base) = self.runtime_cache.get(&fp) {
             self.cache_hits += 1;
             telemetry::counter("task.cache_hits", 1);
@@ -209,27 +272,26 @@ impl Task {
             }
             // Cached binaries are not re-run, but we still return a noisy
             // observation of the cached ground truth.
-            let t = self.noisy(base);
-            return Ok(t);
+            return Ok(self.noisy(base));
         }
-        let t0 = Instant::now();
-        let entry = self.bench.entry_in(linked);
-        let exec = self
-            .platform
-            .execute(linked, entry, &self.bench.args)
-            .map_err(TuneError::Trap)?;
-        if self.cfg.differential_testing
-            && (exec.output.ret, exec.output.mem_digest) != self.reference
-        {
-            self.times.measure += t0.elapsed();
-            return Err(TuneError::DifferentialMismatch { seqs: Vec::new() });
+        match executed.expect("uncached fingerprint needs an execution outcome") {
+            Ok((seconds, elapsed)) => {
+                self.runtime_cache.insert(fp, seconds);
+                self.measurements += 1;
+                telemetry::counter("task.measurements", 1);
+                let t = self.noisy(seconds);
+                self.times.measure += elapsed;
+                Ok(t)
+            }
+            // Mirror the historical accounting exactly: a differential
+            // mismatch charges its execution time, a trap does not (the
+            // execute bailed before producing a comparable run).
+            Err((e @ TuneError::DifferentialMismatch { .. }, elapsed)) => {
+                self.times.measure += elapsed;
+                Err(e)
+            }
+            Err((e, _)) => Err(e),
         }
-        self.runtime_cache.insert(fp, exec.seconds);
-        self.measurements += 1;
-        telemetry::counter("task.measurements", 1);
-        let t = self.noisy(exec.seconds);
-        self.times.measure += t0.elapsed();
-        Ok(t)
     }
 
     fn noisy(&mut self, seconds: f64) -> f64 {

@@ -11,7 +11,7 @@ use citroen_passes::Registry;
 use citroen_sim::Platform;
 use citroen_telemetry as telemetry;
 
-fn tune(seed: u64) -> (TuneTrace, usize) {
+fn tune_batched(seed: u64, batch: usize) -> (TuneTrace, usize) {
     let mut task = Task::new(
         citroen_suite::kernels::telecom_gsm(),
         Registry::full(),
@@ -22,6 +22,7 @@ fn tune(seed: u64) -> (TuneTrace, usize) {
         candidates: 16,
         init_random: 4,
         oracle_prune: true, // exercise the canonicalizer counters too
+        batch,
         seed,
         ..Default::default()
     };
@@ -29,8 +30,17 @@ fn tune(seed: u64) -> (TuneTrace, usize) {
     (trace, task.compilations)
 }
 
+fn tune(seed: u64) -> (TuneTrace, usize) {
+    tune_batched(seed, 1)
+}
+
+/// The tests toggle process-global telemetry state, so they must not
+/// interleave under the parallel test harness.
+static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn enabled_sink_is_result_identical_to_disabled() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // Sequential on purpose: the runs toggle process-global telemetry state.
     let seeds: Vec<u64> = (1..=10).collect();
     for &seed in &seeds {
@@ -77,8 +87,37 @@ fn enabled_sink_is_result_identical_to_disabled() {
         assert_eq!(replayed.counters, telem.counters, "seed {seed}: counters diverged");
         assert!(!replayed.events.is_empty(), "seed {seed}: no progress events streamed");
         let cov = replayed
-            .coverage("iteration", &["compile", "measure", "fit", "acquire"])
+            .coverage("iteration", &["compile", "measure", "fit", "acquire", "batch"])
             .unwrap_or_else(|| panic!("seed {seed}: no iteration spans in replay"));
         assert!(cov >= 0.9, "seed {seed}: iteration coverage {cov:.3} < 0.9");
+    }
+}
+
+#[test]
+fn batched_loop_keeps_the_identity_and_coverage_contract() {
+    // The q>1 loop moves compile/measure/fit onto pool workers; telemetry
+    // still must not perturb results, and the trace must keep enough
+    // `iteration` coverage (via the `batch` spans) for `citroen-trace check`.
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for &seed in &[1u64, 5, 9] {
+        telemetry::disable();
+        let (off, compiles_off) = tune_batched(seed, 4);
+
+        telemetry::enable();
+        let (on, compiles_on) = tune_batched(seed, 4);
+        let telem = telemetry::take_trace().expect("sink must hold a trace");
+        telemetry::disable();
+
+        assert_eq!(off.runtimes, on.runtimes, "seed {seed}: q=4 runtimes diverged");
+        assert_eq!(off.best_history, on.best_history, "seed {seed}: q=4");
+        assert_eq!(off.best_seqs, on.best_seqs, "seed {seed}: q=4");
+        assert_eq!(off.coverage_dropped, on.coverage_dropped, "seed {seed}: q=4");
+        assert_eq!(compiles_off, compiles_on, "seed {seed}: q=4 compile counts");
+
+        assert!(telem.spans.iter().any(|s| s.name == "batch"), "seed {seed}: no batch spans");
+        let cov = telem
+            .coverage("iteration", &["compile", "measure", "fit", "acquire", "batch"])
+            .unwrap_or_else(|| panic!("seed {seed}: no iteration spans"));
+        assert!(cov >= 0.9, "seed {seed}: q=4 iteration coverage {cov:.3} < 0.9");
     }
 }

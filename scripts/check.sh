@@ -20,6 +20,10 @@
 #      flamegraph stacks (`flame`), match a fresh baseline of itself
 #      (`regress` exit 0), and keep the marginal streaming overhead within
 #      the pinned budget (`micro --stream-gate`)
+#   7. the batch gate: two q=4 batched tuning runs with the same seed must
+#      be bit-identical, and the q=4 wall clock must beat q=1 by the
+#      pinned floor (3x on >=4 worker threads, 1.5x below that)
+#      (`micro --batch-gate`)
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
@@ -57,5 +61,8 @@ timeout 30 ./target/release/citroen-trace flame "$stream_file" > /dev/null
 timeout 30 ./target/release/citroen-trace baseline "$stream_file" --out "$baseline_file"
 timeout 30 ./target/release/citroen-trace regress "$stream_file" --baseline "$baseline_file"
 timeout 300 ./target/release/micro --stream-gate
+
+echo "== batched loop: determinism + wall-clock speedup gate"
+timeout 300 ./target/release/micro --batch-gate
 
 echo "== tier-1 gate passed"

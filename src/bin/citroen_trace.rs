@@ -247,8 +247,8 @@ fn show(mut args: std::env::Args) {
             );
         }
     }
-    if let Some(cov) = t.coverage("iteration", &["compile", "measure", "fit", "acquire"]) {
-        println!("\niteration coverage by compile/measure/fit/acquire: {:.1}%", cov * 100.0);
+    if let Some(cov) = t.coverage("iteration", &["compile", "measure", "fit", "acquire", "batch"]) {
+        println!("\niteration coverage by compile/measure/fit/acquire/batch: {:.1}%", cov * 100.0);
     }
 }
 
@@ -289,12 +289,12 @@ fn check(mut args: std::env::Args) {
             fail(format!("required counter '{required}' missing"));
         }
     }
-    match t.coverage("iteration", &["compile", "measure", "fit", "acquire"]) {
+    match t.coverage("iteration", &["compile", "measure", "fit", "acquire", "batch"]) {
         Some(cov) => {
             println!("iteration coverage: {:.1}% (floor {:.0}%)", cov * 100.0, min_cov * 100.0);
             if cov < min_cov {
                 fail(format!(
-                    "iteration spans only {:.1}% covered by compile/measure/fit/acquire (need {:.0}%)",
+                    "iteration spans only {:.1}% covered by compile/measure/fit/acquire/batch (need {:.0}%)",
                     cov * 100.0,
                     min_cov * 100.0
                 ));
