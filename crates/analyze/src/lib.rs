@@ -15,8 +15,12 @@
 //! - [`lint`] — definite-by-construction diagnostics (dead stores,
 //!   unreachable blocks, uninitialised loads, out-of-bounds indexing,
 //!   trivially infinite loops).
+//! - [`valmap`] — per-value dataflow fingerprints (fixpoint over φ-cycles)
+//!   and the before/after value correspondence map that lets the sanitizer
+//!   report miscompiles at the exact value.
 //! - [`sanitize`] — cross-checks pre-/post-pass facts for semantic
-//!   *contradictions* a structurally-valid miscompile cannot hide.
+//!   *contradictions* a structurally-valid miscompile cannot hide, at both
+//!   function (S1–S5) and value (S6–S8) granularity.
 //! - [`oracle`] — the pass-applicability fact bundle and verdict types
 //!   behind `Pass::precondition` (`CannotFire` is a fuzz-enforced theorem),
 //!   plus the pass-interaction graph and its JSON form.
@@ -36,11 +40,13 @@ pub mod memeffects;
 pub mod oracle;
 pub mod reduce;
 pub mod sanitize;
+pub mod valmap;
 
 pub use intervals::{analyze_module as interval_analysis, Interval, ModuleIntervals};
 pub use lint::{filter_severity, lint_module, Diagnostic, Severity};
 pub use liveness::Liveness;
 pub use memeffects::{MemEffects, ModuleEffects};
-pub use oracle::{compute_facts, Facts, InteractionGraph, Verdict};
+pub use oracle::{compute_facts, Facts, InteractionGraph, Verdict, WorkModel};
 pub use reduce::{ddmin, reduce_module};
 pub use sanitize::{check as sanitize_check, module_facts, ModuleFacts, Violation};
+pub use valmap::{correspond, value_facts, ValueFacts};

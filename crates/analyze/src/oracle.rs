@@ -102,6 +102,45 @@ pub struct Interaction {
     pub count: u64,
 }
 
+/// Per-pass work-class masks: the statically-declared subsumption model
+/// (`Pass::{fires_on, clears, produces}` in the passes crate), serialised
+/// alongside the interaction graph so the tuner's `SeqCanonicalizer` can
+/// warm-start from a JSON file without re-deriving anything. Bit `i` of a
+/// mask refers to `classes[i]`; every claim encoded here is fuzz-executed
+/// as a theorem by `citroen-analyze subsume`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkModel {
+    /// Work-class names, bit-index order.
+    pub classes: Vec<String>,
+    /// Per pass: classes whose presence is necessary for it to fire
+    /// (`None` = unknown, never dropped). Registry id order.
+    pub fires_on: Vec<Option<u64>>,
+    /// Per pass: classes provably absent after it runs.
+    pub clears: Vec<u64>,
+    /// Per pass: classes it may create.
+    pub produces: Vec<u64>,
+}
+
+impl WorkModel {
+    /// The static subsumption matrix implied by the masks: `(p, q)` pairs
+    /// where `q` provably cannot fire immediately after `p` on *any* module
+    /// (`fires_on[q] ⊆ clears[p]`). This generalises the idempotence
+    /// diagonal — `(p, p)` is an edge for every self-clearing pass.
+    pub fn subsumed_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for p in 0..self.clears.len() {
+            for (q, fires) in self.fires_on.iter().enumerate() {
+                if let Some(fq) = fires {
+                    if fq & !self.clears[p] == 0 {
+                        out.push((p, q));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 /// The static pass-interaction graph: which passes enable (flip
 /// `CannotFire` → `MayFire`) or disable (`MayFire` → `CannotFire`) which
 /// other passes' preconditions, derived from pairwise verdicts over a module
@@ -119,6 +158,9 @@ pub struct InteractionGraph {
     pub disables: Vec<Interaction>,
     /// Number of corpus modules the graph was derived from.
     pub modules: u64,
+    /// The work-class subsumption model, when the producer declared one.
+    /// Absent in graphs from older versions (missing JSON key → `None`).
+    pub work: Option<WorkModel>,
 }
 
 impl InteractionGraph {
@@ -149,7 +191,7 @@ impl InteractionGraph {
                     .collect(),
             )
         };
-        Value::Obj(vec![
+        let mut obj = vec![
             (
                 "passes".into(),
                 Value::Arr(self.passes.iter().map(Value::str).collect()),
@@ -157,8 +199,31 @@ impl InteractionGraph {
             ("corpus_modules".into(), Value::U64(self.modules)),
             ("enables".into(), edge_list(&self.enables)),
             ("disables".into(), edge_list(&self.disables)),
-        ])
-        .emit_pretty()
+        ];
+        if let Some(w) = &self.work {
+            let masks = |ms: &[u64]| Value::Arr(ms.iter().map(|m| Value::U64(*m)).collect());
+            obj.push((
+                "work".into(),
+                Value::Obj(vec![
+                    ("classes".into(), Value::Arr(w.classes.iter().map(Value::str).collect())),
+                    (
+                        "fires_on".into(),
+                        Value::Arr(
+                            w.fires_on
+                                .iter()
+                                .map(|f| match f {
+                                    Some(m) => Value::U64(*m),
+                                    None => Value::str("unknown"),
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("clears".into(), masks(&w.clears)),
+                    ("produces".into(), masks(&w.produces)),
+                ]),
+            ));
+        }
+        Value::Obj(obj).emit_pretty()
     }
 
     /// Parse a graph back from [`InteractionGraph::to_json`] output.
@@ -187,11 +252,51 @@ impl InteractionGraph {
                 })
                 .collect()
         };
+        let work = match v.get("work") {
+            None => None,
+            Some(w) => {
+                let classes: Vec<String> = w
+                    .get("classes")
+                    .and_then(Value::as_arr)
+                    .ok_or("work: missing 'classes'")?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_string).ok_or("work: non-string class"))
+                    .collect::<Result<_, _>>()?;
+                let masks = |key: &str| -> Result<Vec<u64>, String> {
+                    w.get(key)
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("work: missing '{key}'"))?
+                        .iter()
+                        .map(|m| m.as_u64().ok_or_else(|| format!("work: bad mask in '{key}'")))
+                        .collect()
+                };
+                let fires_on: Vec<Option<u64>> = w
+                    .get("fires_on")
+                    .and_then(Value::as_arr)
+                    .ok_or("work: missing 'fires_on'")?
+                    .iter()
+                    .map(|f| match (f.as_u64(), f.as_str()) {
+                        (Some(m), _) => Ok(Some(m)),
+                        (None, Some("unknown")) => Ok(None),
+                        _ => Err("work: bad fires_on entry".to_string()),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let model = WorkModel { classes, fires_on, clears: masks("clears")?, produces: masks("produces")? };
+                if model.fires_on.len() != passes.len()
+                    || model.clears.len() != passes.len()
+                    || model.produces.len() != passes.len()
+                {
+                    return Err("work: mask arrays must match 'passes' length".into());
+                }
+                Some(model)
+            }
+        };
         Ok(InteractionGraph {
             enables: edges("enables")?,
             disables: edges("disables")?,
             modules: v.get("corpus_modules").and_then(Value::as_u64).unwrap_or(0),
             passes,
+            work,
         })
     }
 }
@@ -224,14 +329,60 @@ mod tests {
             enables: vec![Interaction { from: 0, to: 1, count: 4 }],
             disables: vec![Interaction { from: 1, to: 2, count: 1 }],
             modules: 9,
+            work: None,
         };
         let j = g.to_json();
+        assert!(!j.contains("\"work\""), "no work model → no 'work' key");
         let back = InteractionGraph::from_json(&j).unwrap();
         assert_eq!(back.passes, g.passes);
         assert_eq!(back.enables, g.enables);
         assert_eq!(back.disables, g.disables);
         assert_eq!(back.modules, 9);
+        assert!(back.work.is_none());
         assert_eq!(g.enables_mask(), vec![0b010, 0, 0]);
+    }
+
+    #[test]
+    fn work_model_json_roundtrip_and_matrix() {
+        let work = WorkModel {
+            classes: vec!["dead".into(), "cp".into()],
+            fires_on: vec![Some(0b01), None, Some(0b10)],
+            clears: vec![0b01, 0b11, 0b10],
+            produces: vec![0b11, 0b00, 0b11],
+        };
+        let g = InteractionGraph {
+            passes: vec!["dce".into(), "gvn".into(), "constprop".into()],
+            enables: Vec::new(),
+            disables: Vec::new(),
+            modules: 1,
+            work: Some(work.clone()),
+        };
+        let back = InteractionGraph::from_json(&g.to_json()).unwrap();
+        assert_eq!(back.work.as_ref(), Some(&work));
+        // dce clears dead → subsumes dce; gvn clears both → subsumes dce and
+        // constprop; constprop clears cp → subsumes itself. gvn itself has an
+        // unknown fire mask and is never a subsumption target.
+        assert_eq!(
+            work.subsumed_pairs(),
+            vec![(0, 0), (1, 0), (1, 2), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn work_model_length_mismatch_is_an_error() {
+        let g = InteractionGraph {
+            passes: vec!["dce".into(), "gvn".into()],
+            enables: Vec::new(),
+            disables: Vec::new(),
+            modules: 0,
+            work: Some(WorkModel {
+                classes: vec!["dead".into()],
+                fires_on: vec![Some(1)],
+                clears: vec![1],
+                produces: vec![1],
+            }),
+        };
+        assert!(InteractionGraph::from_json(&g.to_json()).is_err());
     }
 
     #[test]

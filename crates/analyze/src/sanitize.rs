@@ -25,13 +25,35 @@
 //! - **S5 attribute consistency**: `readnone`/`readonly` function attributes
 //!   contradict a proven must-write on the same side.
 //!
-//! S3/S4 additionally assume the function terminates on at least one input
-//! whenever it has a reachable `ret`; no pass in this repository reasons
-//! about non-termination, so the assumption cannot be exploited (DESIGN.md).
+//! The *value-level* rules use the [`crate::valmap`] correspondence (values
+//! matched across the pass by a fingerprint unique on both sides — the same
+//! pure dataflow slice, hence the same concrete values on every run):
+//!
+//! - **S6 matched intervals**: both sides' intervals over-approximate the
+//!   same concrete value set, so two non-⊥ intervals must intersect. This
+//!   localises interprocedural bugs to the exact call-site value.
+//! - **S7 matched must-stores**: (a) when a must-written global provably
+//!   cannot be written on the other side (the S3 condition), every store to
+//!   it is reported with its block and stored value — the dangling value;
+//!   (b) when both sides must-write `g` through exactly one local store, the
+//!   stored values' intervals must intersect (the final value of `g` lies in
+//!   both).
+//! - **S8 load initialisation**: a matched load that provably reads a
+//!   non-zero value (every store to its slot excludes zero and one dominates
+//!   the load) cannot become a provably-uninitialised always-zero load on
+//!   the other side.
+//!
+//! S3/S4/S7 additionally assume the function terminates on at least one input
+//! whenever it has a reachable `ret`; S6–S8 assume a pass that preserves a
+//! value's dataflow slice computes the same values through it — no pass in
+//! this repository (or LLVM) repurposes a kept instruction via distant
+//! compensation, so neither assumption can be exploited (DESIGN.md §9).
 
 use crate::intervals::{self, Interval};
 use crate::memeffects::{self, MemEffects};
+use crate::valmap::{self, ValueFacts};
 use citroen_ir::module::Module;
+use std::collections::HashMap;
 
 /// Analysis facts for one function, snapshotted between passes.
 #[derive(Debug, Clone)]
@@ -48,6 +70,8 @@ pub struct FunctionFacts {
     pub readnone: bool,
     /// `readonly` attribute at snapshot time.
     pub readonly: bool,
+    /// Per-value facts: fingerprints, intervals, load/store classification.
+    pub vals: ValueFacts,
 }
 
 /// Facts for every function of a module.
@@ -72,6 +96,7 @@ pub fn module_facts(m: &Module) -> ModuleFacts {
             eff: eff.funcs[fi].clone(),
             readnone: f.attrs.readnone,
             readonly: f.attrs.readonly,
+            vals: valmap::value_facts(m, f, &iv.funcs[fi]),
         })
         .collect();
     ModuleFacts { funcs }
@@ -81,12 +106,15 @@ pub fn module_facts(m: &Module) -> ModuleFacts {
 /// pre-pass and post-pass facts of a function.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Which rule tripped (`S1`–`S5`).
+    /// Which rule tripped (`S1`–`S8`).
     pub rule: &'static str,
     /// Function the contradiction is in.
     pub func: String,
     /// Explanation with the contradicting facts.
     pub msg: String,
+    /// Post-pass value id the contradiction localises to, when the rule is
+    /// value-level (S6–S8); function-level rules leave this `None`.
+    pub value: Option<u32>,
 }
 
 impl std::fmt::Display for Violation {
@@ -105,13 +133,14 @@ pub fn check(pre: &ModuleFacts, post: &ModuleFacts) -> Vec<Violation> {
             continue;
         };
         check_function(pre_f, post_f, &mut out);
+        value_checks(pre_f, post_f, &mut out);
         self_check(post_f, &mut out);
     }
     out
 }
 
 fn check_function(pre: &FunctionFacts, post: &FunctionFacts, out: &mut Vec<Violation>) {
-    let viol = |rule, msg| Violation { rule, func: pre.name.clone(), msg };
+    let viol = |rule, msg| Violation { rule, func: pre.name.clone(), msg, value: None };
     let terminates = pre.eff.must_return || post.eff.must_return;
 
     // S1: both ret intervals over-approximate the same non-empty value set.
@@ -194,6 +223,133 @@ fn check_function(pre: &FunctionFacts, post: &FunctionFacts, out: &mut Vec<Viola
     }
 }
 
+/// Value-level rules S6–S8 over the fingerprint correspondence.
+fn value_checks(pre: &FunctionFacts, post: &FunctionFacts, out: &mut Vec<Violation>) {
+    let pairs = valmap::correspond(&pre.vals, &post.vals);
+    let pre_to_post: HashMap<u32, u32> =
+        pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+    let post_to_pre: HashMap<u32, u32> =
+        pairs.iter().map(|(a, b)| (b.0, a.0)).collect();
+
+    // S6: matched values over-approximate the same concrete set.
+    for &(va, vb) in &pairs {
+        let (ia, ib) = (pre.vals.interval[va.idx()], post.vals.interval[vb.idx()]);
+        if !ia.is_bottom() && !ib.is_bottom() && ia.meet(&ib).is_bottom() {
+            out.push(Violation {
+                rule: "S6",
+                func: pre.name.clone(),
+                value: Some(vb.0),
+                msg: format!(
+                    "matched value %{} (now %{}) cannot hold both ranges: {ia} before \
+                     vs {ib} after",
+                    va.0, vb.0
+                ),
+            });
+        }
+    }
+
+    // S7a: a must-written global that provably cannot be written on the other
+    // side — report every store to it, naming the dangling stored value.
+    let dangling = |side: &FunctionFacts,
+                    matched: &HashMap<u32, u32>,
+                    g: u32,
+                    when: &str,
+                    out: &mut Vec<Violation>| {
+        for s in side.vals.stores.iter().filter(|s| s.global == g) {
+            let (desc, value) = match s.val {
+                Some(v) => match matched.get(&v) {
+                    Some(&mv) => (format!("value %{v} (still computed as %{mv})"), Some(mv)),
+                    None => (format!("value %{v}"), None),
+                },
+                None => ("a constant".to_string(), None),
+            };
+            out.push(Violation {
+                rule: "S7",
+                func: side.name.clone(),
+                value,
+                msg: format!(
+                    "store of {desc} to g{g} in b{} was on every terminating path \
+                     {when} the pass; the other side provably never writes g{g} — \
+                     the store dangles",
+                    s.block
+                ),
+            });
+        }
+    };
+    for &g in &pre.eff.must_write {
+        if post.eff.cannot_write(g) {
+            dangling(pre, &pre_to_post, g, "before", out);
+        }
+    }
+    for &g in &post.eff.must_write {
+        if pre.eff.cannot_write(g) {
+            dangling(post, &post_to_pre, g, "after", out);
+        }
+    }
+
+    // S7b: both sides must-write `g` through exactly one local store (no
+    // calls, no unattributable writes): the final value of `g` lies in both
+    // stored intervals, so they must intersect.
+    if !pre.vals.has_calls
+        && !post.vals.has_calls
+        && !pre.eff.writes_unknown
+        && !post.eff.writes_unknown
+    {
+        for &g in &pre.eff.must_write {
+            if !post.eff.must_write.contains(&g) {
+                continue;
+            }
+            fn only(side: &FunctionFacts, g: u32) -> Option<&crate::valmap::GlobalStore> {
+                let mut it = side.vals.stores.iter().filter(|s| s.global == g);
+                match (it.next(), it.next()) {
+                    (Some(s), None) => Some(s),
+                    _ => None,
+                }
+            }
+            let (Some(sa), Some(sb)) = (only(pre, g), only(post, g)) else { continue };
+            if !sa.interval.is_bottom()
+                && !sb.interval.is_bottom()
+                && sa.interval.meet(&sb.interval).is_bottom()
+            {
+                out.push(Violation {
+                    rule: "S7",
+                    func: pre.name.clone(),
+                    value: sb.val,
+                    msg: format!(
+                        "the single store to g{g} cannot agree: {} in b{} before vs \
+                         {} in b{} after",
+                        sa.interval, sa.block, sb.interval, sb.block
+                    ),
+                });
+            }
+        }
+    }
+
+    // S8: a matched load provably non-zero on one side cannot be a
+    // provably-uninitialised (always-zero) load on the other.
+    let s8 = |nz: &FunctionFacts, nzv: u32, zv: u32, when: &str| Violation {
+        rule: "S8",
+        func: nz.name.clone(),
+        value: Some(zv),
+        msg: format!(
+            "load %{nzv} provably read a non-zero value {when} the pass, but its \
+             matched load %{zv} reads a provably-uninitialised (always-zero) slot",
+        ),
+    };
+    for &(va, vb) in &pairs {
+        if pre.vals.nonzero_loads.binary_search(&va.0).is_ok()
+            && post.vals.zero_loads.binary_search(&vb.0).is_ok()
+        {
+            out.push(s8(pre, va.0, vb.0, "before"));
+        }
+        if post.vals.nonzero_loads.binary_search(&vb.0).is_ok()
+            && pre.vals.zero_loads.binary_search(&va.0).is_ok()
+        {
+            out.push(s8(post, vb.0, va.0, "after"));
+        }
+    }
+}
+
 /// Checks that must hold within a single fact set.
 fn self_check(f: &FunctionFacts, out: &mut Vec<Violation>) {
     // S5: attributes claim no writes, but a write provably happens.
@@ -201,6 +357,7 @@ fn self_check(f: &FunctionFacts, out: &mut Vec<Violation>) {
         out.push(Violation {
             rule: "S5",
             func: f.name.clone(),
+            value: None,
             msg: format!(
                 "function is marked {} but provably writes globals {:?} on every \
                  terminating run",
@@ -275,6 +432,74 @@ mod tests {
         post.funcs[0].eff.must_write.clear();
         post.funcs[0].eff.must_return = false;
         assert!(check(&pre, &post).is_empty());
+    }
+
+    #[test]
+    fn changed_callee_return_is_s6_at_call_site() {
+        // The caller's call value matches across the pass (same callee name,
+        // same args); a broken rewrite of the callee's return shows up as
+        // disjoint intervals at the matched call site.
+        fn call_ret_module(c: i64) -> Module {
+            let mut m = Module::new("m");
+            let mut cb = FunctionBuilder::new("callee", vec![], Some(I64));
+            cb.ret(Some(Operand::imm64(c)));
+            let callee = m.add_func(cb.finish());
+            let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+            let v = b.call(callee, Some(I64), vec![]).unwrap();
+            b.ret(Some(v));
+            m.add_func(b.finish());
+            m
+        }
+        let pre = module_facts(&call_ret_module(5));
+        let post = module_facts(&call_ret_module(9));
+        let v = check(&pre, &post);
+        let s6 = v.iter().find(|v| v.rule == "S6").expect(&format!("{v:?}"));
+        assert_eq!(s6.func, "main");
+        assert!(s6.value.is_some());
+    }
+
+    #[test]
+    fn dropped_ssa_store_is_s7_with_dangling_value() {
+        fn build(with_store: bool) -> Module {
+            let mut m = Module::new("m");
+            let g = m.add_global("out", GlobalInit::Zero(8), true);
+            let mut b = FunctionBuilder::new("f", vec![citroen_ir::types::I64], Some(I64));
+            let v = b.bin(citroen_ir::inst::BinOp::Add, I64, b.param(0), Operand::imm64(1));
+            if with_store {
+                b.store(I64, v, Operand::Global(g));
+            }
+            b.ret(Some(Operand::imm64(0)));
+            m.add_func(b.finish());
+            m
+        }
+        let pre = module_facts(&build(true));
+        let post = module_facts(&build(false));
+        let v = check(&pre, &post);
+        let s7 = v.iter().find(|v| v.rule == "S7").expect(&format!("{v:?}"));
+        // The stored value still exists on the post side — the violation
+        // names it as the dangling value.
+        assert_eq!(s7.value, Some(1), "{s7:?}");
+        assert!(s7.msg.contains("dangles"), "{s7:?}");
+    }
+
+    #[test]
+    fn uninitialised_matched_load_is_s8() {
+        fn build(with_store: bool) -> Module {
+            let mut m = Module::new("m");
+            let mut b = FunctionBuilder::new("f", vec![], Some(I64));
+            let a = b.alloca(8);
+            if with_store {
+                b.store(I64, Operand::imm64(7), a);
+            }
+            let v = b.load(I64, a);
+            b.ret(Some(v));
+            m.add_func(b.finish());
+            m
+        }
+        let pre = module_facts(&build(true));
+        let post = module_facts(&build(false));
+        let v = check(&pre, &post);
+        assert!(v.iter().any(|v| v.rule == "S8" && v.value.is_some()), "{v:?}");
     }
 
     #[test]

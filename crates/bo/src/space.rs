@@ -81,6 +81,14 @@ pub struct SeqCanonicalizer {
     /// all-false ([`SeqCanonicalizer::new`]); opt in via
     /// [`SeqCanonicalizer::with_idempotence`].
     pub idem: Vec<bool>,
+    /// Per-pass: work classes whose presence is necessary for the pass to
+    /// fire (`None` = unknown, never dropped). Empty unless
+    /// [`SeqCanonicalizer::with_subsumption`] opted in.
+    pub fires_on: Vec<Option<u64>>,
+    /// Per-pass: work classes provably absent after the pass runs.
+    pub clears: Vec<u64>,
+    /// Per-pass: work classes the pass may create.
+    pub produces: Vec<u64>,
 }
 
 impl SeqCanonicalizer {
@@ -90,7 +98,14 @@ impl SeqCanonicalizer {
         assert_eq!(dead.len(), enables.len(), "masks must cover the same passes");
         assert!(dead.len() <= 64, "bitmask form limited to 64 passes");
         let idem = vec![false; dead.len()];
-        SeqCanonicalizer { dead, enables, idem }
+        SeqCanonicalizer {
+            dead,
+            enables,
+            idem,
+            fires_on: Vec::new(),
+            clears: Vec::new(),
+            produces: Vec::new(),
+        }
     }
 
     /// Add an idempotence mask (from `Registry::idempotent_mask`): immediate
@@ -103,6 +118,31 @@ impl SeqCanonicalizer {
         self
     }
 
+    /// Add the work-class subsumption model (from the registry or a persisted
+    /// interaction graph). Canonicalisation then tracks the set of work
+    /// classes that may still be present down the kept sequence —
+    /// `maybe' = (maybe | produces[p]) & !clears[p]`, clears winning because
+    /// it is a postcondition — and drops pass `q` wherever its fire mask is
+    /// known and disjoint from that set. This generalises both the
+    /// idempotence collapse (`p, p` — `p` clears its own fire bit) and the
+    /// `p, q, p` pattern (when `q` neither produces nor re-enables `p`'s
+    /// work). Every drop is a theorem fuzz-checked by
+    /// `citroen-analyze subsume`.
+    pub fn with_subsumption(
+        mut self,
+        fires_on: Vec<Option<u64>>,
+        clears: Vec<u64>,
+        produces: Vec<u64>,
+    ) -> SeqCanonicalizer {
+        assert_eq!(fires_on.len(), self.dead.len(), "masks must cover the same passes");
+        assert_eq!(clears.len(), self.dead.len(), "masks must cover the same passes");
+        assert_eq!(produces.len(), self.dead.len(), "masks must cover the same passes");
+        self.fires_on = fires_on;
+        self.clears = clears;
+        self.produces = produces;
+        self
+    }
+
     /// A canonicalizer that never drops anything (oracle disabled / unknown).
     pub fn identity(n_passes: usize) -> SeqCanonicalizer {
         SeqCanonicalizer::new(vec![false; n_passes], vec![0; n_passes])
@@ -110,16 +150,24 @@ impl SeqCanonicalizer {
 
     /// Whether canonicalisation can ever change a sequence.
     pub fn is_identity(&self) -> bool {
-        !self.dead.iter().any(|&d| d) && !self.idem.iter().any(|&i| i)
+        !self.dead.iter().any(|&d| d)
+            && !self.idem.iter().any(|&i| i)
+            && !self.fires_on.iter().any(|f| f.is_some())
     }
 
     /// Canonicalise `seq` (pass indices): drop pass `p` at each position iff
     /// it is statically dead *and* no earlier kept pass may have woken it, or
-    /// it is idempotent and the previous *kept* pass was `p` itself.
+    /// it is idempotent and the previous *kept* pass was `p` itself, or the
+    /// subsumption dataflow proves every work class it fires on is absent.
     pub fn canonicalize(&self, seq: &[usize]) -> Vec<usize> {
         let mut woken = 0u64;
+        // Work classes that may still be present. Unknown at sequence start:
+        // everything. Only kept passes update it — a dropped pass provably
+        // changed nothing.
+        let mut maybe = u64::MAX;
+        let subsume = !self.fires_on.is_empty();
         let mut out: Vec<usize> = Vec::with_capacity(seq.len());
-        let (mut dead_dropped, mut idem_collapsed) = (0u64, 0u64);
+        let (mut dead_dropped, mut idem_collapsed, mut subsume_dropped) = (0u64, 0u64, 0u64);
         for &p in seq {
             debug_assert!(p < self.dead.len(), "pass index out of range");
             if self.dead[p] && woken & (1 << p) == 0 {
@@ -130,11 +178,21 @@ impl SeqCanonicalizer {
                 idem_collapsed += 1;
                 continue;
             }
+            if subsume {
+                if let Some(fires) = self.fires_on[p] {
+                    if fires & maybe == 0 {
+                        subsume_dropped += 1;
+                        continue;
+                    }
+                }
+                maybe = (maybe | self.produces[p]) & !self.clears[p];
+            }
             woken |= self.enables[p];
             out.push(p);
         }
         citroen_telemetry::counter("canon.dead_dropped", dead_dropped);
         citroen_telemetry::counter("canon.idem_collapsed", idem_collapsed);
+        citroen_telemetry::counter("canon.subsume_dropped", subsume_dropped);
         out
     }
 }
@@ -210,6 +268,52 @@ mod tests {
         let c = SeqCanonicalizer::new(vec![false, true, false], vec![1 << 1, 0, 0])
             .with_idempotence(vec![false, false, true]);
         assert_eq!(c.canonicalize(&[0, 2, 1, 2]), vec![0, 2, 1, 2]);
+    }
+
+    #[test]
+    fn subsumption_collapses_adjacent_and_pqp_patterns() {
+        // Three passes over a 2-class universe. Passes 0 and 1 fire on (and
+        // clear) their own class and produce nothing; pass 2 is unknown
+        // (never dropped) and produces everything.
+        let fires = vec![Some(0b01), Some(0b10), None];
+        let clears = vec![0b01, 0b10, 0];
+        let produces = vec![0, 0, u64::MAX];
+        let c = SeqCanonicalizer::identity(3).with_subsumption(fires, clears, produces);
+        assert!(!c.is_identity());
+        // Adjacent duplicate: the idempotence diagonal, now via dataflow.
+        assert_eq!(c.canonicalize(&[0, 0, 1]), vec![0, 1]);
+        // p,q,p: pass 1 between two 0s neither produces nor re-enables
+        // class 0, so the second 0 still drops.
+        assert_eq!(c.canonicalize(&[0, 1, 0]), vec![0, 1]);
+        // An unknown pass in between re-produces everything: no drop.
+        assert_eq!(c.canonicalize(&[0, 2, 0]), vec![0, 2, 0]);
+        // Both classes cleared, later duplicates of either pass drop.
+        assert_eq!(c.canonicalize(&[1, 0, 0, 1]), vec![1, 0]);
+    }
+
+    #[test]
+    fn subsumption_clears_win_over_produces() {
+        // Pass 0 produces everything but clears class 0 — a trailing-dce
+        // style pass. Pass 1 fires on class 0 only: dropped right after 0.
+        let fires = vec![None, Some(0b01)];
+        let clears = vec![0b01, 0];
+        let produces = vec![u64::MAX, u64::MAX];
+        let c = SeqCanonicalizer::identity(2).with_subsumption(fires, clears, produces);
+        assert_eq!(c.canonicalize(&[0, 1]), vec![0]);
+        // But before any pass has run, class 0 may be present: kept.
+        assert_eq!(c.canonicalize(&[1, 0]), vec![1, 0]);
+    }
+
+    #[test]
+    fn subsumption_composes_with_dead_pruning() {
+        // Pass 1 is dead; dropping it must leave the subsumption window
+        // open across it: 0,1,0 → 0 (dead 1 dropped, duplicate 0 subsumed).
+        let fires = vec![Some(0b01), None, None];
+        let clears = vec![0b01, 0, 0];
+        let produces = vec![u64::MAX, u64::MAX, u64::MAX];
+        let c = SeqCanonicalizer::new(vec![false, true, false], vec![0, 0, 0])
+            .with_subsumption(fires, clears, produces);
+        assert_eq!(c.canonicalize(&[0, 1, 0]), vec![0]);
     }
 
     #[test]

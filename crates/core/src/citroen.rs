@@ -83,6 +83,17 @@ pub struct CitroenConfig {
     /// during canonicalisation, so `p,p` genomes share `p`'s compile-cache
     /// entry. No effect when `oracle_prune` is off.
     pub idem_collapse: bool,
+    /// Canonicalise candidate sequences with the fuzz-verified work-class
+    /// subsumption matrix ([`citroen_passes::Pass::fires_on`]): a pass whose
+    /// fire classes are provably cleared by the kept prefix is dropped, so
+    /// `p,p` *and* `p,q,p` no-op patterns share one compile-cache entry.
+    /// Module-independent (every drop is a theorem on any input), and usable
+    /// with or without `oracle_prune`. Off by default (paper-faithful).
+    pub subsume_collapse: bool,
+    /// Warm-start canonicalisation from a persisted `citroen-analyze oracle
+    /// --json` interaction graph instead of deriving the enables edges and
+    /// work model per task. Ignored (with a warning) when unreadable.
+    pub oracle_graph: Option<String>,
     /// Measurements selected and profiled per model-guided iteration (q).
     /// `1` runs the historical strictly-sequential loop, bit-identical to
     /// previous releases; `q > 1` selects a greedy qUCB/qEI batch, compiles
@@ -116,6 +127,8 @@ impl Default for CitroenConfig {
             oracle_prune: false,
             oracle_features: false,
             idem_collapse: true,
+            subsume_collapse: false,
+            oracle_graph: None,
             batch: 1,
             mc_samples: 32,
             compile_cache_cap: 1024,
@@ -182,24 +195,60 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     // Oracle-based sequence canonicalisation (off by default): verdicts on
     // the source hot module give the dead mask; running each pass once gives
     // the module-local enables edges that keep a dead pass when an earlier
-    // kept pass may wake it.
-    let canon: Option<SeqCanonicalizer> = cfg.oracle_prune.then(|| {
-        let src = &task.benchmark().modules[hot];
-        let dead = citroen_passes::oracle::dead_mask(&citroen_passes::oracle::verdicts(
-            &task.registry,
-            src,
-        ));
-        let (enables, _) = citroen_passes::oracle::interactions_for_module(&task.registry, src);
-        let mut mask = vec![0u64; task.registry.len()];
-        for e in &enables {
-            mask[e.from] |= 1 << e.to;
-        }
-        let c = SeqCanonicalizer::new(dead, mask);
-        if cfg.idem_collapse {
-            c.with_idempotence(task.registry.idempotent_mask())
+    // kept pass may wake it. A persisted interaction graph (`oracle_graph`)
+    // replaces the per-task enables derivation and supplies the work model;
+    // `subsume_collapse` adds the module-independent work-class dataflow.
+    let graph: Option<citroen_passes::oracle::InteractionGraph> =
+        cfg.oracle_graph.as_deref().and_then(|path| {
+            let load = std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| citroen_passes::oracle::InteractionGraph::from_json(&t));
+            match load {
+                Ok(g) => Some(g),
+                Err(e) => {
+                    eprintln!("warning: ignoring oracle graph '{path}': {e}");
+                    None
+                }
+            }
+        });
+    let graph_inputs = graph.as_ref().map(|g| citroen_passes::oracle::canonicalizer_inputs(&task.registry, g));
+    let canon: Option<SeqCanonicalizer> = (cfg.oracle_prune || cfg.subsume_collapse).then(|| {
+        let n = task.registry.len();
+        let (dead, mask) = if cfg.oracle_prune {
+            let src = &task.benchmark().modules[hot];
+            let dead = citroen_passes::oracle::dead_mask(&citroen_passes::oracle::verdicts(
+                &task.registry,
+                src,
+            ));
+            let mask = match &graph_inputs {
+                Some((enables, _)) => enables.clone(),
+                None => {
+                    let (enables, _) =
+                        citroen_passes::oracle::interactions_for_module(&task.registry, src);
+                    let mut mask = vec![0u64; n];
+                    for e in &enables {
+                        mask[e.from] |= 1 << e.to;
+                    }
+                    mask
+                }
+            };
+            (dead, mask)
         } else {
-            c
+            (vec![false; n], vec![0u64; n])
+        };
+        let mut c = SeqCanonicalizer::new(dead, mask);
+        if cfg.oracle_prune && cfg.idem_collapse {
+            c = c.with_idempotence(task.registry.idempotent_mask());
         }
+        if cfg.subsume_collapse {
+            let (fires, clears, produces) = match graph_inputs.as_ref().and_then(|(_, w)| w.clone())
+            {
+                Some(triple) => triple,
+                None => (task.registry.fires_on(), task.registry.clears(), task.registry.produces()),
+            };
+            c = c.with_subsumption(fires, clears, produces);
+        }
+        c
     });
     let canon_genome = |g: &[u16]| -> Vec<u16> {
         match &canon {
@@ -1135,5 +1184,105 @@ mod tests {
             m_on <= m_off * 1.05,
             "median best/O3 degraded with idempotence collapse: {m_on:.4} vs {m_off:.4}"
         );
+    }
+
+    #[test]
+    fn subsumption_collapse_cuts_compiles_without_hurting_speedup() {
+        // Same quantile discipline as the oracle-pruning test: for each seed
+        // run the identical configuration with the work-class subsumption
+        // collapse off and on. Every drop is a module-independent theorem
+        // (fuzz-checked by `citroen-analyze subsume`), so compiled artifacts
+        // are unchanged; the win is genomes differing only in provable
+        // no-op patterns (`p,p`, `dce` after a dce-tailed pass, `p,q,p`)
+        // folding onto shared compile-cache entries.
+        let seeds: Vec<u64> = (1..=10).collect();
+        let runs = citroen_rt::par::par_map(seeds, |seed| {
+            let run = |subsume: bool| {
+                // Longer sequences than the default gsm task (provable
+                // no-op patterns scale with genome length; 32 is well inside
+                // the paper's explored range) and an exploitation-heavy
+                // mutation rate: most DES candidates then differ from the
+                // incumbent in a single position, which is exactly the regime
+                // where genomes collide onto one canonical form. Both arms
+                // share the config, so the comparison stays honest.
+                let mut task = Task::new(
+                    citroen_suite::kernels::telecom_gsm(),
+                    Registry::full(),
+                    Platform::tx2(),
+                    TaskConfig { seq_len: 32, seed, ..Default::default() },
+                );
+                let cfg = CitroenConfig {
+                    candidates: 24,
+                    init_random: 6,
+                    mutation_rate: Some(1.0 / 32.0),
+                    subsume_collapse: subsume,
+                    seed,
+                    ..Default::default()
+                };
+                let (trace, _) = run_citroen(&mut task, 40, &cfg);
+                (trace.best() / task.o3_seconds, task.compilations)
+            };
+            (run(false), run(true))
+        });
+        let mut reduction: Vec<f64> = runs
+            .iter()
+            .map(|((_, c_off), (_, c_on))| 1.0 - *c_on as f64 / *c_off as f64)
+            .collect();
+        reduction.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut off: Vec<f64> = runs.iter().map(|((r, _), _)| *r).collect();
+        let mut on: Vec<f64> = runs.iter().map(|(_, (r, _))| *r).collect();
+        off.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        on.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!("subsume compile reduction per seed: {reduction:?}");
+        eprintln!("best/O3 subsume-off: {off:?}\nbest/O3 subsume-on:  {on:?}");
+        let median_red = reduction[reduction.len() / 2];
+        assert!(
+            median_red >= 0.10,
+            "median compile reduction {median_red:.3} < 10%: {reduction:?}"
+        );
+        let (m_off, m_on) = (off[off.len() / 2], on[on.len() / 2]);
+        assert!(
+            m_on <= m_off * 1.05,
+            "median best/O3 degraded with subsumption collapse: {m_on:.4} vs {m_off:.4}"
+        );
+    }
+
+    #[test]
+    fn oracle_graph_warm_start_matches_per_task_derivation() {
+        // Persist the interaction graph derived over the task's own hot
+        // module, then rerun with `oracle_graph` pointing at the file: the
+        // canonicalizer inputs are identical, so the whole tuning trajectory
+        // (best runtime and compile count) must be bit-identical to the
+        // per-task derivation.
+        let seed = 7;
+        let run = |graph: Option<String>| {
+            let mut task = gsm_task(seed);
+            let cfg = CitroenConfig {
+                candidates: 12,
+                init_random: 4,
+                oracle_prune: true,
+                subsume_collapse: true,
+                oracle_graph: graph,
+                seed,
+                ..Default::default()
+            };
+            let (trace, _) = run_citroen(&mut task, 10, &cfg);
+            (trace.best(), task.compilations)
+        };
+        let task = gsm_task(seed);
+        let hot = task.hot();
+        let g = citroen_passes::oracle::derive_graph(
+            &task.registry,
+            &[task.benchmark().modules[hot].clone()],
+        );
+        let path = std::env::temp_dir().join(format!("citroen_graph_{}.json", std::process::id()));
+        std::fs::write(&path, g.to_json()).unwrap();
+        let derived = run(None);
+        let warm = run(Some(path.to_string_lossy().into_owned()));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(derived, warm, "graph warm-start diverged from per-task derivation");
+        // A bogus path degrades gracefully to per-task derivation.
+        let fallback = run(Some("/nonexistent/citroen_graph.json".into()));
+        assert_eq!(derived, fallback);
     }
 }

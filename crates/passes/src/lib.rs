@@ -15,6 +15,7 @@ pub mod passes;
 pub mod stats;
 pub mod testing;
 pub mod util;
+pub mod work;
 
 pub use manager::{
     o1_pipeline, o3_pipeline, CompileError, CompileResult, Pass, PassId, PassManager, PassSeq,

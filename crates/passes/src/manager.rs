@@ -36,6 +36,25 @@ pub trait Pass: Sync + Send {
     fn is_idempotent(&self) -> bool {
         false
     }
+    /// Work classes ([`crate::work`]) whose presence is *necessary* for this
+    /// pass to change anything. `Some(mask)` is a theorem: on a module with
+    /// none of those classes present, `run` must leave the fingerprint
+    /// unchanged and record zero statistics — the `citroen-analyze subsume`
+    /// fuzz campaign executes every claim. `None` (the default) means
+    /// unknown; such a pass is never dropped by the subsumption collapse.
+    fn fires_on(&self) -> Option<u64> {
+        None
+    }
+    /// Work classes provably *absent* after this pass runs, on any input.
+    /// Also a fuzz-checked theorem; the always-sound default is "none".
+    fn clears(&self) -> u64 {
+        0
+    }
+    /// Work classes this pass may *create*. The always-sound default is
+    /// "all of them"; narrow only with an argument (see [`crate::work`]).
+    fn produces(&self) -> u64 {
+        crate::work::ALL
+    }
 }
 
 /// Index of a pass in the [`Registry`].
@@ -138,6 +157,21 @@ impl Registry {
     /// Per-pass idempotence bits ([`Pass::is_idempotent`]), in id order.
     pub fn idempotent_mask(&self) -> Vec<bool> {
         self.passes.iter().map(|p| p.is_idempotent()).collect()
+    }
+
+    /// Per-pass fire masks ([`Pass::fires_on`]), in id order.
+    pub fn fires_on(&self) -> Vec<Option<u64>> {
+        self.passes.iter().map(|p| p.fires_on()).collect()
+    }
+
+    /// Per-pass clear masks ([`Pass::clears`]), in id order.
+    pub fn clears(&self) -> Vec<u64> {
+        self.passes.iter().map(|p| p.clears()).collect()
+    }
+
+    /// Per-pass produce masks ([`Pass::produces`]), in id order.
+    pub fn produces(&self) -> Vec<u64> {
+        self.passes.iter().map(|p| p.produces()).collect()
     }
 
     /// Parse a comma/space separated list of pass names into a sequence.
@@ -244,6 +278,12 @@ impl<'r> PassManager<'r> {
         let trace = std::env::var_os("CITROEN_TRACE_PASS").is_some();
         let mut facts =
             if self.sanitize { Some(citroen_analyze::sanitize::module_facts(&module)) } else { None };
+        // Sanitizer-guided scheduling: a pass that recorded zero statistics
+        // *and* left the module fingerprint unchanged provably changed
+        // nothing, so the S1–S8 re-analysis is a tautology (pre == post) and
+        // is skipped. The fingerprint re-check (not the stats alone) keeps
+        // the skip sound against a pass that mutates without counting.
+        let mut fp_before = facts.as_ref().map(|_| citroen_ir::print::fingerprint(&module));
         for &id in seq {
             let pass = self.registry.pass(id);
             if trace {
@@ -257,6 +297,7 @@ impl<'r> PassManager<'r> {
                     max_vals
                 );
             }
+            let stats_total_before = stats.total();
             {
                 let _pass_span = telemetry::span_dyn(|| format!("pass.{}", pass.name()));
                 let stats_before = telemetry::is_enabled().then(|| stats.total());
@@ -278,12 +319,19 @@ impl<'r> PassManager<'r> {
             }
             if let Some(pre) = &facts {
                 let _sanitize_span = telemetry::span("sanitize");
-                let post = citroen_analyze::sanitize::module_facts(&module);
-                let violations = citroen_analyze::sanitize::check(pre, &post);
-                if !violations.is_empty() {
-                    return Err(CompileError::Sanitize { pass: pass.name(), violations });
+                let fp_now = citroen_ir::print::fingerprint(&module);
+                if stats.total() == stats_total_before && Some(fp_now) == fp_before {
+                    telemetry::counter("citroen.sanitize.skips", 1);
+                } else {
+                    telemetry::counter("citroen.sanitize.runs", 1);
+                    let post = citroen_analyze::sanitize::module_facts(&module);
+                    let violations = citroen_analyze::sanitize::check(pre, &post);
+                    if !violations.is_empty() {
+                        return Err(CompileError::Sanitize { pass: pass.name(), violations });
+                    }
+                    facts = Some(post);
+                    fp_before = Some(fp_now);
                 }
-                facts = Some(post);
             }
         }
         let fingerprint = citroen_ir::print::fingerprint(&module);

@@ -13,8 +13,11 @@
 
 use crate::manager::{Pass, PassId, Registry};
 use crate::stats::Stats;
-use citroen_analyze::oracle::{compute_facts, Interaction, InteractionGraph, Verdict};
+use crate::work;
+use citroen_analyze::oracle::{compute_facts, Interaction, Verdict};
 use citroen_ir::module::Module;
+
+pub use citroen_analyze::oracle::{InteractionGraph, WorkModel};
 
 /// Verdicts for every registered pass on `m`, in registry id order. The
 /// dataflow fact bundle is computed once and shared across all passes.
@@ -70,6 +73,7 @@ pub fn derive_graph(reg: &Registry, corpus: &[Module]) -> InteractionGraph {
         enables: Vec::new(),
         disables: Vec::new(),
         modules: corpus.len() as u64,
+        work: Some(work_model(reg)),
     };
     let accumulate = |edges: &mut Vec<Interaction>, observed: Vec<Interaction>| {
         for o in observed {
@@ -87,6 +91,108 @@ pub fn derive_graph(reg: &Registry, corpus: &[Module]) -> InteractionGraph {
     graph.enables.sort_by_key(|e| (e.from, e.to));
     graph.disables.sort_by_key(|e| (e.from, e.to));
     graph
+}
+
+/// The registry's declared work-class model ([`crate::work`]), in the
+/// serialisable form the interaction-graph JSON carries.
+pub fn work_model(reg: &Registry) -> WorkModel {
+    WorkModel {
+        classes: work::NAMES.iter().map(|n| n.to_string()).collect(),
+        fires_on: reg.fires_on(),
+        clears: reg.clears(),
+        produces: reg.produces(),
+    }
+}
+
+/// One subsumption-edge theorem check: for a claimed edge `p → q`
+/// (`fires_on(q) ⊆ clears(p)`), run `p` on a clone of `m` — then `q` must
+/// leave the fingerprint unchanged and record zero statistics. Returns
+/// `Some(description)` on a contradiction, `None` when the theorem holds.
+/// The chain-level generalisation (the absent-set dataflow across whole
+/// sequences) is exercised by the `citroen-analyze subsume` fuzz campaign.
+pub fn check_subsumed(p: &dyn Pass, q: &dyn Pass, m: &Module) -> Option<String> {
+    let mut after_p = m.clone();
+    let mut stats = Stats::new();
+    p.run(&mut after_p, &mut stats);
+    let before = citroen_ir::print::fingerprint(&after_p);
+    let mut after_q = after_p.clone();
+    let mut qstats = Stats::new();
+    q.run(&mut after_q, &mut qstats);
+    if citroen_ir::print::fingerprint(&after_q) != before {
+        Some(format!(
+            "subsumption '{}' → '{}' violated: '{}' changed the module fingerprint",
+            p.name(),
+            q.name(),
+            q.name()
+        ))
+    } else if !qstats.is_empty() {
+        Some(format!(
+            "subsumption '{}' → '{}' violated: '{}' recorded statistics: {}",
+            p.name(),
+            q.name(),
+            q.name(),
+            qstats.keys().join(", ")
+        ))
+    } else {
+        None
+    }
+}
+
+/// [`check_subsumed`] over every statically-claimed edge of the registry's
+/// work model. Returns the first contradiction, tagged with the edge.
+pub fn check_subsumption_matrix(reg: &Registry, m: &Module) -> Option<(PassId, PassId, String)> {
+    let model = work_model(reg);
+    for (p, q) in model.subsumed_pairs() {
+        let (pid, qid) = (PassId(p as u16), PassId(q as u16));
+        if let Some(d) = check_subsumed(reg.pass(pid), reg.pass(qid), m) {
+            return Some((pid, qid, d));
+        }
+    }
+    None
+}
+
+/// Re-index a persisted interaction graph onto `reg` for the tuner's
+/// `SeqCanonicalizer` warm-start: per-registry-id enables masks (edges
+/// naming passes absent from the registry are dropped) and, when the graph
+/// carries a work model, the `(fires_on, clears, produces)` mask triple with
+/// the conservative `(None, 0, ALL)` row for any pass the graph doesn't
+/// know. This is what lets a daemon skip the per-task
+/// `interactions_for_module` derivation entirely.
+#[allow(clippy::type_complexity)]
+pub fn canonicalizer_inputs(
+    reg: &Registry,
+    g: &InteractionGraph,
+) -> (Vec<u64>, Option<(Vec<Option<u64>>, Vec<u64>, Vec<u64>)>) {
+    let n = reg.len();
+    // graph index for each registry id, and the reverse.
+    let gid: Vec<Option<usize>> =
+        reg.names().iter().map(|name| g.passes.iter().position(|p| p == name)).collect();
+    let mut rid = std::collections::HashMap::new();
+    for (r, gi) in gid.iter().enumerate() {
+        if let Some(gi) = gi {
+            rid.insert(*gi, r);
+        }
+    }
+    let mut enables = vec![0u64; n];
+    for e in &g.enables {
+        if let (Some(&f), Some(&t)) = (rid.get(&e.from), rid.get(&e.to)) {
+            enables[f] |= 1 << t;
+        }
+    }
+    let work = g.work.as_ref().map(|w| {
+        let mut fires: Vec<Option<u64>> = vec![None; n];
+        let mut clears = vec![0u64; n];
+        let mut produces = vec![u64::MAX; n];
+        for (r, gi) in gid.iter().enumerate() {
+            if let Some(gi) = gi {
+                fires[r] = w.fires_on[*gi];
+                clears[r] = w.clears[*gi];
+                produces[r] = w.produces[*gi];
+            }
+        }
+        (fires, clears, produces)
+    });
+    (enables, work)
 }
 
 /// One soundness check: does `pass` uphold its `CannotFire` theorem on `m`?
@@ -185,5 +291,59 @@ mod tests {
         // mem2reg on the victim module promotes the alloca; that must wake
         // at least one downstream pass, so the graph cannot be edge-free.
         assert!(!g.enables.is_empty(), "expected at least one enables edge");
+        // The derived graph carries the registry's work model.
+        let w = g.work.as_ref().expect("derive_graph attaches the work model");
+        assert_eq!(w.fires_on.len(), reg.len());
+        assert_eq!(w.classes.len(), crate::work::NUM_CLASSES as usize);
+    }
+
+    #[test]
+    fn work_model_matrix_generalises_the_idempotence_diagonal() {
+        let reg = Registry::full();
+        let model = work_model(&reg);
+        let pairs = model.subsumed_pairs();
+        // Every pass with a declared fire mask must subsume itself (the
+        // idempotence diagonal), and the dce column must extend beyond it.
+        for (i, fires) in model.fires_on.iter().enumerate() {
+            if fires.is_some() {
+                assert!(pairs.contains(&(i, i)), "missing diagonal for {}", reg.names()[i]);
+            }
+        }
+        let dce = reg.by_name("dce").unwrap().0 as usize;
+        let dce_col = pairs.iter().filter(|(_, q)| *q == dce).count();
+        assert!(dce_col >= 8, "expected a populated dce column, got {dce_col}");
+        // Known off-diagonal edges from unconditional trailing dce sweeps.
+        for p in ["gvn", "instcombine", "sccp", "adce"] {
+            let pi = reg.by_name(p).unwrap().0 as usize;
+            assert!(pairs.contains(&(pi, dce)), "missing {p} → dce edge");
+        }
+    }
+
+    #[test]
+    fn canonicalizer_inputs_round_trip_through_json() {
+        let reg = Registry::full();
+        let g = derive_graph(&reg, &[crate::testing::victim_module()]);
+        let back = InteractionGraph::from_json(&g.to_json()).unwrap();
+        let (enables, work) = canonicalizer_inputs(&reg, &back);
+        // Same registry, same order: the remap must reproduce the graph's
+        // own mask form and the registry's declared work model exactly.
+        assert_eq!(enables, back.enables_mask());
+        let (fires, clears, produces) = work.expect("derived graph carries a work model");
+        assert_eq!(fires, reg.fires_on());
+        assert_eq!(clears, reg.clears());
+        assert_eq!(produces, reg.produces());
+        // A reduced registry only keeps rows for passes it knows.
+        let old = Registry::llvm10();
+        let (en_old, work_old) = canonicalizer_inputs(&old, &back);
+        assert_eq!(en_old.len(), old.len());
+        let (fires_old, _, _) = work_old.unwrap();
+        assert_eq!(fires_old.len(), old.len());
+    }
+
+    #[test]
+    fn subsumption_matrix_holds_on_victim_and_trivial_modules() {
+        let reg = Registry::full();
+        assert_eq!(check_subsumption_matrix(&reg, &crate::testing::victim_module()), None);
+        assert_eq!(check_subsumption_matrix(&reg, &trivial_module()), None);
     }
 }

@@ -214,6 +214,19 @@ impl Pass for FunctionAttrs {
     fn name(&self) -> &'static str {
         "function-attrs"
     }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::FA)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::FA
+    }
+    fn produces(&self) -> u64 {
+        // Writes only function attributes; the only fire conditions that
+        // consult attrs are adce liveness roots, dse/loop-deletion clobber
+        // summaries and call CSE — dce purity, folding, the sccp lattice,
+        // promotability, sinking and tail-call position are attribute-blind.
+        crate::work::ADCE | crate::work::DSE | crate::work::ECSE | crate::work::LD
+    }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
@@ -308,6 +321,12 @@ pub struct TailCallElim;
 impl Pass for TailCallElim {
     fn name(&self) -> &'static str {
         "tailcallelim"
+    }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::TCE)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::TCE
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)

@@ -261,6 +261,12 @@ impl Pass for LoopSimplify {
     fn name(&self) -> &'static str {
         "loop-simplify"
     }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::LS)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::LS
+    }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
@@ -1137,6 +1143,12 @@ pub struct LoopDeletion;
 impl Pass for LoopDeletion {
     fn name(&self) -> &'static str {
         "loop-deletion"
+    }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::LD)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::LD
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)

@@ -126,6 +126,21 @@ impl Pass for Gvn {
     fn name(&self) -> &'static str {
         "gvn"
     }
+    fn clears(&self) -> u64 {
+        // gvn_function ends in an unconditional dce sweep; the dominator
+        // scope is a strict superset of early-cse's block-local tables (a
+        // block dominates itself), load CSE / store-to-load forwarding is
+        // the same block-local logic in both, and both share the dce tail —
+        // so early-cse immediately after gvn is a no-op.
+        crate::work::DEAD | crate::work::ECSE
+    }
+    fn produces(&self) -> u64 {
+        // Substitution + removal + dce tail: no CFG edit (loop-simplify
+        // untouched) and no new block-local CSE work beyond what it just
+        // exhausted. Store-to-load forwarding can inject literals anywhere,
+        // so every other class stays on the table.
+        crate::work::ALL & !(crate::work::DEAD | crate::work::ECSE | crate::work::LS)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for fi in 0..m.funcs.len() {
             let (ni, nl) = gvn_function(m, fi, true);
@@ -149,6 +164,18 @@ pub struct EarlyCse;
 impl Pass for EarlyCse {
     fn name(&self) -> &'static str {
         "early-cse"
+    }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::ECSE)
+    }
+    fn clears(&self) -> u64 {
+        // block-local CSE; gvn_function ends in an unconditional dce sweep
+        crate::work::ECSE | crate::work::DEAD
+    }
+    fn produces(&self) -> u64 {
+        // Same shape as gvn: pure rewrites plus the dce tail, no CFG edit,
+        // and its own block-local tables are exhausted on exit.
+        crate::work::ALL & !(crate::work::DEAD | crate::work::ECSE | crate::work::LS)
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
@@ -389,6 +416,26 @@ impl Pass for Dce {
     fn name(&self) -> &'static str {
         "dce"
     }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::DEAD)
+    }
+    fn clears(&self) -> u64 {
+        // removes exactly the DEAD class, to fixpoint
+        crate::work::DEAD
+    }
+    fn produces(&self) -> u64 {
+        // Removal-only, to a fixpoint, and never touches loads, stores,
+        // calls, or terminators (`has_side_effects`/`reads_memory` retain
+        // them). Removing a use can newly enable sinking (single-use-block),
+        // promotion (an escaping pure use of an alloca address), tail
+        // position (trailing pure insts after a self-call), and loop
+        // deletion (an outside use of a loop value). It cannot create
+        // lattice/foldable/duplicate instructions, change the dse scan
+        // (memory ops untouched), the inferable attribute bits, or the CFG,
+        // and it leaves no orphans (fixpoint), so every would_dce-based
+        // fire condition stays false.
+        crate::work::SINK | crate::work::M2R | crate::work::TCE | crate::work::LD
+    }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
@@ -415,6 +462,28 @@ pub struct Adce;
 impl Pass for Adce {
     fn name(&self) -> &'static str {
         "adce"
+    }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::ADCE)
+    }
+    fn clears(&self) -> u64 {
+        // transitive liveness removal is a superset of dce's pure-unused sweep
+        crate::work::ADCE | crate::work::DEAD
+    }
+    fn produces(&self) -> u64 {
+        // Removal-only like dce, but the live set is rooted (stores,
+        // non-readnone calls, terminators), so adce can additionally remove
+        // loads and readnone calls: that can un-kill an overwritten store
+        // (dse) and drop the reads/writes bits behind attribute inference
+        // (fa). Surviving instructions are transitively rooted, so no
+        // orphans remain and every would_dce-based fire condition stays
+        // false; CFG and remaining operands are untouched.
+        crate::work::DSE
+            | crate::work::SINK
+            | crate::work::M2R
+            | crate::work::FA
+            | crate::work::TCE
+            | crate::work::LD
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
@@ -536,6 +605,21 @@ impl Pass for Dse {
     fn name(&self) -> &'static str {
         "dse"
     }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::DSE)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::DSE
+    }
+    fn produces(&self) -> u64 {
+        // Removing a store orphans its value chain (would_dce and every fire
+        // condition that folds it in), can un-escape an alloca address, and
+        // can turn a self-call into the last instruction of its block. The
+        // one thing store removal cannot do is edit the CFG, and the
+        // backward overwritten-range scan is a one-sweep fixpoint (removing
+        // a covered store neither covers nor uncovers another).
+        crate::work::ALL & !(crate::work::DSE | crate::work::LS)
+    }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
     }
@@ -638,6 +722,19 @@ pub struct Sink;
 impl Pass for Sink {
     fn name(&self) -> &'static str {
         "sink"
+    }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::SINK)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::SINK
+    }
+    fn produces(&self) -> u64 {
+        // Moves pure scalar insts only: use counts, operands, CFG, stores
+        // and attrs are untouched, so no other class's fire condition can
+        // flip on — except block-local duplicates (moved into the use block)
+        // and loop deletability (a result use sunk out of its loop).
+        crate::work::ECSE | crate::work::LD
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
@@ -903,6 +1000,13 @@ struct OperandConst(Operand);
 impl Pass for Sccp {
     fn name(&self) -> &'static str {
         "sccp"
+    }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::SCCP)
+    }
+    fn clears(&self) -> u64 {
+        // epilogue ends in an unconditional dce sweep
+        crate::work::SCCP | crate::work::DEAD
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)

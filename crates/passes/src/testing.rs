@@ -119,6 +119,31 @@ impl Pass for LyingPrecondition {
     }
 }
 
+/// A pass whose work-class model lies: [`clears`](Pass::clears) claims every
+/// work class is exhausted after it runs, yet `run` changes nothing — so any
+/// later pass the subsumption canonicalizer drops on its account can still
+/// fire. The pass itself is semantics-preserving, verifier-clean,
+/// sanitizer-clean, and even upholds its (trivial) precondition; only the
+/// subsumption soundness campaign (`citroen-analyze subsume`) can convict
+/// the false theorem, which is exactly what the regression tests use it for.
+pub struct LyingSubsumption;
+
+impl Pass for LyingSubsumption {
+    fn name(&self) -> &'static str {
+        "lying-subsumption"
+    }
+
+    fn run(&self, _m: &mut Module, _stats: &mut Stats) {}
+
+    fn clears(&self) -> u64 {
+        crate::work::ALL // the lie: "nothing can fire after me"
+    }
+
+    fn produces(&self) -> u64 {
+        0
+    }
+}
+
 /// A loop whose exit block stores a sentinel to `@out` and returns — the
 /// minimal shape [`BrokenUnroll`] miscompiles. Shared by the sanitizer and
 /// reducer tests.
@@ -133,6 +158,31 @@ pub fn victim_module() -> Module {
     let n = b.param(0);
     counted_loop_mem(&mut b, n, |_, _| {});
     b.store(I64, Operand::imm64(42), Operand::Global(g));
+    b.ret(Some(Operand::imm64(0)));
+    m.add_func(b.finish());
+    m
+}
+
+/// [`victim_module`] with the exit-block store writing a *computed* value
+/// (the loop's induction load) instead of a constant. The dropped store then
+/// dangles a value the correspondence map can still match, which is what
+/// lets the sanitizer's S7 rule localise the miscompile to a value id.
+pub fn victim_module_computed() -> Module {
+    use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+    use citroen_ir::inst::Operand;
+    use citroen_ir::module::GlobalInit;
+    use citroen_ir::types::I64;
+    let mut m = Module::new("victim_computed");
+    let g = m.add_global("out", GlobalInit::Zero(8), true);
+    let mut b = FunctionBuilder::new("main", vec![I64], Some(I64));
+    let n = b.param(0);
+    // A value with a unique dataflow fingerprint (the two induction loads
+    // collide with each other, so they cannot anchor the correspondence).
+    // Defined in the entry block, it dominates the exit — the exit block
+    // itself stays def-free so the broken unroll still fires on it.
+    let k = b.bin(citroen_ir::inst::BinOp::Mul, I64, n, Operand::imm64(7));
+    counted_loop_mem(&mut b, n, |_, _| {});
+    b.store(I64, k, Operand::Global(g));
     b.ret(Some(Operand::imm64(0)));
     m.add_func(b.finish());
     m

@@ -9,7 +9,7 @@ mod common;
 use citroen_analyze::{lint_module, reduce_module};
 use citroen_analyze::reduce::ddmin;
 use citroen_passes::manager::{o3_pipeline, CompileError, PassManager, Registry};
-use citroen_passes::testing::{victim_module, BrokenUnroll};
+use citroen_passes::testing::{victim_module, victim_module_computed, BrokenUnroll};
 use citroen_rt::rng::{Rng, SeedableRng, StdRng};
 
 /// Full registry plus the broken test-only pass appended at the end.
@@ -36,6 +36,40 @@ fn sanitizer_catches_broken_unroll_in_a_real_pipeline() {
         Err(CompileError::Sanitize { pass, violations }) => {
             assert_eq!(pass, "broken-unroll");
             assert!(!violations.is_empty());
+        }
+        Err(other) => panic!("expected a sanitizer rejection, got: {other}"),
+        Ok(_) => panic!("broken-unroll slipped past the sanitizer"),
+    }
+}
+
+#[test]
+fn sanitizer_localises_broken_unroll_to_a_value() {
+    // The tentpole's value-level bar: the unroll miscompile must not merely
+    // be caught, it must be pinned to a specific post-pass value id by one of
+    // the S6-S8 value rules, so a reproducer points at the dangling value
+    // rather than a whole function.
+    let reg = poisoned_registry();
+    let pm = sanitizing_pm(&reg);
+    let seq = reg.parse_seq("broken-unroll").unwrap();
+    match pm.compile_result(&victim_module_computed(), &seq) {
+        Err(CompileError::Sanitize { pass, violations }) => {
+            assert_eq!(pass, "broken-unroll");
+            let value_level: Vec<_> = violations
+                .iter()
+                .filter(|v| matches!(v.rule, "S6" | "S7" | "S8"))
+                .collect();
+            assert!(
+                !value_level.is_empty(),
+                "no value-level rule fired; got: {}",
+                violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
+            );
+            for v in value_level {
+                assert!(
+                    v.value.is_some(),
+                    "value-level rule {} did not localise: {v}",
+                    v.rule
+                );
+            }
         }
         Err(other) => panic!("expected a sanitizer rejection, got: {other}"),
         Ok(_) => panic!("broken-unroll slipped past the sanitizer"),
@@ -75,6 +109,28 @@ fn reducer_shrinks_broken_unroll_to_a_minimal_reproducer() {
     // The reproducer must round-trip through the printer as parseable IR.
     let text = citroen_ir::print::print_module(&reduced);
     assert!(text.contains("func"), "unprintable reproducer");
+}
+
+#[test]
+fn sanitizer_skips_provable_noops_and_counts_both_ways() {
+    // mem2reg promotes the victim's induction slot, so its first run does
+    // work (sanitize check must run); the immediate repeat is a provable
+    // no-op (unchanged fingerprint, zero stats), so the sanitizer must skip
+    // re-deriving module facts and say so in the
+    // `citroen.sanitize.{runs,skips}` counters. Telemetry is process-global
+    // and other tests in this binary also compile, so the assertions are
+    // one-sided (pollution only ever adds).
+    let reg = Registry::full();
+    let pm = sanitizing_pm(&reg);
+    let seq = reg.parse_seq("mem2reg,mem2reg").unwrap();
+    citroen_telemetry::enable();
+    pm.compile_result(&victim_module(), &seq).expect("mem2reg is clean");
+    let trace = citroen_telemetry::take_trace().expect("memory sink");
+    citroen_telemetry::disable();
+    let runs = trace.counters.get("citroen.sanitize.runs").copied().unwrap_or(0);
+    let skips = trace.counters.get("citroen.sanitize.skips").copied().unwrap_or(0);
+    assert!(runs >= 1, "first mem2reg did work, its check must run (runs={runs})");
+    assert!(skips >= 1, "repeat mem2reg is a provable no-op, must be skipped (skips={skips})");
 }
 
 #[test]

@@ -165,6 +165,17 @@ pub fn enable_stream(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// [`enable_stream`] with a byte cap per file: the stream rotates through
+/// `FILE` → `FILE.1` → `FILE.2`, keeping the most recent records and
+/// bounding disk usage at about three caps for arbitrarily long runs.
+pub fn enable_stream_capped(
+    path: impl AsRef<std::path::Path>,
+    cap: u64,
+) -> std::io::Result<()> {
+    install(Box::new(StreamSink::create_with_cap(path, Some(cap))?));
+    Ok(())
+}
+
 /// Stop recording and remove the sink (returned so callers can drain it).
 pub fn disable() -> Option<Box<dyn TelemetrySink>> {
     ENABLED.store(false, Ordering::SeqCst);

@@ -31,7 +31,7 @@ use crate::{EventRecord, SpanRecord, TelemetrySink, Trace};
 use citroen_rt::json::escape_into;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -119,6 +119,81 @@ impl Record {
     }
 }
 
+/// The writer thread's output target: the live file plus size-cap rotation
+/// bookkeeping. With a byte cap, the file is rotated shift-style before a
+/// record that would push it past the cap: `FILE.1` becomes `FILE.2`
+/// (overwriting it), the live file becomes `FILE.1`, and a fresh live file
+/// opens with its own `meta` header — so every generation parses on its own
+/// and total disk usage is bounded by ~3 × cap however long the run is.
+struct RotatingFile {
+    out: BufWriter<File>,
+    path: PathBuf,
+    /// Rotate before a record that would push the file past this many bytes.
+    cap: Option<u64>,
+    /// Bytes written to the current generation, `meta` header included.
+    written: u64,
+    /// Size of the header alone — a generation holding no records yet is
+    /// never rotated (rotating it would loop without making room).
+    header: u64,
+}
+
+impl RotatingFile {
+    fn create(path: PathBuf, cap: Option<u64>) -> io::Result<RotatingFile> {
+        let (out, header) = RotatingFile::open(&path)?;
+        Ok(RotatingFile { out, path, cap, written: header, header })
+    }
+
+    /// Create/truncate `path` and write the `meta` header line, returning
+    /// the writer and the header size.
+    fn open(path: &Path) -> io::Result<(BufWriter<File>, u64)> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        let mut header = meta_record().emit_compact();
+        header.push('\n');
+        out.write_all(header.as_bytes())?;
+        out.flush()?;
+        Ok((out, header.len() as u64))
+    }
+
+    /// The sibling path `FILE.n`.
+    fn generation(&self, n: u32) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(format!(".{n}"));
+        PathBuf::from(name)
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        let (p1, p2) = (self.generation(1), self.generation(2));
+        // `.1 -> .2` may fail only because no `.1` exists yet; the live
+        // rename and reopen below are the ones that must succeed.
+        let _ = std::fs::rename(&p1, &p2);
+        std::fs::rename(&self.path, &p1)?;
+        let (out, header) = RotatingFile::open(&self.path)?;
+        self.out = out;
+        self.written = header;
+        Ok(())
+    }
+
+    /// Write `bytes` (one or more whole JSONL lines), rotating first when a
+    /// cap is set and the write would overflow it. Records are never torn
+    /// across generations; a single record larger than the cap still goes
+    /// out in one piece.
+    fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if let Some(cap) = self.cap {
+            if self.written > self.header && self.written + bytes.len() as u64 > cap {
+                self.rotate()?;
+            }
+        }
+        self.written += bytes.len() as u64;
+        self.out.write_all(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
 /// A [`TelemetrySink`] that streams records to a JSONL file through a
 /// dedicated writer thread. Install with [`crate::install`] (or the
 /// [`crate::enable_stream`] shorthand); finish the file by dropping the sink
@@ -139,11 +214,16 @@ impl StreamSink {
     /// header line is written before this returns an `Ok`, so an empty run
     /// still yields a parseable trace.
     pub fn create(path: impl AsRef<Path>) -> io::Result<StreamSink> {
-        let file = File::create(path)?;
-        let mut out = BufWriter::new(file);
-        out.write_all(meta_record().emit_compact().as_bytes())?;
-        out.write_all(b"\n")?;
-        out.flush()?;
+        StreamSink::create_with_cap(path, None)
+    }
+
+    /// [`create`](StreamSink::create) with an optional byte cap: once the
+    /// live file would exceed `cap` bytes, it is rotated to `FILE.1`
+    /// (pushing any previous `FILE.1` to `FILE.2`) and a fresh header-bearing
+    /// file takes its place. Bounds the disk footprint of arbitrarily long
+    /// runs at roughly three caps while keeping the most recent records.
+    pub fn create_with_cap(path: impl AsRef<Path>, cap: Option<u64>) -> io::Result<StreamSink> {
+        let out = RotatingFile::create(path.as_ref().to_path_buf(), cap)?;
         let (tx, rx) = mpsc::sync_channel(CHANNEL_BOUND);
         let writer = std::thread::Builder::new()
             .name("citroen-stream-sink".into())
@@ -231,19 +311,28 @@ impl TelemetrySink for StreamSink {
 
 /// The writer thread: block for the next batch, then opportunistically
 /// drain whatever else is queued, flushing each time the channel runs dry.
-/// Each batch is serialised into one reused `String` and written with a
-/// single `write_all`. Exits when every sender is gone (sink dropped) or on
-/// the first write error (which `finish` surfaces).
-fn writer_loop(rx: Receiver<Vec<Record>>, mut out: BufWriter<File>) -> io::Result<u64> {
+/// Uncapped, each batch is serialised into one reused `String` and written
+/// with a single `write_all`; with a byte cap the records go out one at a
+/// time instead, so the rotation point is checked per record and each
+/// generation honours the cap tightly (capped streams are a debugging
+/// configuration — the extra write calls are an accepted cost there). Exits
+/// when every sender is gone (sink dropped) or on the first write error
+/// (which `finish` surfaces).
+fn writer_loop(rx: Receiver<Vec<Record>>, mut out: RotatingFile) -> io::Result<u64> {
     let mut lines = 0u64;
     let mut buf = String::with_capacity(16 * 1024);
-    let mut write_batch = |out: &mut BufWriter<File>, batch: Vec<Record>| -> io::Result<()> {
+    let capped = out.cap.is_some();
+    let mut write_batch = |out: &mut RotatingFile, batch: Vec<Record>| -> io::Result<()> {
         buf.clear();
         for rec in &batch {
             rec.write_jsonl(&mut buf);
             lines += 1;
+            if capped {
+                out.write(buf.as_bytes())?;
+                buf.clear();
+            }
         }
-        out.write_all(buf.as_bytes())
+        out.write(buf.as_bytes())
     };
     while let Ok(batch) = rx.recv() {
         write_batch(&mut out, batch)?;
@@ -322,6 +411,38 @@ mod tests {
         let t = Trace::parse_jsonl(&text).unwrap();
         assert!(t.spans.is_empty() && t.counters.is_empty());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiny_cap_rotates_and_every_generation_parses() {
+        let path = tmp("rotate.jsonl");
+        let mut sink = StreamSink::create_with_cap(&path, Some(256)).unwrap();
+        for i in 0..200u64 {
+            sink.record_value("spin", i);
+        }
+        assert_eq!(sink.finish().unwrap(), 200);
+        drop(sink);
+
+        // The live file and both rotated generations exist, each starts with
+        // its own meta header (parses standalone), and each honours the cap.
+        let mut survivors = 0u64;
+        for p in [path.clone(), suffixed(&path, 1), suffixed(&path, 2)] {
+            let text = std::fs::read_to_string(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            assert!(text.len() as u64 <= 256, "{}: {} bytes over cap", p.display(), text.len());
+            let t = Trace::parse_jsonl(&text).unwrap();
+            survivors += t.hists.get("spin").map_or(0, |h| h.count);
+            std::fs::remove_file(&p).ok();
+        }
+        // Rotation keeps only the newest generations: some records survive,
+        // most of the 200 are gone.
+        assert!(survivors > 0 && survivors < 200, "survivors: {survivors}");
+    }
+
+    fn suffixed(p: &std::path::Path, n: u32) -> std::path::PathBuf {
+        let mut name = p.as_os_str().to_os_string();
+        name.push(format!(".{n}"));
+        std::path::PathBuf::from(name)
     }
 
     #[test]

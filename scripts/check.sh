@@ -24,6 +24,12 @@
 #      be bit-identical, and the q=4 wall clock must beat q=1 by the
 #      pinned floor (3x on >=4 worker threads, 1.5x below that)
 #      (`micro --batch-gate`)
+#   8. the subsumption gate: a >=100-trial `citroen-analyze subsume` smoke
+#      campaign replaying the canonicalizer's drop decisions (every
+#      predicted drop executed and checked as a behavioural no-op, exit 1
+#      on any violation), then a q=4 batched tuning run with
+#      subsume-collapse on and the S1-S8 sanitizer armed end to end
+#      (CITROEN_SANITIZE=1)
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
@@ -64,5 +70,10 @@ timeout 300 ./target/release/micro --stream-gate
 
 echo "== batched loop: determinism + wall-clock speedup gate"
 timeout 300 ./target/release/micro --batch-gate
+
+echo "== subsumption: drop-soundness campaign + sanitized collapsed run"
+timeout 60 ./target/release/citroen-analyze subsume --modules 10 --seqs 10
+CITROEN_SANITIZE=1 timeout 120 ./target/release/citroen-trace record \
+    --bench telecom_gsm --budget 6 --batch 4 --subsume --seed 9 > /dev/null
 
 echo "== tier-1 gate passed"

@@ -8,6 +8,13 @@
 //!   (every `CannotFire` verdict is executed and must change nothing), then
 //!   derive the static pass-interaction graph over the shipped suite and
 //!   emit it as JSON on stdout.
+//! * **subsume** (`subsume`): soundness-fuzz the work-class subsumption
+//!   matrix — replay random sequences simulating the canonicalizer's
+//!   absent-work dataflow and execute every predicted drop, which must be a
+//!   behavioural no-op.
+//! * **validate** (`validate`): run the shipped benchmark suite through the
+//!   `-O3` pipeline with the per-pass translation-validation sanitizer armed
+//!   (S1–S8, value-level included) and report any contradiction.
 //! * **fuzz** (default, `--smoke` for the 30-second tier-1 budget): random
 //!   generated modules × random pass sequences through the verifier, the
 //!   sanitizer, and an interpreter differential, delta-debugging any failure
@@ -16,7 +23,7 @@
 //! Exits non-zero iff a failure, an oracle violation, or (in lint mode) any
 //! diagnostic was found.
 
-use citroen::fuzz::{run_campaign, run_oracle_campaign, FuzzConfig};
+use citroen::fuzz::{run_campaign, run_oracle_campaign, run_subsumption_campaign, FuzzConfig};
 use citroen_analyze::{filter_severity, lint_module, Severity};
 use citroen_passes::manager::{o3_pipeline, PassManager, Registry};
 
@@ -26,12 +33,20 @@ citroen-analyze — dataflow lints, precondition oracle + fuzzing
 USAGE:
     citroen-analyze [--smoke | --modules N --seqs N --max-len N --seed S]
     citroen-analyze oracle [--smoke] [--modules N --seqs N --max-len N --seed S]
+    citroen-analyze subsume [--smoke] [--modules N --seqs N --max-len N --seed S]
+    citroen-analyze validate
     citroen-analyze --lint [--o3] [--errors-only] [--ir FILE]
 
 MODES:
     (default)        fuzz campaign (20 modules x 10 sequences)
     oracle           soundness-fuzz pass preconditions (25 x 20 = 500 trials),
                      then emit the pass-interaction graph as JSON on stdout
+    subsume          soundness-fuzz the work-class subsumption matrix
+                     (25 x 20 = 500 trials): every drop the sequence
+                     canonicalizer would take is executed and must change
+                     nothing
+    validate         run the shipped suite through -O3 with the S1-S8
+                     translation-validation sanitizer armed
     --smoke          tiny deterministic campaign (tier-1 gate, <30s)
     --lint           lint the shipped benchmark suite
     --o3             lint after the -O3 pipeline instead of the source IR
@@ -67,10 +82,13 @@ fn main() {
     let mut cfg = FuzzConfig::default();
     let (mut lint, mut o3, mut errors_only, mut smoke) = (false, false, false, false);
     let (mut oracle, mut with_lying, mut explicit_size) = (false, false, false);
+    let (mut subsume, mut validate, mut with_broken) = (false, false, false);
     let mut ir_file: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "oracle" => oracle = true,
+            "subsume" => subsume = true,
+            "validate" => validate = true,
             "--lint" => lint = true,
             "--o3" => o3 = true,
             "--errors-only" => errors_only = true,
@@ -81,6 +99,9 @@ fn main() {
             // Test-only: spike the registry with the deliberately lying pass
             // to prove the soundness campaign catches it (hence not in USAGE).
             "--with-lying" => with_lying = true,
+            // Test-only: append the miscompiling unroll to the -O3 pipeline
+            // so `validate` demonstrates value-level localisation.
+            "--with-broken" => with_broken = true,
             "--modules" => {
                 cfg.modules = parse_num(&mut args, "--modules") as usize;
                 explicit_size = true;
@@ -108,14 +129,20 @@ fn main() {
             None => std::process::exit(lint_suite(o3, errors_only)),
         }
     }
-    if oracle {
+    if oracle || subsume {
         if !smoke && !explicit_size {
             // The tentpole's acceptance bar: ≥500 executed module × sequence
             // soundness trials per default run.
             cfg.modules = 25;
             cfg.seqs_per_module = 20;
         }
+        if subsume {
+            std::process::exit(subsume_mode(&cfg, with_lying));
+        }
         std::process::exit(oracle_mode(&cfg, smoke, with_lying));
+    }
+    if validate {
+        std::process::exit(validate_mode(with_broken));
     }
     std::process::exit(fuzz(&cfg));
 }
@@ -216,6 +243,114 @@ fn oracle_mode(cfg: &FuzzConfig, smoke: bool, with_lying: bool) -> i32 {
     println!("{}", graph.to_json());
 
     i32::from(!report.violations.is_empty())
+}
+
+/// Subsume mode: print every statically claimed subsumption edge, then
+/// soundness-fuzz the whole work-class model by replaying random sequences
+/// and executing every drop the canonicalizer would have taken.
+fn subsume_mode(cfg: &FuzzConfig, with_lying: bool) -> i32 {
+    let reg = if with_lying {
+        let mut passes = citroen_passes::passes::all_passes();
+        passes.push(Box::new(citroen_passes::testing::LyingSubsumption));
+        Registry::from_passes(passes)
+    } else {
+        Registry::full()
+    };
+
+    let model = citroen_passes::oracle::work_model(&reg);
+    let names = reg.names();
+    let pairs = model.subsumed_pairs();
+    eprintln!("citroen-analyze subsume: {} claimed edge(s) (p subsumes q):", pairs.len());
+    for &(p, q) in &pairs {
+        eprintln!("    {} -> {}", names[p], names[q]);
+    }
+    eprintln!(
+        "citroen-analyze subsume: {} modules x {} sequences (max len {}, seed {:#x})",
+        cfg.modules, cfg.seqs_per_module, cfg.max_seq_len, cfg.seed
+    );
+    let report = run_subsumption_campaign(cfg, &reg, |line| eprintln!("{line}"));
+    for v in &report.violations {
+        eprintln!(
+            "\n=== subsumption violation: {} (module seed {:#x}) ===",
+            v.pass, v.module_seed
+        );
+        eprintln!("detail:           {}", v.detail);
+        eprintln!("sequence:         {}", v.seq);
+        eprintln!("reduced sequence: {}", v.reduced_seq);
+        eprintln!("reduced module:\n{}", v.reduced_ir);
+    }
+    eprintln!(
+        "citroen-analyze subsume: {} trial(s), {} predicted drop(s) executed \
+         ({} positions simulated), {} violation(s)",
+        report.trials,
+        report.checked_drops,
+        report.positions,
+        report.violations.len()
+    );
+    i32::from(!report.violations.is_empty())
+}
+
+/// Validate mode: compile every shipped benchmark with `-O3` under the
+/// armed sanitizer; each pass's pre/post facts are cross-checked at both
+/// function (S1–S5) and value (S6–S8) granularity, so a structurally valid
+/// miscompile is localised to the offending pass and value.
+fn validate_mode(with_broken: bool) -> i32 {
+    let reg = if with_broken {
+        let mut passes = citroen_passes::passes::all_passes();
+        passes.push(Box::new(citroen_passes::testing::BrokenUnroll));
+        Registry::from_passes(passes)
+    } else {
+        Registry::full()
+    };
+    let mut pm = PassManager::new(&reg);
+    pm.sanitize = true;
+    let mut seq = o3_pipeline(&reg);
+    if with_broken {
+        // Prepend: the miscompile needs the source IR's store-then-ret loop
+        // exits, which -O3 itself rewrites away.
+        seq.insert(0, reg.by_name("broken-unroll").expect("spiked registry"));
+    }
+
+    let mut modules: Vec<(String, citroen_ir::Module)> = citroen_suite::cbench()
+        .into_iter()
+        .chain(citroen_suite::spec())
+        .map(|b| (b.name.to_string(), b.link()))
+        .collect();
+    if with_broken {
+        // The shipped suite never has the exact trigger shape, so add the
+        // module that does — the run should end with the miscompile pinned
+        // to the pass and the dangling value id.
+        modules.push(("victim_computed".to_string(), citroen_passes::testing::victim_module_computed()));
+    }
+
+    let mut dirty = 0usize;
+    for (name, m) in &modules {
+        let bench = name.as_str();
+        match pm.compile_result(m, &seq) {
+            Ok(_) => println!("citroen-analyze validate: {bench}: ok"),
+            Err(citroen_passes::manager::CompileError::Sanitize { pass, violations }) => {
+                dirty += 1;
+                for v in &violations {
+                    let at = v
+                        .value
+                        .map(|id| format!(" (value %{id})"))
+                        .unwrap_or_default();
+                    println!("citroen-analyze validate: {bench}: pass '{pass}': {v}{at}");
+                }
+            }
+            Err(citroen_passes::manager::CompileError::Verify { pass, errors }) => {
+                dirty += 1;
+                for e in &errors {
+                    println!("citroen-analyze validate: {bench}: pass '{pass}': verifier: {e}");
+                }
+            }
+        }
+    }
+    println!(
+        "citroen-analyze validate: {dirty} miscompiled benchmark(s) under -O3 with the \
+         sanitizer armed"
+    );
+    i32::from(dirty > 0)
 }
 
 fn fuzz(cfg: &FuzzConfig) -> i32 {

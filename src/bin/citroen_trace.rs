@@ -29,8 +29,9 @@ const USAGE: &str = "\
 citroen-trace — telemetry capture and trace analysis
 
 USAGE:
-    citroen-trace record [--out FILE | --stream-out FILE] [--bench NAME]
-                         [--budget N] [--seq-len N] [--seed S] [--oracle]
+    citroen-trace record [--out FILE | --stream-out FILE [--stream-cap N]]
+                         [--bench NAME] [--budget N] [--seq-len N] [--seed S]
+                         [--oracle] [--subsume] [--batch Q]
     citroen-trace show FILE [--top N]
     citroen-trace check FILE [--min-coverage F]
     citroen-trace diff OLD NEW
@@ -60,6 +61,10 @@ RECORD OPTIONS:
     --seq-len N      pass-sequence length         [default: 16]
     --seed S         tuner seed                   [default: 1]
     --oracle         enable oracle pruning (canonicalizer counters)
+    --subsume        enable work-class subsumption collapse
+    --batch Q        batched measurement lookahead        [default: 1]
+    --stream-cap N   rotate the JSONL stream at ~N bytes per file, keeping
+                     FILE.1 and FILE.2 (disk bounded at ~3 caps)
 
 REGRESS OPTIONS:
     --threshold PCT  max tolerated increase, percent   [default: 25]
@@ -112,24 +117,31 @@ fn main() {
 fn record(mut args: std::env::Args) {
     let (mut out, mut bench) = (None::<String>, "telecom_gsm".to_string());
     let mut stream_out = None::<String>;
+    let mut stream_cap = None::<u64>;
     let (mut budget, mut seq_len, mut seed) = (12usize, 16usize, 1u64);
-    let mut oracle = false;
+    let (mut oracle, mut subsume, mut batch) = (false, false, 1usize);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = Some(args.next().unwrap_or_else(|| die("--out needs a file"))),
             "--stream-out" => {
                 stream_out = Some(args.next().unwrap_or_else(|| die("--stream-out needs a file")))
             }
+            "--stream-cap" => stream_cap = Some(parse_num(&mut args, "--stream-cap")),
             "--bench" => bench = args.next().unwrap_or_else(|| die("--bench needs a name")),
             "--budget" => budget = parse_num(&mut args, "--budget") as usize,
             "--seq-len" => seq_len = parse_num(&mut args, "--seq-len") as usize,
             "--seed" => seed = parse_num(&mut args, "--seed"),
             "--oracle" => oracle = true,
+            "--subsume" => subsume = true,
+            "--batch" => batch = parse_num(&mut args, "--batch") as usize,
             other => die(&format!("record: unknown argument '{other}'")),
         }
     }
     if out.is_some() && stream_out.is_some() {
         die("record: --out and --stream-out are mutually exclusive");
+    }
+    if stream_cap.is_some() && stream_out.is_none() {
+        die("record: --stream-cap only applies with --stream-out");
     }
     let b = citroen_suite::all_benchmarks()
         .into_iter()
@@ -141,8 +153,12 @@ fn record(mut args: std::env::Args) {
         });
 
     match &stream_out {
-        Some(path) => telemetry::enable_stream(path)
-            .unwrap_or_else(|e| die(&format!("cannot stream to '{path}': {e}"))),
+        Some(path) => match stream_cap {
+            Some(cap) => telemetry::enable_stream_capped(path, cap)
+                .unwrap_or_else(|e| die(&format!("cannot stream to '{path}': {e}"))),
+            None => telemetry::enable_stream(path)
+                .unwrap_or_else(|e| die(&format!("cannot stream to '{path}': {e}"))),
+        },
         None => telemetry::enable(),
     }
     let mut task = Task::new(
@@ -155,6 +171,8 @@ fn record(mut args: std::env::Args) {
         candidates: 24,
         init_random: 6,
         oracle_prune: oracle,
+        subsume_collapse: subsume,
+        batch,
         seed,
         ..Default::default()
     };

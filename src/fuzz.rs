@@ -312,6 +312,154 @@ pub fn run_oracle_campaign(
     report
 }
 
+// ---------------------------------------------------------------------------
+// Subsumption soundness campaign
+// ---------------------------------------------------------------------------
+
+/// A contradicted subsumption drop, reduced to a small reproducer.
+#[derive(Debug, Clone)]
+pub struct SubsumptionViolation {
+    /// Name of the pass that was predicted subsumed but fired anyway. The
+    /// false claim lives in the *kept prefix* (an overstated `clears` or an
+    /// understated `produces`/`fires_on`); the reduced sequence exposes the
+    /// offending pair.
+    pub pass: String,
+    /// Seed of the generated module that exposed the false theorem.
+    pub module_seed: u64,
+    /// The original sequence under which the drop was predicted.
+    pub seq: String,
+    /// The ddmin-minimised sequence that still predicts a firing drop.
+    pub reduced_seq: String,
+    /// The reduced module, printed as parseable IR.
+    pub reduced_ir: String,
+    /// What the theorem check observed (fingerprint change / stats).
+    pub detail: String,
+}
+
+/// Subsumption campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct SubsumptionReport {
+    /// Module × sequence trials executed.
+    pub trials: usize,
+    /// Predicted drops that were executed and checked.
+    pub checked_drops: u64,
+    /// Pass applications simulated in total.
+    pub positions: u64,
+    /// Reduced violations, in discovery order.
+    pub violations: Vec<SubsumptionViolation>,
+}
+
+/// Replay `seq` on (a clone of) `m`, running the *same* absent-work dataflow
+/// the [`SeqCanonicalizer`](citroen_bo::SeqCanonicalizer) runs — `maybe`
+/// starts all-ones and each kept pass applies `(maybe | produces) & !clears`
+/// — and executing every pass the canonicalizer would have dropped: a
+/// predicted drop must leave the fingerprint unchanged and record zero
+/// statistics. Dropped passes do not advance the dataflow (they provably
+/// changed nothing), mirroring the canonicalizer exactly. Returns the first
+/// contradiction as `(pass name, detail)`.
+fn subsumption_replay(
+    reg: &Registry,
+    m: &Module,
+    seq: &[PassId],
+    mut counters: Option<(&mut u64, &mut u64)>,
+) -> Option<(String, String)> {
+    let fires = reg.fires_on();
+    let clears = reg.clears();
+    let produces = reg.produces();
+    let mut cur = m.clone();
+    let mut maybe = u64::MAX;
+    for &id in seq {
+        let pass = reg.pass(id);
+        let i = id.0 as usize;
+        if let Some((_, positions)) = counters.as_mut() {
+            **positions += 1;
+        }
+        let predicted = fires[i].is_some_and(|f| f & maybe == 0);
+        let before = predicted.then(|| citroen_ir::print::fingerprint(&cur));
+        let mut stats = citroen_passes::Stats::new();
+        pass.run(&mut cur, &mut stats);
+        if let Some(before_fp) = before {
+            if let Some((checked, _)) = counters.as_mut() {
+                **checked += 1;
+            }
+            if citroen_ir::print::fingerprint(&cur) != before_fp {
+                return Some((
+                    pass.name().to_string(),
+                    "predicted-subsumed pass changed the module fingerprint".to_string(),
+                ));
+            }
+            if !stats.is_empty() {
+                return Some((
+                    pass.name().to_string(),
+                    format!("predicted-subsumed pass recorded stats: {}", stats.keys().join(", ")),
+                ));
+            }
+            // A verified no-op: like the canonicalizer, leave `maybe` as-is.
+        } else {
+            maybe = (maybe | produces[i]) & !clears[i];
+        }
+    }
+    None
+}
+
+/// Soundness-fuzz the work-class subsumption matrix: random generated modules
+/// × random sequences, simulating the canonicalizer's absent-work dataflow on
+/// an evolving module and executing every predicted drop as a no-op theorem.
+/// This exercises all three mask claims at once — `fires_on` (the no-op
+/// certificate), `clears` (the postcondition), and `produces` (the frame
+/// condition) — in exactly the composition the search uses them. Violations
+/// are delta-debugged (sequence ddmin pinned to the same predicted-dropped
+/// pass, then module reduction) before being reported.
+pub fn run_subsumption_campaign(
+    cfg: &FuzzConfig,
+    reg: &Registry,
+    mut progress: impl FnMut(&str),
+) -> SubsumptionReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = SubsumptionReport::default();
+
+    for mi in 0..cfg.modules {
+        let module_seed: u64 = rng.gen();
+        let gen_cfg = varied_config(&mut rng);
+        let module = generate(module_seed, &gen_cfg);
+        progress(&format!(
+            "subsume module {}/{} (seed {module_seed:#x}, {} insts)",
+            mi + 1,
+            cfg.modules,
+            module.num_insts()
+        ));
+        for _ in 0..cfg.seqs_per_module {
+            report.trials += 1;
+            let len = rng.gen_range(1..=cfg.max_seq_len);
+            let seq: Vec<PassId> =
+                (0..len).map(|_| reg.ids()[rng.gen_range(0..reg.len())]).collect();
+            let counters = (&mut report.checked_drops, &mut report.positions);
+            let Some((pass, detail)) = subsumption_replay(reg, &module, &seq, Some(counters))
+            else {
+                continue;
+            };
+            progress(&format!("  SUBSUMPTION VIOLATION ({pass}) — reducing"));
+
+            // Pin reduction to the same predicted-dropped pass so it cannot
+            // drift to an unrelated (hypothetical) second false claim.
+            let still_fires = |reg: &Registry, m: &Module, s: &[PassId]| {
+                subsumption_replay(reg, m, s, None).is_some_and(|(p, _)| p == pass)
+            };
+            let min_seq = ddmin(&seq, |s| still_fires(reg, &module, s));
+            let reduced = reduce_module(&module, |m| still_fires(reg, m, &min_seq));
+            report.violations.push(SubsumptionViolation {
+                pass: pass.clone(),
+                module_seed,
+                seq: reg.seq_to_string(&seq),
+                reduced_seq: reg.seq_to_string(&min_seq),
+                reduced_ir: citroen_ir::print::print_module(&reduced),
+                detail,
+            });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +503,62 @@ mod tests {
     }
 
     #[test]
+    fn subsumption_smoke_campaign_is_clean() {
+        // Every claimed work-class theorem (fires_on/clears/produces of the
+        // shipped registry) must survive a small deterministic campaign; the
+        // full 500-trial version runs via `citroen-analyze subsume`.
+        let cfg = FuzzConfig { modules: 6, seqs_per_module: 5, max_seq_len: 12, seed: 7 };
+        let report = run_subsumption_campaign(&cfg, &Registry::full(), |_| {});
+        assert_eq!(report.trials, 30);
+        // Vacuity guard: the campaign only proves something if drops were
+        // actually predicted and executed.
+        assert!(
+            report.checked_drops > 0,
+            "no drops predicted over {} positions — matrix too weak to test",
+            report.positions
+        );
+        for v in &report.violations {
+            panic!(
+                "subsumption violation: pass '{}' ({}) seed {:#x}\n  seq: {}\n  reduced: {}\n{}",
+                v.pass, v.detail, v.module_seed, v.seq, v.reduced_seq, v.reduced_ir
+            );
+        }
+    }
+
+    #[test]
+    fn subsumption_campaign_convicts_lying_clears() {
+        // A registry spiked with the pass that claims `clears == ALL` while
+        // doing nothing must produce violations, and ddmin must shrink every
+        // reproducer to the lie plus the one pass it falsely subsumed.
+        let mut passes = citroen_passes::passes::all_passes();
+        passes.push(Box::new(citroen_passes::testing::LyingSubsumption));
+        let reg = Registry::from_passes(passes);
+        let cfg = FuzzConfig { modules: 3, seqs_per_module: 8, max_seq_len: 16, seed: 28 };
+        let report = run_subsumption_campaign(&cfg, &reg, |_| {});
+        assert!(
+            !report.violations.is_empty(),
+            "the lying clears claim must be caught ({} trials)",
+            report.trials
+        );
+        for v in &report.violations {
+            let parts: Vec<&str> = v.reduced_seq.split(',').collect();
+            assert_eq!(
+                parts.first().copied(),
+                Some("lying-subsumption"),
+                "reduction must pin the lie first: {}",
+                v.reduced_seq
+            );
+            assert_eq!(
+                parts.len(),
+                2,
+                "minimal reproducer is the lie plus its victim: {}",
+                v.reduced_seq
+            );
+            assert!(!v.reduced_ir.is_empty());
+        }
+    }
+
+    #[test]
     fn oracle_campaign_convicts_lying_precondition() {
         // A registry spiked with the deliberately lying pass must produce
         // violations, and ddmin must reduce each reproducer to the lie alone.
@@ -380,3 +584,4 @@ mod tests {
         }
     }
 }
+
