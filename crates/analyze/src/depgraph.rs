@@ -1,0 +1,481 @@
+//! Per-loop memory dependence graphs over the alias relation.
+//!
+//! For every natural loop of a function this module classifies each pair of
+//! in-loop memory references (loads, stores, non-`readnone` calls) as
+//! **loop-independent** (the references can touch the same bytes within one
+//! iteration) or **loop-carried** (a reference in iteration *k* can touch
+//! bytes a reference reads or writes in iteration *k' ≠ k*), or provably
+//! neither. The two directions need different proofs:
+//!
+//! - *Same-iteration* queries compare two addresses in a single execution
+//!   state, so the full [`AliasAnalysis`] relation applies (SSA atoms denote
+//!   the same runtime values on both sides).
+//! - *Cross-iteration* queries compare addresses from different states, so
+//!   only iteration-independent facts count: distinct in-bounds roots
+//!   (globals are laid out disjointly, allocas never share bytes), offset
+//!   *intervals* (sound over every execution), and symbolic decompositions
+//!   whose atoms are all defined outside the loop (the address re-evaluates
+//!   identically each iteration).
+//!
+//! Calls are handled conservatively through the [`MemEffects`] summaries:
+//! a call depends on an access to global `g` only if its callee's transitive
+//! summary may touch `g` (or touches unattributable memory); call/call pairs
+//! are independent when their touched-global sets cannot interfere. A callee
+//! that could reach a caller alloca through an escaped pointer necessarily
+//! carries the `*_unknown` effect (the address classifies as ⊤ inside the
+//! callee), so stack-rooted accesses are safe against summarised calls.
+
+use crate::alias::{AliasAnalysis, AliasResult, SymAddr};
+use crate::intervals::ModuleIntervals;
+use crate::memeffects::{MemEffects, ModuleEffects, Root};
+use citroen_ir::analysis::{Cfg, DomTree, LoopInfo};
+use citroen_ir::inst::{Inst, Operand};
+use citroen_ir::module::Module;
+
+/// Kind of memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefKind {
+    /// A `load`.
+    Load,
+    /// A `store`.
+    Store,
+    /// A call that may touch memory.
+    Call,
+}
+
+/// One in-loop memory reference.
+#[derive(Debug, Clone)]
+pub struct MemRef {
+    /// Block index containing the reference.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Load, store or call.
+    pub kind: RefKind,
+    /// The address operand (loads and stores).
+    pub addr: Option<Operand>,
+    /// Access width in bytes (loads and stores).
+    pub bytes: u32,
+    /// Whether the reference may write memory.
+    pub is_write: bool,
+    /// Callee index for calls.
+    pub callee: Option<usize>,
+}
+
+/// A dependence between two references (indices into [`LoopDepGraph::refs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// First reference.
+    pub a: usize,
+    /// Second reference (`a == b` encodes a self-dependence across iterations).
+    pub b: usize,
+    /// Whether the dependence crosses iterations.
+    pub carried: bool,
+    /// Whether the two references provably touch the same start address.
+    pub must: bool,
+}
+
+/// Dependence graph of one natural loop.
+#[derive(Debug, Clone)]
+pub struct LoopDepGraph {
+    /// Header block index.
+    pub header: usize,
+    /// Block indices forming the loop body (header included).
+    pub blocks: Vec<usize>,
+    /// In-loop memory references.
+    pub refs: Vec<MemRef>,
+    /// Dependences that could not be disproven.
+    pub deps: Vec<Dep>,
+}
+
+impl LoopDepGraph {
+    /// Whether reference `r` participates in any loop-carried dependence.
+    pub fn has_carried_dep(&self, r: usize) -> bool {
+        self.deps.iter().any(|d| d.carried && (d.a == r || d.b == r))
+    }
+
+    /// Whether the loop has any loop-carried memory dependence at all.
+    pub fn any_carried(&self) -> bool {
+        self.deps.iter().any(|d| d.carried)
+    }
+}
+
+/// Whether a summarised call may write observable memory.
+fn call_writes(eff: &MemEffects) -> bool {
+    eff.writes_unknown || !eff.may_write.is_empty()
+}
+
+/// Whether a summarised call may interfere with an access to byte indices
+/// `[lo, hi]` of global `g` (`write_needed`: the access is a load, so only
+/// callee writes matter). Uses the per-allocation-site refinement: a callee
+/// that only ever touches a disjoint slice of `g` does not interfere.
+fn call_touches_global(eff: &MemEffects, g: u32, lo: i128, hi: i128, write_needed: bool) -> bool {
+    if write_needed {
+        !eff.cannot_write_range(g, lo, hi)
+    } else {
+        !(eff.cannot_write_range(g, lo, hi) && eff.cannot_read_range(g, lo, hi))
+    }
+}
+
+/// Build the dependence graphs of every natural loop of function `fidx`.
+pub fn loop_dep_graphs(
+    m: &Module,
+    fidx: usize,
+    iv: &ModuleIntervals,
+    eff: &ModuleEffects,
+) -> Vec<LoopDepGraph> {
+    let f = &m.funcs[fidx];
+    if f.is_decl() {
+        return Vec::new();
+    }
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let li = LoopInfo::compute(f, &cfg, &dom);
+    let aa = AliasAnalysis::new(m, f, &iv.funcs[fidx]);
+
+    li.loops
+        .iter()
+        .map(|l| {
+            let blocks: Vec<usize> = l.blocks.iter().map(|b| b.idx()).collect();
+            let mut refs = Vec::new();
+            for &bi in &blocks {
+                for (ii, inst) in f.blocks[bi].insts.iter().enumerate() {
+                    match inst {
+                        Inst::Load { dst, addr } => refs.push(MemRef {
+                            block: bi,
+                            inst: ii,
+                            kind: RefKind::Load,
+                            addr: Some(*addr),
+                            bytes: f.ty(*dst).bytes(),
+                            is_write: false,
+                            callee: None,
+                        }),
+                        Inst::Store { ty, addr, .. } => refs.push(MemRef {
+                            block: bi,
+                            inst: ii,
+                            kind: RefKind::Store,
+                            addr: Some(*addr),
+                            bytes: ty.bytes(),
+                            is_write: true,
+                            callee: None,
+                        }),
+                        Inst::Call { callee, .. } => {
+                            let ce = &eff.funcs[callee.idx()];
+                            let touches = call_writes(ce)
+                                || ce.reads_unknown
+                                || !ce.may_read.is_empty();
+                            if touches {
+                                refs.push(MemRef {
+                                    block: bi,
+                                    inst: ii,
+                                    kind: RefKind::Call,
+                                    addr: None,
+                                    bytes: 0,
+                                    is_write: call_writes(ce),
+                                    callee: Some(callee.idx()),
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            let syms: Vec<Option<SymAddr>> =
+                refs.iter().map(|r| r.addr.as_ref().map(|a| aa.symbolic(a))).collect();
+            let mut deps = Vec::new();
+            for i in 0..refs.len() {
+                for j in i..refs.len() {
+                    let (ri, rj) = (&refs[i], &refs[j]);
+                    if !ri.is_write && !rj.is_write {
+                        continue; // read/read pairs never constrain anything
+                    }
+                    // Same-iteration (loop-independent) direction; a reference
+                    // trivially "overlaps itself", so only i != j is a fact.
+                    if i != j {
+                        if let Some((carried_false_must, dep)) =
+                            same_iteration(m, eff, &aa, ri, rj)
+                        {
+                            if dep {
+                                deps.push(Dep {
+                                    a: i,
+                                    b: j,
+                                    carried: false,
+                                    must: carried_false_must,
+                                });
+                            }
+                        }
+                    }
+                    // Cross-iteration (loop-carried) direction.
+                    if let Some((must, dep)) =
+                        cross_iteration(m, eff, &aa, &blocks, ri, &syms[i], rj, &syms[j])
+                    {
+                        if dep {
+                            deps.push(Dep { a: i, b: j, carried: true, must });
+                        }
+                    }
+                }
+            }
+            LoopDepGraph { header: l.header.idx(), blocks, refs, deps }
+        })
+        .collect()
+}
+
+/// Same-iteration interference test. Returns `Some((must, dep))`.
+fn same_iteration(
+    m: &Module,
+    eff: &ModuleEffects,
+    aa: &AliasAnalysis<'_>,
+    ri: &MemRef,
+    rj: &MemRef,
+) -> Option<(bool, bool)> {
+    match (ri.kind, rj.kind) {
+        (RefKind::Call, RefKind::Call) => {
+            let (ci, cj) = (&eff.funcs[ri.callee?], &eff.funcs[rj.callee?]);
+            Some((false, calls_interfere(ci, cj)))
+        }
+        (RefKind::Call, _) | (_, RefKind::Call) => {
+            let (call, acc) = if ri.kind == RefKind::Call { (ri, rj) } else { (rj, ri) };
+            let ce = &eff.funcs[call.callee?];
+            Some((false, call_vs_access(m, aa, ce, acc)))
+        }
+        _ => {
+            let (a, b) = (ri.addr?, rj.addr?);
+            match aa.alias(&a, ri.bytes, &b, rj.bytes) {
+                AliasResult::No => Some((false, false)),
+                AliasResult::May => Some((false, true)),
+                AliasResult::Must => Some((true, true)),
+            }
+        }
+    }
+}
+
+/// Whether two summarised calls can interfere.
+fn calls_interfere(ci: &MemEffects, cj: &MemEffects) -> bool {
+    if !ci.may_write.is_empty() || !cj.may_write.is_empty() {
+        // Refine: disjoint touched-global sets with no unknown components
+        // cannot interfere.
+        if ci.writes_unknown || cj.writes_unknown || ci.reads_unknown || cj.reads_unknown {
+            return true;
+        }
+        let wi_rj = ci.may_write.iter().any(|g| cj.may_read.contains(g) || cj.may_write.contains(g));
+        let wj_ri = cj.may_write.iter().any(|g| ci.may_read.contains(g) || ci.may_write.contains(g));
+        return wi_rj || wj_ri;
+    }
+    // Neither writes observable memory; reads commute.
+    ci.writes_unknown || cj.writes_unknown
+}
+
+/// Whether a summarised call can interfere with a direct access.
+fn call_vs_access(
+    m: &Module,
+    aa: &AliasAnalysis<'_>,
+    ce: &MemEffects,
+    acc: &MemRef,
+) -> bool {
+    let Some(addr) = acc.addr else { return true };
+    let write_needed = !acc.is_write; // the access reads: only callee writes hurt
+    let ca = aa.classify(&addr);
+    match ca.root {
+        Root::Global(g)
+            if (g as usize) < m.globals.len()
+                && !ca.offset.is_bottom()
+                && ca.offset.lo >= 0
+                && ca.offset.hi + acc.bytes as i128
+                    <= m.globals[g as usize].init.bytes() as i128 =>
+        {
+            call_touches_global(
+                ce,
+                g,
+                ca.offset.lo,
+                ca.offset.hi + acc.bytes as i128 - 1,
+                write_needed,
+            )
+        }
+        Root::Stack(_) if !ca.offset.is_bottom() && ca.offset.lo >= 0 => {
+            // A callee reaching this frame's allocas must have an
+            // unattributable (⊤) effect in its summary.
+            if write_needed {
+                ce.writes_unknown
+            } else {
+                ce.writes_unknown || ce.reads_unknown
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Cross-iteration interference test. Returns `Some((must, dep))`; `must`
+/// marks a dependence on provably the *same* address every iteration.
+#[allow(clippy::too_many_arguments)]
+fn cross_iteration(
+    m: &Module,
+    eff: &ModuleEffects,
+    aa: &AliasAnalysis<'_>,
+    blocks: &[usize],
+    ri: &MemRef,
+    si: &Option<SymAddr>,
+    rj: &MemRef,
+    sj: &Option<SymAddr>,
+) -> Option<(bool, bool)> {
+    match (ri.kind, rj.kind) {
+        (RefKind::Call, RefKind::Call) => {
+            let (ci, cj) = (&eff.funcs[ri.callee?], &eff.funcs[rj.callee?]);
+            Some((false, calls_interfere(ci, cj)))
+        }
+        (RefKind::Call, _) | (_, RefKind::Call) => {
+            let (call, acc) = if ri.kind == RefKind::Call { (ri, rj) } else { (rj, ri) };
+            let ce = &eff.funcs[call.callee?];
+            Some((false, call_vs_access(m, aa, ce, acc)))
+        }
+        _ => {
+            let (a, b) = (ri.addr?, rj.addr?);
+            let (ca, cb) = (aa.classify(&a), aa.classify(&b));
+
+            // Root disjointness and offset intervals are facts about *every*
+            // execution, so they rule out cross-iteration overlap too. The
+            // symbolic argument only transfers when every atom is defined
+            // outside the loop (the address is the same bytes each iteration).
+            let invariant = match (si, sj) {
+                (Some(x), Some(y)) => {
+                    x.terms == y.terms
+                        && aa.atoms_invariant_outside(x, blocks)
+                        && aa.atoms_invariant_outside(y, blocks)
+                }
+                _ => false,
+            };
+            if invariant {
+                let (x, y) = (si.as_ref().unwrap(), sj.as_ref().unwrap());
+                let d = (x.offset as u64).wrapping_sub(y.offset as u64);
+                if d == 0 {
+                    return Some((true, true));
+                }
+                if d >= rj.bytes as u64 && d.wrapping_neg() >= ri.bytes as u64 {
+                    return Some((false, false));
+                }
+                return Some((false, true));
+            }
+
+            let in_b = |c: &crate::memeffects::Access, bytes: u32| match c.root {
+                Root::Global(g) => {
+                    (g as usize) < m.globals.len()
+                        && !c.offset.is_bottom()
+                        && c.offset.lo >= 0
+                        && c.offset.hi + bytes as i128
+                            <= m.globals[g as usize].init.bytes() as i128
+                }
+                _ => false,
+            };
+            let stack_fwd = |c: &crate::memeffects::Access| {
+                matches!(c.root, Root::Stack(_)) && !c.offset.is_bottom() && c.offset.lo >= 0
+            };
+            let independent = match (ca.root, cb.root) {
+                (Root::Global(ga), Root::Global(gb)) if ga != gb => {
+                    in_b(&ca, ri.bytes) && in_b(&cb, rj.bytes)
+                }
+                (Root::Global(ga), Root::Global(gb)) if ga == gb => {
+                    in_b(&ca, ri.bytes)
+                        && in_b(&cb, rj.bytes)
+                        && (ca.offset.hi + ri.bytes as i128 <= cb.offset.lo
+                            || cb.offset.hi + rj.bytes as i128 <= ca.offset.lo)
+                }
+                (Root::Global(_), Root::Stack(_)) => in_b(&ca, ri.bytes) && stack_fwd(&cb),
+                (Root::Stack(_), Root::Global(_)) => in_b(&cb, rj.bytes) && stack_fwd(&ca),
+                // Distinct allocas never share bytes, in any pair of states.
+                (Root::Stack(va), Root::Stack(vb)) if va != vb => {
+                    stack_fwd(&ca) && stack_fwd(&cb)
+                }
+                _ => false,
+            };
+            Some((false, !independent))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{intervals, memeffects};
+    use citroen_ir::builder::{counted_loop_mem, FunctionBuilder};
+    use citroen_ir::inst::BinOp;
+    use citroen_ir::module::{GlobalInit, Module};
+    use citroen_ir::types::I64;
+
+    fn graphs(m: &Module) -> Vec<LoopDepGraph> {
+        let iv = intervals::analyze_module(m);
+        let eff = memeffects::analyze_module(m, &iv);
+        loop_dep_graphs(m, 0, &iv, &eff)
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        assert!(graphs(&m).is_empty());
+    }
+
+    #[test]
+    fn accumulator_store_is_carried_must() {
+        // A store to the same global every iteration: carried self-dependence
+        // on provably the same address.
+        let mut m = Module::new("m");
+        let g = m.add_global("acc", GlobalInit::Zero(8), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let n = b.param(0);
+        counted_loop_mem(&mut b, n, |b, _| {
+            let v = b.load(I64, Operand::Global(g));
+            let v2 = b.bin(BinOp::Add, I64, v, Operand::imm64(1));
+            b.store(I64, v2, Operand::Global(g));
+        });
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        let gs = graphs(&m);
+        assert!(!gs.is_empty());
+        let g0 = &gs[0];
+        assert!(
+            g0.deps.iter().any(|d| d.carried && d.must),
+            "accumulator loop must have a carried must-dependence: {:?}",
+            g0.deps
+        );
+    }
+
+    #[test]
+    fn disjoint_globals_have_no_cross_deps() {
+        // Load from g1, store to g2: provably independent in both directions
+        // (beyond the loop-counter alloca traffic, which classifies as stack
+        // and is disjoint from both globals).
+        let mut m = Module::new("m");
+        let g1 = m.add_global("src", GlobalInit::Zero(8), true);
+        let g2 = m.add_global("dst", GlobalInit::Zero(8), true);
+        let mut b = FunctionBuilder::new("f", vec![I64], Some(I64));
+        let n = b.param(0);
+        counted_loop_mem(&mut b, n, |b, _| {
+            let v = b.load(I64, Operand::Global(g1));
+            b.store(I64, v, Operand::Global(g2));
+        });
+        b.ret(Some(Operand::imm64(0)));
+        m.add_func(b.finish());
+        let gs = graphs(&m);
+        let g0 = &gs[0];
+        // Find the ref indices of the g1-load and g2-store.
+        let li = g0
+            .refs
+            .iter()
+            .position(|r| r.kind == RefKind::Load && r.addr == Some(Operand::Global(g1)))
+            .unwrap();
+        let si = g0
+            .refs
+            .iter()
+            .position(|r| r.kind == RefKind::Store && r.addr == Some(Operand::Global(g2)))
+            .unwrap();
+        assert!(
+            !g0.deps.iter().any(|d| (d.a == li && d.b == si) || (d.a == si && d.b == li)),
+            "load g1 / store g2 must be independent: {:?}",
+            g0.deps
+        );
+        // But the g2 store still self-depends across iterations (same cell).
+        assert!(g0.has_carried_dep(si));
+    }
+}

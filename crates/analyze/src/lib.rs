@@ -9,6 +9,12 @@
 //! - [`intervals`] — constant-range abstract interpretation per SSA value,
 //!   with a module-level callee-return fixpoint.
 //! - [`liveness`] — backward SSA liveness (φ-operands as edge uses).
+//! - [`alias`] — intraprocedural flow-sensitive must/may/no-alias queries:
+//!   exact symbolic address decomposition plus root classification, the
+//!   substrate for sharp loop-pass preconditions and rules S9–S11.
+//! - [`depgraph`] — per-loop memory dependence graphs over the alias
+//!   relation, separating loop-carried from loop-independent dependences
+//!   with conservative call handling via [`memeffects`] summaries.
 //! - [`memeffects`] — conservative alias/clobber summaries per function:
 //!   may/must global read-write sets, stored-value ranges, and a
 //!   must-terminate proof used to arm the sanitizer.
@@ -33,6 +39,9 @@
 
 #![warn(missing_docs)]
 
+pub mod alias;
+pub mod aliasoracle;
+pub mod depgraph;
 pub mod intervals;
 pub mod lint;
 pub mod liveness;
@@ -42,6 +51,8 @@ pub mod reduce;
 pub mod sanitize;
 pub mod valmap;
 
+pub use alias::{AliasAnalysis, AliasResult, SymAddr};
+pub use depgraph::{loop_dep_graphs, Dep, LoopDepGraph, MemRef, RefKind};
 pub use intervals::{analyze_module as interval_analysis, Interval, ModuleIntervals};
 pub use lint::{filter_severity, lint_module, Diagnostic, Severity};
 pub use liveness::Liveness;

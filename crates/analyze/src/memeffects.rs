@@ -192,6 +192,13 @@ pub struct MemEffects {
     /// Globals written on *every terminating run* (store block dominates all
     /// reachable returns).
     pub must_write: BTreeSet<u32>,
+    /// Per-global interval of byte indices possibly read (the allocation-site
+    /// refinement of [`may_read`](Self::may_read): `[lo, hi]` bounds every
+    /// byte the function's transitive reads of `g` can touch).
+    pub read_sites: BTreeMap<u32, Interval>,
+    /// Per-global interval of byte indices possibly written (refines
+    /// [`may_write`](Self::may_write) the same way).
+    pub write_sites: BTreeMap<u32, Interval>,
     /// Join of the value ranges stored to each global (ints only; a float or
     /// vector store degrades the entry to ⊤).
     pub stored: BTreeMap<u32, Interval>,
@@ -220,6 +227,30 @@ impl MemEffects {
     /// Whether the function provably writes no observable (global) memory.
     pub fn provably_pure_writes(&self) -> bool {
         !self.writes_unknown && self.may_write.is_empty()
+    }
+
+    /// Whether the summary proves no write of the function can touch byte
+    /// indices `[lo, hi]` of global `g`.
+    pub fn cannot_write_range(&self, g: u32, lo: i128, hi: i128) -> bool {
+        if self.writes_unknown {
+            return false;
+        }
+        match self.write_sites.get(&g) {
+            None => !self.may_write.contains(&g),
+            Some(w) => w.is_bottom() || w.hi < lo || w.lo > hi,
+        }
+    }
+
+    /// Whether the summary proves no read of the function can touch byte
+    /// indices `[lo, hi]` of global `g`.
+    pub fn cannot_read_range(&self, g: u32, lo: i128, hi: i128) -> bool {
+        if self.reads_unknown {
+            return false;
+        }
+        match self.read_sites.get(&g) {
+            None => !self.may_read.contains(&g),
+            Some(r) => r.is_bottom() || r.hi < lo || r.lo > hi,
+        }
     }
 }
 
@@ -265,6 +296,14 @@ pub fn analyze_module(m: &Module, intervals: &ModuleIntervals) -> ModuleEffects 
                 next.writes_unknown |= ce.writes_unknown;
                 for (g, r) in &ce.stored {
                     let e = next.stored.entry(*g).or_insert_with(Interval::bottom);
+                    *e = e.join(r);
+                }
+                for (g, r) in &ce.read_sites {
+                    let e = next.read_sites.entry(*g).or_insert_with(Interval::bottom);
+                    *e = e.join(r);
+                }
+                for (g, r) in &ce.write_sites {
+                    let e = next.write_sites.entry(*g).or_insert_with(Interval::bottom);
                     *e = e.join(r);
                 }
                 if dominates {
@@ -384,8 +423,13 @@ fn record_access(
         Root::Global(g) if (g as usize) < m.globals.len()
             && in_bounds(m.globals[g as usize].init.bytes()) =>
         {
+            // Allocation-site refinement: the byte indices this access spans.
+            let touched =
+                Interval { lo: a.offset.lo, hi: a.offset.hi + bytes as i128 - 1 };
             if is_store {
                 eff.may_write.insert(g);
+                let w = eff.write_sites.entry(g).or_insert_with(Interval::bottom);
+                *w = w.join(&touched);
                 if let Some((range, dom_ret)) = stored {
                     let e = eff.stored.entry(g).or_insert_with(Interval::bottom);
                     *e = e.join(&range);
@@ -395,6 +439,8 @@ fn record_access(
                 }
             } else {
                 eff.may_read.insert(g);
+                let r = eff.read_sites.entry(g).or_insert_with(Interval::bottom);
+                *r = r.join(&touched);
             }
         }
         Root::Stack(_) if !a.offset.is_bottom() && a.offset.lo >= 0 => {
@@ -565,6 +611,34 @@ mod tests {
         let e = effects(&m);
         assert!(e.funcs[0].must_return, "divisor 2 is provably non-zero");
         assert!(!e.funcs[1].must_return, "divisor is a parameter: may be zero");
+    }
+
+    #[test]
+    fn per_site_intervals_refine_touched_bytes() {
+        // Store to bytes [8, 15] and load bytes [0, 7] of a 16-byte global:
+        // the site maps must separate the two slices, transitively through a
+        // call.
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", GlobalInit::Zero(16), true);
+        let mut cb = FunctionBuilder::new("callee", vec![], Some(I64));
+        let addr = cb.bin(BinOp::Add, I64, Operand::Global(g), Operand::imm64(8));
+        cb.store(I64, Operand::imm64(1), addr);
+        let v = cb.load(I64, Operand::Global(g));
+        cb.ret(Some(v));
+        let callee = m.add_func(cb.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Some(I64));
+        let r = b.call(callee, Some(I64), vec![]).unwrap();
+        b.ret(Some(r));
+        m.add_func(b.finish());
+        for e in &effects(&m).funcs {
+            let w = e.write_sites.get(&g.0).expect("write site recorded");
+            assert_eq!((w.lo, w.hi), (8, 15), "{w:?}");
+            let r = e.read_sites.get(&g.0).expect("read site recorded");
+            assert_eq!((r.lo, r.hi), (0, 7), "{r:?}");
+            assert!(e.cannot_write_range(g.0, 0, 7));
+            assert!(!e.cannot_write_range(g.0, 8, 8));
+            assert!(e.cannot_read_range(g.0, 8, 15));
+        }
     }
 
     #[test]

@@ -468,6 +468,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                 effs.push(eff);
             }
             let n_jobs = jobs.len();
+            let pass_work: usize = jobs.iter().map(Vec::len).sum();
             let task_ref: &Task = task;
             let compiled_jobs: Vec<(Stats, u64, Module)> = pool.map(jobs, |eff| {
                 let _c = telemetry::span("compile");
@@ -477,6 +478,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             // Wall-clock of the whole sweep (the honest figure for the
             // fig5_12-style proportions), not the sum of per-core times.
             task.note_compilations(n_jobs, sweep_t0.elapsed());
+            task.passes_executed += pass_work;
 
             let mut compiled: Vec<(Vec<u16>, Vec<u16>, Stats, Vec<f64>, Vec<f64>, u64, Module)> =
                 Vec::new();
@@ -1244,6 +1246,125 @@ mod tests {
         assert!(
             m_on <= m_off * 1.05,
             "median best/O3 degraded with subsumption collapse: {m_on:.4} vs {m_off:.4}"
+        );
+    }
+
+    #[test]
+    fn sixteen_class_masks_cut_compiles_beyond_the_twelve_class_model() {
+        // The four loop/CFG work classes (CFGS, LICM, IVL, ROT) gave the
+        // loop passes and simplifycfg provable `fires_on` masks they did
+        // not have under the previous twelve-class model. Quantify the win
+        // with the quantile discipline of the other ablations, on the
+        // search space where those masks carry the drops: a loop-nest
+        // sub-registry (six of its eight passes own the new classes), the
+        // regime the alias/dependence analyses sharpened in the first
+        // place. Arm A runs the old model — the registry's work triple
+        // truncated to the first twelve classes, so any mask reaching into
+        // the new bits reverts to `None` (never dropped), exactly the
+        // pre-growth declarations — injected through a persisted
+        // interaction graph; arm B runs the same graph with the full
+        // model. Same seeds, same budget: the full matrix must cut compile
+        // work (passes executed — every extra drop shortens the compiled
+        // canonical sequence) by >=5% more at unchanged median
+        // best-speedup. (On the full 33-pass registry the delta collapses
+        // to noise: every loop pass's `produces` is "everything", so with
+        // loop passes at 1/33 density the new drops are almost exclusively
+        // immediate duplicates, which almost never survive mutation.)
+        let loop_registry = || {
+            const NAMES: &[&str] = &[
+                "mem2reg",
+                "loop-simplify",
+                "loop-rotate",
+                "licm",
+                "loop-unroll",
+                "loop-deletion",
+                "simplifycfg",
+                "dce",
+            ];
+            Registry::from_passes(
+                citroen_passes::passes::all_passes()
+                    .into_iter()
+                    .filter(|p| NAMES.contains(&p.name()))
+                    .collect(),
+            )
+        };
+        let reg = loop_registry();
+        let task0 = Task::new(
+            citroen_suite::kernels::telecom_gsm(),
+            loop_registry(),
+            Platform::tx2(),
+            TaskConfig { seq_len: 32, seed: 1, ..Default::default() },
+        );
+        let hot = task0.hot();
+        let g16 = citroen_passes::oracle::derive_graph(
+            &reg,
+            &[task0.benchmark().modules[hot].clone()],
+        );
+        let mut g12 = g16.clone();
+        {
+            const OLD: u64 = (1 << 12) - 1;
+            let w = g12.work.as_mut().expect("derived graph carries a work model");
+            w.classes.truncate(12);
+            for f in &mut w.fires_on {
+                *f = f.filter(|m| m & !OLD == 0);
+            }
+            for c in &mut w.clears {
+                *c &= OLD;
+            }
+            for p in &mut w.produces {
+                *p &= OLD;
+            }
+        }
+        let dir = std::env::temp_dir();
+        let p16 = dir.join(format!("citroen_g16_{}.json", std::process::id()));
+        let p12 = dir.join(format!("citroen_g12_{}.json", std::process::id()));
+        std::fs::write(&p16, g16.to_json()).unwrap();
+        std::fs::write(&p12, g12.to_json()).unwrap();
+
+        let seeds: Vec<u64> = (1..=10).collect();
+        let runs = citroen_rt::par::par_map(seeds, |seed| {
+            let run = |graph: &std::path::Path| {
+                let mut task = Task::new(
+                    citroen_suite::kernels::telecom_gsm(),
+                    loop_registry(),
+                    Platform::tx2(),
+                    TaskConfig { seq_len: 32, seed, ..Default::default() },
+                );
+                let cfg = CitroenConfig {
+                    candidates: 24,
+                    init_random: 6,
+                    subsume_collapse: true,
+                    oracle_graph: Some(graph.to_string_lossy().into_owned()),
+                    seed,
+                    ..Default::default()
+                };
+                let (trace, _) = run_citroen(&mut task, 40, &cfg);
+                (trace.best() / task.o3_seconds, task.passes_executed)
+            };
+            (run(&p12), run(&p16))
+        });
+        let _ = std::fs::remove_file(&p16);
+        let _ = std::fs::remove_file(&p12);
+        let mut extra: Vec<f64> = runs
+            .iter()
+            .map(|((_, w12), (_, w16))| 1.0 - *w16 as f64 / *w12 as f64)
+            .collect();
+        extra.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut r12: Vec<f64> = runs.iter().map(|((r, _), _)| *r).collect();
+        let mut r16: Vec<f64> = runs.iter().map(|(_, (r, _))| *r).collect();
+        r12.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        r16.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!("additional compile-work reduction per seed (16 vs 12 classes): {extra:?}");
+        eprintln!("best/O3 12-class: {r12:?}\nbest/O3 16-class: {r16:?}");
+        let median_extra = extra[extra.len() / 2];
+        assert!(
+            median_extra >= 0.05,
+            "median additional compile-work reduction {median_extra:.3} < 5%: {extra:?}"
+        );
+        let (m12, m16) = (r12[r12.len() / 2], r16[r16.len() / 2]);
+        assert!(
+            m16 <= m12 * 1.05 && m12 <= m16 * 1.05,
+            "median best/O3 moved with the grown matrix: {m16:.4} vs {m12:.4}"
         );
     }
 

@@ -88,6 +88,11 @@ pub struct Task {
     pub measurements: usize,
     /// Number of compilations so far.
     pub compilations: usize,
+    /// Passes executed across all compilations so far — the compile *work*
+    /// figure. Unlike `compilations`, this credits the sequence
+    /// canonicalizer for shortening a genome even when the shortened form
+    /// still has to be compiled.
+    pub passes_executed: usize,
     /// Number of measure requests answered from the fingerprint cache.
     pub cache_hits: usize,
     /// Charge cached (duplicate-binary) measurements against the budget.
@@ -149,6 +154,7 @@ impl Task {
             runtime_cache: HashMap::new(),
             measurements: 0,
             compilations: 0,
+            passes_executed: 0,
             cache_hits: 0,
             charge_cached: false,
             times: TimeBreakdown::default(),
@@ -178,6 +184,7 @@ impl Task {
         let t0 = Instant::now();
         let out = self.compile_hot_pure(module_idx, seq);
         self.note_compilations(1, t0.elapsed());
+        self.passes_executed += seq.len();
         out
     }
 

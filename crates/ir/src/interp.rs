@@ -149,6 +149,12 @@ pub trait EventSink {
     fn op(&mut self, class: OpClass, lanes: u8);
     /// A memory access at byte address `addr` of `bytes` bytes.
     fn mem(&mut self, addr: u64, bytes: u32, store: bool);
+    /// Same access, attributed to its static site (function, block,
+    /// instruction index). Default: ignored — only site-level tools (the
+    /// alias soundness oracle) pay for recording.
+    fn mem_site(&mut self, f: FuncId, block: u32, inst: u32, addr: u64, bytes: u32, store: bool) {
+        let _ = (f, block, inst, addr, bytes, store);
+    }
     /// A conditional-branch outcome at static site `site`.
     fn branch(&mut self, site: u32, taken: bool);
     /// Control entered function `f` (perf-style attribution hook).
@@ -451,7 +457,7 @@ impl<'m, S: EventSink> Interp<'m, S> {
                 regs[d as usize] = Some(v);
             }
 
-            for inst in blk.insts.iter().skip_while(|i| i.is_phi()) {
+            for (ii, inst) in blk.insts.iter().enumerate().skip_while(|(_, i)| i.is_phi()) {
                 match inst {
                     Inst::Phi { .. } => unreachable!(),
                     Inst::Bin { dst, op, lhs, rhs } => {
@@ -489,11 +495,13 @@ impl<'m, S: EventSink> Interp<'m, S> {
                         if ty.lanes == 1 {
                             let v = self.mem.read_scalar(ty.scalar, a)?;
                             self.sink.mem(a, ty.scalar.bytes(), false);
+                            self.sink.mem_site(fid, block.0, ii as u32, a, ty.scalar.bytes(), false);
                             self.step(OpClass::Load, 1)?;
                             regs[dst.idx()] = Some(v);
                         } else {
                             let v = self.read_vector(ty.scalar, ty.lanes, a)?;
                             self.sink.mem(a, ty.bytes(), false);
+                            self.sink.mem_site(fid, block.0, ii as u32, a, ty.bytes(), false);
                             self.step(OpClass::VecLoad, ty.lanes)?;
                             regs[dst.idx()] = Some(v);
                         }
@@ -504,10 +512,12 @@ impl<'m, S: EventSink> Interp<'m, S> {
                         if ty.lanes == 1 {
                             self.mem.write_scalar(ty.scalar, a, &v)?;
                             self.sink.mem(a, ty.scalar.bytes(), true);
+                            self.sink.mem_site(fid, block.0, ii as u32, a, ty.scalar.bytes(), true);
                             self.step(OpClass::Store, 1)?;
                         } else {
                             self.write_vector(ty.scalar, ty.lanes, a, &v)?;
                             self.sink.mem(a, ty.bytes(), true);
+                            self.sink.mem_site(fid, block.0, ii as u32, a, ty.bytes(), true);
                             self.step(OpClass::VecStore, ty.lanes)?;
                         }
                     }

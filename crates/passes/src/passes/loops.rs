@@ -13,18 +13,15 @@ use crate::stats::Stats;
 use crate::util::{
     dce_function, has_simplifiable_phi, replace_uses, simplify_single_incoming_phis, would_dce,
 };
+use citroen_analyze::alias::access_bytes;
+use citroen_analyze::memeffects::{MemEffects, Root};
 use citroen_analyze::oracle::{Facts, Verdict};
-use citroen_ir::analysis::{Cfg, DomTree, LoopInfo};
+use citroen_analyze::{AliasAnalysis, AliasResult, ModuleEffects, ModuleIntervals};
+use citroen_ir::analysis::{Cfg, DomTree, Loop, LoopInfo};
 use citroen_ir::inst::{BinOp, BlockId, CmpOp, Inst, Operand, Term, ValueId};
 use citroen_ir::module::{Function, Module};
 use citroen_ir::types::I64;
 use std::collections::{HashMap, HashSet};
-
-/// True when `f` has a self-loop with a recognised induction variable — the
-/// shared gate of `loop-unroll`, `loop-deletion` and `strength-reduce`.
-fn has_iv_self_loop(f: &Function) -> bool {
-    find_self_loops(f).iter().any(|sl| analyze_iv(f, sl).is_some())
-}
 
 // ---------------------------------------------------------------------------
 // Shared loop-shape analysis
@@ -409,15 +406,23 @@ impl Pass for LoopRotate {
             stats.inc("loop-rotate", "NumRotated", n);
         }
     }
+    fn fires_on(&self) -> Option<u64> {
+        // Every edit path of `run` demands one of these classes: rotation
+        // proper (`plan_rotate` ↦ ROT), preheader restoration
+        // (`needs_preheader` ↦ LS), the φ cleanup (single-incoming φs are
+        // simplifycfg work ↦ CFGS) and the dce tail (↦ DEAD).
+        Some(crate::work::ROT | crate::work::LS | crate::work::CFGS | crate::work::DEAD)
+    }
     fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
-        // Any natural loop MayFire (rotate or its preheader restoration);
-        // the trailing φ-simplify + dce run unconditionally even without one.
+        // Exact mirror of `run`: preheader restoration, the rotation search
+        // and both unconditional cleanups each have read-only mirrors; when
+        // none of them finds work the whole pass is provably a no-op.
         for f in &m.funcs {
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
-            let li = LoopInfo::compute(f, &cfg, &dom);
-            if !li.loops.is_empty() {
-                return Verdict::may(format!("{}: natural loops present", f.name));
+            if needs_preheader(f) {
+                return Verdict::may(format!("{}: loop without preheader", f.name));
+            }
+            if plan_rotate(f).is_some() {
+                return Verdict::may(format!("{}: rotatable while-loop", f.name));
             }
             if has_simplifiable_phi(f) {
                 return Verdict::may(format!("{}: single-incoming φ (cleanup)", f.name));
@@ -430,7 +435,28 @@ impl Pass for LoopRotate {
     }
 }
 
-fn rotate_one(f: &mut Function) -> bool {
+/// Everything `rotate_one` needs to rewrite a rotatable while-loop, gathered
+/// by the read-only search [`plan_rotate`].
+struct RotatePlan {
+    h: BlockId,
+    pre: BlockId,
+    latch: BlockId,
+    exit: BlockId,
+    body_succ: BlockId,
+    /// Whether the `true` edge of the header condbr enters the loop body.
+    enter_on_true: bool,
+    cond: Operand,
+    /// Header φs as `(dst, init-from-preheader, back-from-latch)`.
+    phis: Vec<(ValueId, Operand, Operand)>,
+    /// Header non-φ instructions (the latch-condition computation).
+    cond_insts: Vec<Inst>,
+    loop_blocks: Vec<BlockId>,
+}
+
+/// Read-only mirror of the rotation candidate test: the first natural loop
+/// passing every legality check, with the data the rewrite needs. `None` is
+/// a proof that `rotate_one` cannot change `f`.
+fn plan_rotate(f: &Function) -> Option<RotatePlan> {
     let cfg = Cfg::compute(f);
     let dom = DomTree::compute(f, &cfg);
     let li = LoopInfo::compute(f, &cfg, &dom);
@@ -532,7 +558,37 @@ fn rotate_one(f: &mut Function) -> bool {
             .skip_while(|i| i.is_phi())
             .cloned()
             .collect();
+        return Some(RotatePlan {
+            h,
+            pre,
+            latch,
+            exit,
+            body_succ,
+            enter_on_true: body_succ == t,
+            cond,
+            phis,
+            cond_insts,
+            loop_blocks: l.blocks.clone(),
+        });
+    }
+    None
+}
 
+fn rotate_one(f: &mut Function) -> bool {
+    let Some(plan) = plan_rotate(f) else { return false };
+    let RotatePlan {
+        h,
+        pre,
+        latch,
+        exit,
+        body_succ,
+        enter_on_true,
+        cond,
+        phis,
+        cond_insts,
+        loop_blocks,
+    } = plan;
+    {
         // 1. Clone cond computation into the preheader with φ→init.
         let init_env: HashMap<ValueId, Operand> =
             phis.iter().map(|(d, i, _)| (*d, *i)).collect();
@@ -543,7 +599,7 @@ fn rotate_one(f: &mut Function) -> bool {
         f.blocks[pre.idx()].insts.extend(guard_out);
         // The guard enters the loop through the header (which keeps the φs
         // and falls through to the body), or skips to the exit.
-        f.blocks[pre.idx()].term = if body_succ == t {
+        f.blocks[pre.idx()].term = if enter_on_true {
             Term::CondBr { cond: guard_cond, t: h, f: exit }
         } else {
             Term::CondBr { cond: guard_cond, t: exit, f: h }
@@ -557,7 +613,7 @@ fn rotate_one(f: &mut Function) -> bool {
         clone_insts(f, &cond_insts, &mut latch_env, &mut latch_out);
         let latch_cond = map_operand(&latch_env, &cond);
         f.blocks[latch.idx()].insts.extend(latch_out);
-        f.blocks[latch.idx()].term = if body_succ == t {
+        f.blocks[latch.idx()].term = if enter_on_true {
             Term::CondBr { cond: latch_cond, t: h, f: exit }
         } else {
             Term::CondBr { cond: latch_cond, t: exit, f: h }
@@ -587,7 +643,7 @@ fn rotate_one(f: &mut Function) -> bool {
         }
         // 5. Uses of h-φs outside the loop (beyond the exit φs we just fixed)
         //    need merge φs in the exit block.
-        let loop_blocks: HashSet<u32> = l.blocks.iter().map(|b| b.0).collect();
+        let loop_blocks: HashSet<u32> = loop_blocks.iter().map(|b| b.0).collect();
         for (d, i, b) in &phis {
             let mut outside_use = false;
             for (bb, blk) in f.iter_blocks() {
@@ -644,9 +700,8 @@ fn rotate_one(f: &mut Function) -> bool {
                 }
             }
         }
-        return true;
     }
-    false
+    true
 }
 
 fn clone_insts(
@@ -679,9 +734,11 @@ fn map_operand(env: &HashMap<ValueId, Operand>, op: &Operand) -> Operand {
 // ---------------------------------------------------------------------------
 
 /// The `licm` pass: hoist loop-invariant computation to the preheader. Pure
-/// ops hoist from any loop position; loads additionally require (a) no
-/// possibly-aliasing store or writing call anywhere in the loop and (b) a
-/// block that dominates every latch (guaranteed to execute per iteration),
+/// ops hoist from any loop position; loads additionally require (a) that no
+/// store or call in the loop can write the loaded bytes — stores must be
+/// provably `NoAlias` by the alias analysis and callees provably unable to
+/// touch the load's root region per their memory-effect summaries — and (b)
+/// a block that dominates every exit (guaranteed to execute per iteration),
 /// which in practice means rotated loops — the classic rotate→licm synergy.
 pub struct Licm;
 
@@ -689,11 +746,25 @@ impl Pass for Licm {
     fn name(&self) -> &'static str {
         "licm"
     }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::LICM)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::LICM
+    }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for fi in 0..m.funcs.len() {
             let mut hoisted = 0u64;
             let mut loads = 0u64;
-            for _ in 0..16 {
+            // Every hoist moves one instruction out of a loop and never adds
+            // one, so the in-loop instruction count strictly decreases:
+            // bounding rounds by the function size guarantees a true
+            // fixpoint (the clears/idempotence theorems above).
+            let bound = m.funcs[fi].num_insts() + 1;
+            for _ in 0..bound {
                 let (h, l) = hoist_one(m, fi);
                 hoisted += h;
                 loads += l;
@@ -705,30 +776,56 @@ impl Pass for Licm {
             stats.inc("licm", "NumHoistedLoads", loads);
         }
     }
-    fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
-        // `hoist_one` only considers loops with a preheader; whether an
-        // instruction is actually hoistable is left to MayFire.
-        for f in &m.funcs {
-            let cfg = Cfg::compute(f);
-            let dom = DomTree::compute(f, &cfg);
-            let li = LoopInfo::compute(f, &cfg, &dom);
-            if li.loops.iter().any(|l| l.preheader.is_some()) {
-                return Verdict::may(format!("{}: loop with preheader", f.name));
+    fn precondition(&self, m: &Module, facts: &Facts) -> Verdict {
+        // Exact mirror: `run` edits iff `find_hoistable` finds a candidate
+        // under the same interval/effect facts it recomputes itself.
+        for fidx in 0..m.funcs.len() {
+            if find_hoistable(m, fidx, &facts.intervals, &facts.effects).is_some() {
+                return Verdict::may(format!(
+                    "{}: hoistable loop-invariant instruction",
+                    m.funcs[fidx].name
+                ));
             }
         }
         Verdict::CannotFire
     }
 }
 
-fn hoist_one(m: &mut Module, fi: usize) -> (u64, u64) {
-    let f = &m.funcs[fi];
+fn hoist_one(m: &mut Module, fidx: usize) -> (u64, u64) {
+    let intervals = citroen_analyze::interval_analysis(m);
+    let effects = citroen_analyze::memeffects::analyze_module(m, &intervals);
+    match find_hoistable(m, fidx, &intervals, &effects) {
+        Some((pre, b, ii, is_load)) => {
+            let f = &mut m.funcs[fidx];
+            let moved = f.blocks[b.idx()].insts.remove(ii);
+            f.blocks[pre.idx()].insts.push(moved);
+            if is_load {
+                (0, 1)
+            } else {
+                (1, 0)
+            }
+        }
+        None => (0, 0),
+    }
+}
+
+/// Read-only mirror of `hoist_one`'s search: the first hoistable instruction
+/// across the loops of function `fidx`, as `(preheader, block, index,
+/// is_load)`. `None` is a proof that `hoist_one` cannot change the function.
+fn find_hoistable(
+    m: &Module,
+    fidx: usize,
+    intervals: &ModuleIntervals,
+    effects: &ModuleEffects,
+) -> Option<(BlockId, BlockId, usize, bool)> {
+    let f = &m.funcs[fidx];
     let cfg = Cfg::compute(f);
     let dom = DomTree::compute(f, &cfg);
     let li = LoopInfo::compute(f, &cfg, &dom);
+    let aa = AliasAnalysis::new(m, f, &intervals.funcs[fidx]);
 
     for l in &li.loops {
         let Some(pre) = l.preheader else { continue };
-        let loop_blocks: HashSet<u32> = l.blocks.iter().map(|b| b.0).collect();
         // Values defined inside the loop.
         let mut defined_in: HashSet<ValueId> = HashSet::new();
         for &b in &l.blocks {
@@ -742,23 +839,6 @@ fn hoist_one(m: &mut Module, fi: usize) -> (u64, u64) {
             Operand::Value(v) => !defined_in.contains(v),
             _ => true,
         };
-        // Does the loop contain stores or writing calls?
-        let mut has_store = false;
-        let mut has_writing_call = false;
-        for &b in &l.blocks {
-            for inst in &f.blocks[b.idx()].insts {
-                match inst {
-                    Inst::Store { .. } => has_store = true,
-                    Inst::Call { callee, .. } => {
-                        let a = m.funcs[callee.idx()].attrs;
-                        if !a.readnone && !a.readonly {
-                            has_writing_call = true;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
         // Blocks with an edge leaving the loop: a hoisted trapping op is only
         // safe if its block dominates all of them (guaranteed to execute).
         let exiting: Vec<BlockId> = l
@@ -770,8 +850,7 @@ fn hoist_one(m: &mut Module, fi: usize) -> (u64, u64) {
             })
             .collect();
 
-        let mut found: Option<(BlockId, usize, bool)> = None;
-        'search: for &b in &l.blocks {
+        for &b in &l.blocks {
             for (ii, inst) in f.blocks[b.idx()].insts.iter().enumerate() {
                 if inst.is_phi() || matches!(inst, Inst::Alloca { .. }) {
                     continue;
@@ -784,12 +863,12 @@ fn hoist_one(m: &mut Module, fi: usize) -> (u64, u64) {
                 let hoistable = if inst.has_side_effects() {
                     false
                 } else if let Inst::Load { .. } = inst {
-                    // Loads: no writes in the loop at all (simple but sound),
-                    // and guaranteed to execute (dominates every latch) so no
-                    // new trap can appear — the rotate→licm enabling chain.
-                    !has_store
-                        && !has_writing_call
-                        && exiting.iter().all(|&x| dom.dominates(b, x))
+                    // Loads: guaranteed to execute (dominates every exit) so
+                    // no new trap appears, and nothing in the loop can write
+                    // the loaded bytes, so every iteration reloads the value
+                    // the preheader would produce.
+                    exiting.iter().all(|&x| dom.dominates(b, x))
+                        && no_aliasing_writes(f, &aa, effects, l, inst)
                 } else if let Inst::Bin { op, rhs, .. } = inst {
                     // Division hoisting may introduce a trap on a path that
                     // never executed it; require a non-zero constant divisor
@@ -804,20 +883,57 @@ fn hoist_one(m: &mut Module, fi: usize) -> (u64, u64) {
                     !inst.reads_memory()
                 };
                 if hoistable {
-                    found = Some((b, ii, matches!(inst, Inst::Load { .. })));
-                    break 'search;
+                    return Some((pre, b, ii, matches!(inst, Inst::Load { .. })));
                 }
             }
         }
-        if let Some((b, ii, is_load)) = found {
-            let _ = loop_blocks;
-            let f = &mut m.funcs[fi];
-            let moved = f.blocks[b.idx()].insts.remove(ii);
-            f.blocks[pre.idx()].insts.push(moved);
-            return if is_load { (0, 1) } else { (1, 0) };
+    }
+    None
+}
+
+/// Whether no store or call anywhere in loop `l` can write the bytes read by
+/// `load`: every store must be provably `NoAlias` and every callee provably
+/// unable to write the load's location.
+fn no_aliasing_writes(
+    f: &Function,
+    aa: &AliasAnalysis,
+    effects: &ModuleEffects,
+    l: &Loop,
+    load: &Inst,
+) -> bool {
+    let Some((laddr, lbytes)) = access_bytes(f, load) else { return false };
+    for &b in &l.blocks {
+        for inst in &f.blocks[b.idx()].insts {
+            match inst {
+                Inst::Store { .. } => {
+                    let Some((saddr, sbytes)) = access_bytes(f, inst) else { return false };
+                    if aa.alias(&laddr, lbytes, &saddr, sbytes) != AliasResult::No {
+                        return false;
+                    }
+                }
+                Inst::Call { callee, .. } => {
+                    if call_may_clobber(aa, &effects.funcs[callee.idx()], &laddr, lbytes) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
         }
     }
-    (0, 0)
+    true
+}
+
+/// Whether calling the function summarised by `ce` can write the `bytes` at
+/// `addr` (caller view). Callee stack frames are bump-allocated strictly
+/// above the caller's live frame, so a load confined to an in-bounds global
+/// or caller alloca only sees callee writes that provably reach that region;
+/// an unconfined address can collide with any write at all.
+fn call_may_clobber(aa: &AliasAnalysis, ce: &MemEffects, addr: &Operand, bytes: u32) -> bool {
+    match aa.confined_root(addr, bytes) {
+        Some((Root::Global(g), touched)) => !ce.cannot_write_range(g, touched.lo, touched.hi),
+        Some((Root::Stack(_), _)) => ce.writes_unknown,
+        _ => ce.writes_unknown || ce.writes_stack || !ce.may_write.is_empty(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -961,18 +1077,46 @@ impl Pass for LoopUnroll {
     fn name(&self) -> &'static str {
         "loop-unroll"
     }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::IVL)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::IVL
+    }
+    fn is_idempotent(&self) -> bool {
+        true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
+    }
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
             let mut full = 0u64;
             let mut partial = 0u64;
-            for _ in 0..8 {
-                match unroll_one(f) {
-                    Some(true) => full += 1,
-                    Some(false) => partial += 1,
-                    None => break,
+            // Unrolling never creates a self-loop (full unrolls straighten
+            // one; partials only grow a body), and per loop at most a few
+            // partial rounds fit the budget before body size or trip
+            // divisibility gives out — so the candidate supply is bounded by
+            // the initial self-loop count. The cleanup sweeps can unlock a
+            // candidate (e.g. dce removing an unused alloca from a body), so
+            // re-run the search after each cleanup until nothing fires: the
+            // final state provably holds no candidate (clears/idempotence).
+            let outer = find_self_loops(f).len() as u64 * 8 + 1;
+            for _ in 0..outer {
+                let mut n = 0u64;
+                loop {
+                    match unroll_one(f) {
+                        Some(true) => {
+                            full += 1;
+                            n += 1;
+                        }
+                        Some(false) => {
+                            partial += 1;
+                            n += 1;
+                        }
+                        None => break,
+                    }
                 }
-            }
-            if full + partial > 0 {
+                if n == 0 {
+                    break;
+                }
                 simplify_single_incoming_phis(f);
                 dce_function(f);
             }
@@ -981,18 +1125,20 @@ impl Pass for LoopUnroll {
         }
     }
     fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact mirror: the cleanup sweeps only run after a successful
+        // unroll, so no candidate means the whole pass is a no-op.
         for f in &m.funcs {
-            if has_iv_self_loop(f) {
-                return Verdict::may(format!("{}: IV self-loop", f.name));
+            if find_unrollable(f).is_some() {
+                return Verdict::may(format!("{}: unrollable constant-trip loop", f.name));
             }
         }
         Verdict::CannotFire
     }
 }
 
-/// Returns Some(true) for a full unroll, Some(false) for partial, None if no
-/// loop was transformed.
-fn unroll_one(f: &mut Function) -> Option<bool> {
+/// Read-only mirror of `unroll_one`'s search: the first self-loop passing
+/// the IV/body/trip screens, as `(loop, trip, full?)`.
+fn find_unrollable(f: &Function) -> Option<(SelfLoop, u64, bool)> {
     for sl in find_self_loops(f) {
         let Some(iv) = analyze_iv(f, &sl) else { continue };
         let body_len =
@@ -1008,16 +1154,27 @@ fn unroll_one(f: &mut Function) -> Option<bool> {
         let trip = const_trip_count(&iv, FULL_UNROLL_TRIP.max(4096));
         if let Some(trip) = trip {
             if trip <= FULL_UNROLL_TRIP && trip * body_len as u64 <= FULL_UNROLL_BUDGET {
-                full_unroll(f, &sl, trip);
-                return Some(true);
+                return Some((sl, trip, true));
             }
             if trip % PARTIAL_FACTOR == 0 && body_len <= PARTIAL_BODY {
-                partial_unroll(f, &sl, PARTIAL_FACTOR);
-                return Some(false);
+                return Some((sl, trip, false));
             }
         }
     }
     None
+}
+
+/// Returns Some(true) for a full unroll, Some(false) for partial, None if no
+/// loop was transformed.
+fn unroll_one(f: &mut Function) -> Option<bool> {
+    let (sl, trip, is_full) = find_unrollable(f)?;
+    if is_full {
+        full_unroll(f, &sl, trip);
+        Some(true)
+    } else {
+        partial_unroll(f, &sl, PARTIAL_FACTOR);
+        Some(false)
+    }
 }
 
 fn full_unroll(f: &mut Function, sl: &SelfLoop, trip: u64) {
@@ -1156,77 +1313,87 @@ impl Pass for LoopDeletion {
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
             let mut n = 0u64;
-            'retry: for _ in 0..8 {
-                for sl in find_self_loops(f) {
-                    let h = sl.header;
-                    let blk = &f.blocks[h.idx()];
-                    if blk.insts.iter().any(|i| {
-                        i.has_side_effects() || i.reads_memory() || matches!(i, Inst::Alloca { .. })
-                    }) {
-                        continue;
+            // Each deletion consumes one header block, so the candidate
+            // supply is bounded by the block count; iterating one past that
+            // guarantees the final round found nothing (clears = LD).
+            for _ in 0..=f.blocks.len() {
+                let Some(sl) = deletion_candidate(f) else { break };
+                let h = sl.header;
+                // Delete: preheader jumps straight to the exit.
+                f.blocks[sl.preheader.idx()].term.for_each_successor_mut(|s| {
+                    if *s == h {
+                        *s = sl.exit;
                     }
-                    // Finite?
-                    let Some(iv) = analyze_iv(f, &sl) else { continue };
-                    if const_trip_count(&iv, 1 << 20).is_none() {
-                        continue;
-                    }
-                    // No loop value used outside.
-                    let defs: HashSet<ValueId> =
-                        blk.insts.iter().filter_map(|i| i.dst()).collect();
-                    let mut escaped = false;
-                    for (b, oblk) in f.iter_blocks() {
-                        if b == h {
-                            continue;
-                        }
-                        for inst in &oblk.insts {
-                            inst.for_each_operand(|op| {
-                                if let Some(v) = op.as_value() {
-                                    escaped |= defs.contains(&v);
-                                }
-                            });
-                        }
-                        oblk.term.for_each_operand(|op| {
-                            if let Some(v) = op.as_value() {
-                                escaped |= defs.contains(&v);
-                            }
-                        });
-                    }
-                    if escaped {
-                        continue;
-                    }
-                    // Delete: preheader jumps straight to the exit.
-                    f.blocks[sl.preheader.idx()].term.for_each_successor_mut(|s| {
-                        if *s == h {
-                            *s = sl.exit;
-                        }
-                    });
-                    // Exit φs: entries from h replaced by entries from preheader.
-                    for inst in &mut f.blocks[sl.exit.idx()].insts {
-                        if let Inst::Phi { incoming, .. } = inst {
-                            for (p, _) in incoming.iter_mut() {
-                                if *p == h {
-                                    *p = sl.preheader;
-                                }
+                });
+                // Exit φs: entries from h replaced by entries from preheader.
+                for inst in &mut f.blocks[sl.exit.idx()].insts {
+                    if let Inst::Phi { incoming, .. } = inst {
+                        for (p, _) in incoming.iter_mut() {
+                            if *p == h {
+                                *p = sl.preheader;
                             }
                         }
                     }
-                    crate::util::remove_unreachable_blocks(f);
-                    n += 1;
-                    continue 'retry;
                 }
-                break;
+                crate::util::remove_unreachable_blocks(f);
+                n += 1;
             }
             stats.inc("loop-deletion", "NumDeleted", n);
         }
     }
     fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact mirror: the deletion loop fires iff a candidate exists.
         for f in &m.funcs {
-            if has_iv_self_loop(f) {
-                return Verdict::may(format!("{}: IV self-loop", f.name));
+            if deletion_candidate(f).is_some() {
+                return Verdict::may(format!("{}: deletable side-effect-free loop", f.name));
             }
         }
         Verdict::CannotFire
     }
+}
+
+/// Read-only mirror of `LoopDeletion`'s search: the first self-loop that is
+/// pure, provably finite, and whose values never escape the header.
+fn deletion_candidate(f: &Function) -> Option<SelfLoop> {
+    for sl in find_self_loops(f) {
+        let h = sl.header;
+        let blk = &f.blocks[h.idx()];
+        if blk.insts.iter().any(|i| {
+            i.has_side_effects() || i.reads_memory() || matches!(i, Inst::Alloca { .. })
+        }) {
+            continue;
+        }
+        // Finite?
+        let Some(iv) = analyze_iv(f, &sl) else { continue };
+        if const_trip_count(&iv, 1 << 20).is_none() {
+            continue;
+        }
+        // No loop value used outside.
+        let defs: HashSet<ValueId> = blk.insts.iter().filter_map(|i| i.dst()).collect();
+        let mut escaped = false;
+        for (b, oblk) in f.iter_blocks() {
+            if b == h {
+                continue;
+            }
+            for inst in &oblk.insts {
+                inst.for_each_operand(|op| {
+                    if let Some(v) = op.as_value() {
+                        escaped |= defs.contains(&v);
+                    }
+                });
+            }
+            oblk.term.for_each_operand(|op| {
+                if let Some(v) = op.as_value() {
+                    escaped |= defs.contains(&v);
+                }
+            });
+        }
+        if escaped {
+            continue;
+        }
+        return Some(sl);
+    }
+    None
 }
 
 // ---------------------------------------------------------------------------

@@ -83,34 +83,94 @@ fn pure_key(f: &Function, m: &Module, inst: &Inst) -> Option<(InstKey, ValueId)>
     }
 }
 
-/// Over-approximate mirror of `gvn_function`'s rewrite opportunities.
+/// Exact read-only mirror of `gvn_function` up to its *first* rewrite.
 ///
-/// - Pure duplicates: two instructions sharing an `InstKey` — checked
-///   function-wide (⊇ the dominator- or block-scoped tables, so sound).
-/// - Load elimination / store-to-load forwarding is block-local in both
-///   passes: any `Load` preceded by a `Load` or `Store` in its block *might*
-///   hit the availability table (address matching ignored — MayFire only).
-/// - The trailing `dce_function` runs unconditionally.
+/// Until the first substitution fires, `gvn_function`'s `known` map is
+/// empty, so its operand resolution and key remapping are the identity —
+/// which means this replay (which never substitutes) tracks the live
+/// pure-value table and per-block load-availability state exactly until
+/// that first fire. A hit here is therefore the same first hit there, and
+/// no hit here means the live run never substitutes anything. The trailing
+/// `dce_function` runs unconditionally either way, so the pass is a no-op
+/// iff this replay finds nothing and `would_dce` is false.
 fn gvn_may_fire(m: &Module, f: &Function, block_scope: bool) -> bool {
-    let mut global: HashSet<InstKey> = HashSet::new();
-    for blk in &f.blocks {
-        let mut local: HashSet<InstKey> = HashSet::new();
-        let mut mem_seen = false;
-        for inst in &blk.insts {
-            match inst {
-                Inst::Load { .. } => {
-                    if mem_seen {
-                        return true;
-                    }
-                    mem_seen = true;
+    if f.is_decl() {
+        return false;
+    }
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let sites = def_sites(f);
+    let dom_scoped = !block_scope;
+    let mut table: HashSet<InstKey> = HashSet::new();
+    enum Step {
+        Enter(BlockId),
+        Undo(Vec<InstKey>),
+    }
+    let order: Vec<BlockId> = if dom_scoped { vec![BlockId(0)] } else { cfg.rpo.clone() };
+    let mut agenda: Vec<Step> = order.into_iter().rev().map(Step::Enter).collect();
+    while let Some(step) = agenda.pop() {
+        match step {
+            Step::Undo(keys) => {
+                for k in keys {
+                    table.remove(&k);
                 }
-                Inst::Store { .. } => mem_seen = true,
-                _ => {}
             }
-            if let Some((key, _)) = pure_key(f, m, inst) {
-                let table = if block_scope { &mut local } else { &mut global };
-                if !table.insert(key) {
-                    return true;
+            Step::Enter(b) => {
+                if !dom_scoped {
+                    table.clear();
+                }
+                let mut undo: Vec<InstKey> = Vec::new();
+                let mut memgen = 0u64;
+                let mut avail_loads: HashMap<(Vec<(OpKey, i64)>, i64, u8), u64> = HashMap::new();
+                for inst in &f.blocks[b.idx()].insts {
+                    match inst {
+                        Inst::Load { dst, addr } => {
+                            let e = addr_expr(f, &sites, addr);
+                            let ty = f.ty(*dst);
+                            let key = (
+                                e.atoms.iter().map(|(a, c)| (opkey(a), *c)).collect::<Vec<_>>(),
+                                e.offset,
+                                ty.bytes() as u8,
+                            );
+                            match avail_loads.get(&key) {
+                                Some(g) if *g == memgen && ty.lanes == 1 => return true,
+                                _ => {
+                                    avail_loads.insert(key, memgen);
+                                }
+                            }
+                        }
+                        Inst::Store { ty, addr, .. } => {
+                            let e = addr_expr(f, &sites, addr);
+                            memgen += 1;
+                            let key = (
+                                e.atoms.iter().map(|(a, c)| (opkey(a), *c)).collect::<Vec<_>>(),
+                                e.offset,
+                                ty.bytes() as u8,
+                            );
+                            avail_loads.insert(key, memgen);
+                        }
+                        other => {
+                            if let Inst::Call { callee, .. } = other {
+                                let attrs = m.funcs[callee.idx()].attrs;
+                                if !attrs.readnone && !attrs.readonly {
+                                    memgen += 1;
+                                }
+                            }
+                            if let Some((key, _)) = pure_key(f, m, other) {
+                                if table.contains(&key) {
+                                    return true;
+                                }
+                                undo.push(key.clone());
+                                table.insert(key);
+                            }
+                        }
+                    }
+                }
+                if dom_scoped {
+                    agenda.push(Step::Undo(undo));
+                    for &c in dom.children[b.idx()].iter().rev() {
+                        agenda.push(Step::Enter(c));
+                    }
                 }
             }
         }
@@ -428,13 +488,23 @@ impl Pass for Dce {
         // calls, or terminators (`has_side_effects`/`reads_memory` retain
         // them). Removing a use can newly enable sinking (single-use-block),
         // promotion (an escaping pure use of an alloca address), tail
-        // position (trailing pure insts after a self-call), and loop
-        // deletion (an outside use of a loop value). It cannot create
-        // lattice/foldable/duplicate instructions, change the dse scan
-        // (memory ops untouched), the inferable attribute bits, or the CFG,
-        // and it leaves no orphans (fixpoint), so every would_dce-based
-        // fire condition stays false.
-        crate::work::SINK | crate::work::M2R | crate::work::TCE | crate::work::LD
+        // position (trailing pure insts after a self-call), loop deletion
+        // (an outside use of a loop value), block forwarding (emptying a
+        // block down to its `Br` — cfgs), unrolling (an unused alloca gone
+        // from a self-loop body — the body screen skips alloca-bearing
+        // loops), and rotation (a header shape screen unblocked). It cannot
+        // create lattice/foldable/duplicate instructions, change the dse
+        // scan (memory ops untouched), hoistability (stores, calls and
+        // operand def sites untouched — licm), or the inferable attribute
+        // bits, and it leaves no orphans (fixpoint), so every
+        // would_dce-based fire condition stays false.
+        crate::work::SINK
+            | crate::work::M2R
+            | crate::work::TCE
+            | crate::work::LD
+            | crate::work::CFGS
+            | crate::work::IVL
+            | crate::work::ROT
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
@@ -474,8 +544,12 @@ impl Pass for Adce {
         // Removal-only like dce, but the live set is rooted (stores,
         // non-readnone calls, terminators), so adce can additionally remove
         // loads and readnone calls: that can un-kill an overwritten store
-        // (dse) and drop the reads/writes bits behind attribute inference
-        // (fa). Surviving instructions are transitively rooted, so no
+        // (dse), drop the reads/writes bits behind attribute inference
+        // (fa), empty a block down to its `Br` (cfgs), strip a readnone
+        // call or alloca from a self-loop body (the unroll body screen —
+        // ivl), unblock a rotate header shape (rot), and remove an
+        // own-stack-writing readnone call that was pinning a loop load
+        // (licm). Surviving instructions are transitively rooted, so no
         // orphans remain and every would_dce-based fire condition stays
         // false; CFG and remaining operands are untouched.
         crate::work::DSE
@@ -484,6 +558,10 @@ impl Pass for Adce {
             | crate::work::FA
             | crate::work::TCE
             | crate::work::LD
+            | crate::work::CFGS
+            | crate::work::LICM
+            | crate::work::IVL
+            | crate::work::ROT
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)
@@ -731,10 +809,21 @@ impl Pass for Sink {
     }
     fn produces(&self) -> u64 {
         // Moves pure scalar insts only: use counts, operands, CFG, stores
-        // and attrs are untouched, so no other class's fire condition can
-        // flip on — except block-local duplicates (moved into the use block)
-        // and loop deletability (a result use sunk out of its loop).
-        crate::work::ECSE | crate::work::LD
+        // and attrs are untouched, so most fire conditions cannot flip on.
+        // The exceptions all come from the *move itself*: block-local
+        // duplicates (moved into the use block — ecse), loop deletability
+        // (a result use sunk out of its loop — ld), hoistability (a pure
+        // inst with loop-invariant operands sunk into a loop body — licm),
+        // unroll budgets (an inst sunk out of a self-loop body shrinks it
+        // under the size screens — ivl), and rotate header shape screens
+        // (header contents changed — rot). Source blocks end in a condbr so
+        // they never become forwarding blocks, and no CFG edit or operand
+        // rewrite happens, so cfgs stays off the table.
+        crate::work::ECSE
+            | crate::work::LD
+            | crate::work::LICM
+            | crate::work::IVL
+            | crate::work::ROT
     }
     fn is_idempotent(&self) -> bool {
         true // runs to fixpoint in one invocation (tests/idempotence.rs verifies)

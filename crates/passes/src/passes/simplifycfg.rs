@@ -23,8 +23,21 @@ impl Pass for SimplifyCfg {
     fn run(&self, m: &mut Module, stats: &mut Stats) {
         for f in &mut m.funcs {
             let mut n = 0u64;
-            // Iterate the local simplifications to a fixpoint (bounded).
-            for _ in 0..8 {
+            // Iterate the local simplifications to a true fixpoint. The bound
+            // is a termination measure, not a heuristic: every one of the five
+            // rewrites strictly decreases `blocks + condbrs + φs` and none of
+            // them ever increases it, so `measure + 1` rounds always reach the
+            // fixpoint — which is what makes `clears = CFGS` and idempotence
+            // theorems rather than hopes.
+            let measure = f.blocks.len()
+                + f.blocks
+                    .iter()
+                    .map(|b| {
+                        b.num_phis()
+                            + usize::from(matches!(b.term, Term::CondBr { .. }))
+                    })
+                    .sum::<usize>();
+            for _ in 0..=measure {
                 let mut changed = 0;
                 changed += fold_constant_branches(f);
                 changed += remove_unreachable_blocks(f);
@@ -38,6 +51,15 @@ impl Pass for SimplifyCfg {
             }
             stats.inc("simplifycfg", "NumSimpl", n);
         }
+    }
+    fn is_idempotent(&self) -> bool {
+        true
+    }
+    fn fires_on(&self) -> Option<u64> {
+        Some(crate::work::CFGS)
+    }
+    fn clears(&self) -> u64 {
+        crate::work::CFGS
     }
     fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
         // Mirror the first fixpoint round: if none of the five local

@@ -512,8 +512,9 @@ impl Pass for LoopVectorize {
         }
     }
     fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact mirror: the transform fires iff a plan passes every screen.
         for f in &m.funcs {
-            if vectorizable_loop_shape(f, false) {
+            if plan_vectorize(f, false).is_some() {
                 return Verdict::may(format!("{}: unit-stride map loop", f.name));
             }
         }
@@ -543,8 +544,9 @@ impl Pass for LoopIdiom {
         }
     }
     fn precondition(&self, m: &Module, _facts: &Facts) -> Verdict {
+        // Exact mirror: the transform fires iff a plan passes every screen.
         for f in &m.funcs {
-            if vectorizable_loop_shape(f, true) {
+            if plan_vectorize(f, true).is_some() {
                 return Verdict::may(format!("{}: memset-style loop", f.name));
             }
         }
@@ -552,11 +554,21 @@ impl Pass for LoopIdiom {
     }
 }
 
-/// Necessary (MayFire) shape shared by `loop-vectorize` and `loop-idiom`:
-/// mirrors `vectorize_one_loop`'s early screens — canonical IV, divisible
-/// constant trip count, a single φ, a store in the body, and (idiom mode) no
-/// loads. Address/alias classification is left to MayFire.
-fn vectorizable_loop_shape(f: &Function, idiom_only: bool) -> bool {
+/// Everything the transform needs from the (read-only) screening walk: the
+/// loop header, the IV increment to restep, and the vectorisable data graph.
+struct VecPlan {
+    h: citroen_ir::inst::BlockId,
+    iv_next: ValueId,
+    data: HashSet<ValueId>,
+}
+
+/// Read-only mirror of `vectorize_one_loop`'s *complete* screen set — IV
+/// shape, trip divisibility, single φ, per-instruction data-graph closure
+/// with unit-stride addresses, store/load base disjointness, and the
+/// vector-width profitability cut. Returns the plan for the first loop that
+/// passes everything, so `plan_vectorize(f, io).is_some()` is exactly "the
+/// pass would fire".
+fn plan_vectorize(f: &Function, idiom_only: bool) -> Option<VecPlan> {
     use super::loops::{analyze_iv, const_trip_count, find_self_loops};
     let wf = W as u64;
     for sl in find_self_loops(f) {
@@ -568,19 +580,143 @@ fn vectorizable_loop_shape(f: &Function, idiom_only: bool) -> bool {
         if trip % wf != 0 || trip < wf {
             continue;
         }
-        let insts = &f.blocks[sl.header.idx()].insts;
-        if insts.iter().filter(|i| i.is_phi()).count() != 1 {
+        let h = sl.header;
+        let sites = def_sites(f);
+        let in_loop: HashSet<ValueId> =
+            f.blocks[h.idx()].insts.iter().filter_map(|i| i.dst()).collect();
+
+        // Only the IV φ is allowed (map loops carry no other state).
+        let phis = f.blocks[h.idx()].insts.iter().filter(|i| i.is_phi()).count();
+        if phis != 1 {
             continue;
         }
-        if !insts.iter().any(|i| matches!(i, Inst::Store { .. })) {
+        // Classify instructions: address/iv scalar backbone vs data graph.
+        // Data values flow load → pure ops → store.
+        let mut load_elems: Vec<ScalarTy> = Vec::new();
+        let mut data: HashSet<ValueId> = HashSet::new();
+        let mut store_bases: Vec<String> = Vec::new();
+        let mut load_bases: Vec<String> = Vec::new();
+        let mut ok = true;
+        let mut has_store = false;
+        for inst in &f.blocks[h.idx()].insts {
+            match inst {
+                Inst::Load { dst, addr } => {
+                    let ty = f.ty(*dst);
+                    if idiom_only || ty.lanes != 1 {
+                        ok = false;
+                        break;
+                    }
+                    match stride_of(f, &sites, addr, iv.phi, &in_loop) {
+                        Some((s, base)) if s == ty.scalar.bytes() as i64 => {
+                            load_bases.push(base);
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    data.insert(*dst);
+                    load_elems.push(ty.scalar);
+                }
+                Inst::Store { ty, val, addr } => {
+                    has_store = true;
+                    if ty.lanes != 1 {
+                        ok = false;
+                        break;
+                    }
+                    match stride_of(f, &sites, addr, iv.phi, &in_loop) {
+                        Some((s, base)) if s == ty.scalar.bytes() as i64 => {
+                            store_bases.push(base);
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    // Stored value must be data-graph or invariant.
+                    if let Some(v) = val.as_value() {
+                        if in_loop.contains(&v) && !data.contains(&v) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    let uses_data = [lhs, rhs]
+                        .iter()
+                        .any(|o| o.as_value().map(|v| data.contains(&v)).unwrap_or(false));
+                    if uses_data {
+                        // All value operands must be data or invariant.
+                        let mut good = true;
+                        for o in [lhs, rhs] {
+                            if let Some(v) = o.as_value() {
+                                if in_loop.contains(&v) && !data.contains(&v) {
+                                    good = false;
+                                }
+                            }
+                        }
+                        if !good {
+                            ok = false;
+                            break;
+                        }
+                        data.insert(*dst);
+                    }
+                }
+                Inst::Cast { dst, src, .. } => {
+                    if let Some(v) = src.as_value() {
+                        if data.contains(&v) {
+                            data.insert(*dst);
+                        }
+                    }
+                }
+                Inst::Cmp { .. } | Inst::Phi { .. } => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || !has_store {
             continue;
         }
-        if idiom_only && insts.iter().any(|i| matches!(i, Inst::Load { .. })) {
+        if idiom_only && !load_elems.is_empty() {
             continue;
         }
-        return true;
+        // Alias safety: every load base must differ from every store base,
+        // and stores must be pairwise disjoint (vector stores widen each
+        // access, so nearby scalar stores would interleave differently).
+        if load_bases.iter().any(|l| store_bases.iter().any(|s| l == s || overlapping(l, s))) {
+            continue;
+        }
+        let mut stores_disjoint = true;
+        for i in 0..store_bases.len() {
+            for j in i + 1..store_bases.len() {
+                if overlapping(&store_bases[i], &store_bases[j]) {
+                    stores_disjoint = false;
+                }
+            }
+        }
+        if !stores_disjoint {
+            continue;
+        }
+        // Profitability: widest data lane × W must fit the machine vector.
+        let mut widest = 0u32;
+        for inst in &f.blocks[h.idx()].insts {
+            if let Some(d) = inst.dst() {
+                if data.contains(&d) {
+                    widest = widest.max(f.ty(d).scalar.bits());
+                }
+            }
+            if let Inst::Store { ty, .. } = inst {
+                widest = widest.max(ty.scalar.bits());
+            }
+        }
+        if widest * W as u32 > VECTOR_BITS {
+            continue;
+        }
+        return Some(VecPlan { h, iv_next: iv.next, data });
     }
-    false
+    None
 }
 
 /// A unit-stride address inside a loop: `invariant-terms + iv * scale + off`.
@@ -658,220 +794,76 @@ fn stride_of(
 }
 
 fn vectorize_one_loop(f: &mut Function, idiom_only: bool) -> bool {
-    use super::loops::{analyze_iv, const_trip_count, find_self_loops};
     let wf = W as u64;
-    for sl in find_self_loops(f) {
-        let Some(iv) = analyze_iv(f, &sl) else { continue };
-        if iv.step != 1 || !iv.true_continues || iv.cmp_op != CmpOp::Slt || !iv.cmp_on_next {
-            continue;
-        }
-        let Some(trip) = const_trip_count(&iv, 1 << 20) else { continue };
-        if trip % wf != 0 || trip < wf {
-            continue;
-        }
-        let h = sl.header;
-        let sites = def_sites(f);
-        let in_loop: HashSet<ValueId> =
-            f.blocks[h.idx()].insts.iter().filter_map(|i| i.dst()).collect();
-
-        // Only the IV φ is allowed (map loops carry no other state).
-        let phis = f.blocks[h.idx()].insts.iter().filter(|i| i.is_phi()).count();
-        if phis != 1 {
-            continue;
-        }
-        // Classify instructions: address/iv scalar backbone vs data graph.
-        // Data values flow load → pure ops → store.
-        let mut load_elems: Vec<ScalarTy> = Vec::new();
-        let mut data: HashSet<ValueId> = HashSet::new();
-        let mut store_bases: Vec<String> = Vec::new();
-        let mut load_bases: Vec<String> = Vec::new();
-        let mut ok = true;
-        let mut has_store = false;
-        for inst in &f.blocks[h.idx()].insts {
-            match inst {
-                Inst::Load { dst, addr } => {
-                    let ty = f.ty(*dst);
-                    if idiom_only || ty.lanes != 1 {
-                        ok = false;
-                        break;
-                    }
-                    match stride_of(f, &sites, addr, iv.phi, &in_loop) {
-                        Some((s, base)) if s == ty.scalar.bytes() as i64 => {
-                            load_bases.push(base);
-                        }
-                        _ => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    data.insert(*dst);
-                    load_elems.push(ty.scalar);
-                }
-                Inst::Store { ty, val, addr } => {
-                    has_store = true;
-                    if ty.lanes != 1 {
-                        ok = false;
-                        break;
-                    }
-                    match stride_of(f, &sites, addr, iv.phi, &in_loop) {
-                        Some((s, base)) if s == ty.scalar.bytes() as i64 => {
-                            store_bases.push(base);
-                        }
-                        _ => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    // Stored value must be data-graph or invariant.
-                    if let Some(v) = val.as_value() {
-                        if in_loop.contains(&v) && !data.contains(&v) {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                Inst::Bin { dst, lhs, rhs, .. } => {
-                    let uses_data = [lhs, rhs].iter().any(|o| {
-                        o.as_value().map(|v| data.contains(&v)).unwrap_or(false)
+    let Some(VecPlan { h, iv_next, data }) = plan_vectorize(f, idiom_only) else {
+        return false;
+    };
+    // Transform: data values become vectors; loads/stores widen; the IV
+    // steps by W; invariant operands of data ops are splatted.
+    let insts: Vec<Inst> = f.blocks[h.idx()].insts.clone();
+    let mut out: Vec<Inst> = Vec::new();
+    let mut vec_of: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut splat_cache: HashMap<String, ValueId> = HashMap::new();
+    for inst in &insts {
+        match inst {
+            Inst::Phi { .. } => out.push(inst.clone()),
+            Inst::Load { dst, addr } if data.contains(dst) => {
+                let ty = f.ty(*dst);
+                let vd = f.new_value(Ty::vector(ty.scalar, W as u8));
+                vec_of.insert(*dst, vd);
+                out.push(Inst::Load { dst: vd, addr: *addr });
+            }
+            Inst::Store { ty, val, addr } => {
+                let vty = Ty::vector(ty.scalar, W as u8);
+                let vval = vector_operand(
+                    f,
+                    &mut out,
+                    &mut splat_cache,
+                    &vec_of,
+                    val,
+                    vty,
+                );
+                out.push(Inst::Store { ty: vty, val: vval, addr: *addr });
+            }
+            Inst::Bin { dst, op, lhs, rhs } if data.contains(dst) => {
+                let ty = f.ty(*dst);
+                let vty = Ty::vector(ty.scalar, W as u8);
+                let vl = vector_operand(f, &mut out, &mut splat_cache, &vec_of, lhs, vty);
+                let vr = vector_operand(f, &mut out, &mut splat_cache, &vec_of, rhs, vty);
+                let vd = f.new_value(vty);
+                vec_of.insert(*dst, vd);
+                out.push(Inst::Bin { dst: vd, op: *op, lhs: vl, rhs: vr });
+            }
+            Inst::Cast { dst, kind, src } if data.contains(dst) => {
+                let ty = f.ty(*dst);
+                let vty = Ty::vector(ty.scalar, W as u8);
+                let src_ty = f.operand_ty(src);
+                let vsrc =
+                    vector_operand(f, &mut out, &mut splat_cache, &vec_of,
+                                   src, Ty::vector(src_ty.scalar, W as u8));
+                let vd = f.new_value(vty);
+                vec_of.insert(*dst, vd);
+                out.push(Inst::Cast { dst: vd, kind: *kind, src: vsrc });
+            }
+            Inst::Bin { dst, op, lhs, rhs: _ } => {
+                // Scalar backbone: the IV increment changes step 1 -> W.
+                if *dst == iv_next {
+                    out.push(Inst::Bin {
+                        dst: *dst,
+                        op: *op,
+                        lhs: *lhs,
+                        rhs: Operand::ImmI(wf as i64, f.ty(*dst).scalar),
                     });
-                    if uses_data {
-                        // All value operands must be data or invariant.
-                        let mut good = true;
-                        for o in [lhs, rhs] {
-                            if let Some(v) = o.as_value() {
-                                if in_loop.contains(&v) && !data.contains(&v) {
-                                    good = false;
-                                }
-                            }
-                        }
-                        if !good {
-                            ok = false;
-                            break;
-                        }
-                        data.insert(*dst);
-                    }
-                }
-                Inst::Cast { dst, src, .. } => {
-                    if let Some(v) = src.as_value() {
-                        if data.contains(&v) {
-                            data.insert(*dst);
-                        }
-                    }
-                }
-                Inst::Cmp { .. } | Inst::Phi { .. } => {}
-                _ => {
-                    ok = false;
-                    break;
+                } else {
+                    out.push(inst.clone());
                 }
             }
+            other => out.push(other.clone()),
         }
-        if !ok || !has_store {
-            continue;
-        }
-        if idiom_only && !load_elems.is_empty() {
-            continue;
-        }
-        // Alias safety: every load base must differ from every store base,
-        // and stores must be pairwise disjoint (vector stores widen each
-        // access, so nearby scalar stores would interleave differently).
-        if load_bases.iter().any(|l| store_bases.iter().any(|s| l == s || overlapping(l, s))) {
-            continue;
-        }
-        let mut stores_disjoint = true;
-        for i in 0..store_bases.len() {
-            for j in i + 1..store_bases.len() {
-                if overlapping(&store_bases[i], &store_bases[j]) {
-                    stores_disjoint = false;
-                }
-            }
-        }
-        if !stores_disjoint {
-            continue;
-        }
-        // Profitability: widest data lane × W must fit the machine vector.
-        let mut widest = 0u32;
-        for inst in &f.blocks[h.idx()].insts {
-            if let Some(d) = inst.dst() {
-                if data.contains(&d) {
-                    widest = widest.max(f.ty(d).scalar.bits());
-                }
-            }
-            if let Inst::Store { ty, .. } = inst {
-                widest = widest.max(ty.scalar.bits());
-            }
-        }
-        if widest * W as u32 > VECTOR_BITS {
-            continue;
-        }
-
-        // Transform: data values become vectors; loads/stores widen; the IV
-        // steps by W; invariant operands of data ops are splatted.
-        let insts: Vec<Inst> = f.blocks[h.idx()].insts.clone();
-        let mut out: Vec<Inst> = Vec::new();
-        let mut vec_of: HashMap<ValueId, ValueId> = HashMap::new();
-        let mut splat_cache: HashMap<String, ValueId> = HashMap::new();
-        for inst in &insts {
-            match inst {
-                Inst::Phi { .. } => out.push(inst.clone()),
-                Inst::Load { dst, addr } if data.contains(dst) => {
-                    let ty = f.ty(*dst);
-                    let vd = f.new_value(Ty::vector(ty.scalar, W as u8));
-                    vec_of.insert(*dst, vd);
-                    out.push(Inst::Load { dst: vd, addr: *addr });
-                }
-                Inst::Store { ty, val, addr } => {
-                    let vty = Ty::vector(ty.scalar, W as u8);
-                    let vval = vector_operand(
-                        f,
-                        &mut out,
-                        &mut splat_cache,
-                        &vec_of,
-                        val,
-                        vty,
-                    );
-                    out.push(Inst::Store { ty: vty, val: vval, addr: *addr });
-                }
-                Inst::Bin { dst, op, lhs, rhs } if data.contains(dst) => {
-                    let ty = f.ty(*dst);
-                    let vty = Ty::vector(ty.scalar, W as u8);
-                    let vl = vector_operand(f, &mut out, &mut splat_cache, &vec_of, lhs, vty);
-                    let vr = vector_operand(f, &mut out, &mut splat_cache, &vec_of, rhs, vty);
-                    let vd = f.new_value(vty);
-                    vec_of.insert(*dst, vd);
-                    out.push(Inst::Bin { dst: vd, op: *op, lhs: vl, rhs: vr });
-                }
-                Inst::Cast { dst, kind, src } if data.contains(dst) => {
-                    let ty = f.ty(*dst);
-                    let vty = Ty::vector(ty.scalar, W as u8);
-                    let src_ty = f.operand_ty(src);
-                    let vsrc =
-                        vector_operand(f, &mut out, &mut splat_cache, &vec_of,
-                                       src, Ty::vector(src_ty.scalar, W as u8));
-                    let vd = f.new_value(vty);
-                    vec_of.insert(*dst, vd);
-                    out.push(Inst::Cast { dst: vd, kind: *kind, src: vsrc });
-                }
-                Inst::Bin { dst, op, lhs, rhs: _ } => {
-                    // Scalar backbone: the IV increment changes step 1 -> W.
-                    if *dst == iv.next {
-                        out.push(Inst::Bin {
-                            dst: *dst,
-                            op: *op,
-                            lhs: *lhs,
-                            rhs: Operand::ImmI(wf as i64, f.ty(*dst).scalar),
-                        });
-                    } else {
-                        out.push(inst.clone());
-                    }
-                }
-                other => out.push(other.clone()),
-            }
-        }
-        f.blocks[h.idx()].insts = out;
-        dce_function(f);
-        return true;
     }
-    false
+    f.blocks[h.idx()].insts = out;
+    dce_function(f);
+    true
 }
 
 /// Conservative textual-base overlap check (same symbolic base description).

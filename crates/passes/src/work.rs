@@ -1,21 +1,25 @@
 //! Work classes: the bit universe behind the pass-subsumption matrix.
 //!
-//! Each *idempotent* pass owns one bit naming the kind of transformable
+//! Each class-owning pass has one bit naming the kind of transformable
 //! work it consumes (dead pure code, const-foldable ops, promotable
-//! allocas, …). Three per-pass masks over this universe drive the static
-//! subsumption derivation and the `SeqCanonicalizer` dataflow
-//! (DESIGN.md §9):
+//! allocas, rotatable loop headers, …). Three per-pass masks over this
+//! universe drive the static subsumption derivation and the
+//! `SeqCanonicalizer` dataflow (DESIGN.md §9–10):
 //!
 //! - [`crate::Pass::fires_on`] — the classes whose presence is *necessary*
 //!   for the pass to change anything. `Some(mask)` is a theorem: on a
 //!   module with none of those classes present, `run` must be a no-op.
-//!   Only the idempotent passes (whose precondition mirrors replay the
-//!   fire test exactly) declare a mask; everything else answers `None`
-//!   (unknown — never dropped).
+//!   A pass declares a mask when its precondition mirror replays the fire
+//!   test exactly — usually because the pass is idempotent, but not
+//!   necessarily (`loop-rotate` consumes while-shaped headers it never
+//!   recreates, so [`ROT`] is a sound fire class even though rotation is
+//!   not an idempotent rewrite). Everything else answers `None` (unknown —
+//!   never dropped).
 //! - [`crate::Pass::clears`] — classes *provably absent* after the pass
 //!   runs, regardless of input. Every idempotent pass clears its own bit
-//!   (that is the idempotence theorem restated); passes ending in an
-//!   unconditional `dce_function` sweep additionally clear [`DEAD`].
+//!   (that is the idempotence theorem restated); a non-idempotent owner
+//!   clears its bit only if it provably exhausts the class; passes ending
+//!   in an unconditional `dce_function` sweep additionally clear [`DEAD`].
 //! - [`crate::Pass::produces`] — classes the pass may *create*. The
 //!   always-sound default is "everything"; it is narrowed only where the
 //!   pass's edit set makes the claim easy (e.g. `sink` moves pure
@@ -50,16 +54,27 @@ pub const TCE: u64 = 1 << 9;
 pub const LS: u64 = 1 << 10;
 /// Side-effect-free loops with unused results (what `loop-deletion` drops).
 pub const LD: u64 = 1 << 11;
+/// Foldable branches, unreachable/mergeable/forwarding blocks and
+/// single-incoming φs (what `simplifycfg` rewrites).
+pub const CFGS: u64 = 1 << 12;
+/// Loop-invariant hoistable instructions (what `licm` moves to preheaders).
+pub const LICM: u64 = 1 << 13;
+/// Constant-trip induction loops within the unroll budget (what
+/// `loop-unroll` expands).
+pub const IVL: u64 = 1 << 14;
+/// While-shaped rotatable headers (what `loop-rotate` converts to do-while).
+pub const ROT: u64 = 1 << 15;
 
 /// Every tracked work class.
-pub const ALL: u64 = (1 << 12) - 1;
+pub const ALL: u64 = (1 << 16) - 1;
 
 /// Number of tracked classes.
-pub const NUM_CLASSES: u32 = 12;
+pub const NUM_CLASSES: u32 = 16;
 
 /// Short stable names, bit-index order (used in the interaction-graph JSON).
 pub const NAMES: [&str; NUM_CLASSES as usize] = [
     "dead", "adce", "dse", "sink", "sccp", "m2r", "cp", "ecse", "fa", "tce", "ls", "ld",
+    "cfgs", "licm", "ivl", "rot",
 ];
 
 /// Render a mask as `dead|cp|…` (or `-` when empty, `*` when ALL).
@@ -101,7 +116,8 @@ mod tests {
 
     #[test]
     fn bits_are_distinct_and_covered_by_all() {
-        let bits = [DEAD, ADCE, DSE, SINK, SCCP, M2R, CP, ECSE, FA, TCE, LS, LD];
+        let bits =
+            [DEAD, ADCE, DSE, SINK, SCCP, M2R, CP, ECSE, FA, TCE, LS, LD, CFGS, LICM, IVL, ROT];
         let mut seen = 0u64;
         for b in bits {
             assert_eq!(seen & b, 0, "duplicate bit {b:#x}");
@@ -112,7 +128,7 @@ mod tests {
 
     #[test]
     fn mask_names_round_trip() {
-        for mask in [0, ALL, DEAD, DEAD | CP | LD, ADCE | FA] {
+        for mask in [0, ALL, DEAD, DEAD | CP | LD, ADCE | FA, CFGS | LICM, IVL | ROT] {
             assert_eq!(mask_from_names(&mask_names(mask)), Some(mask));
         }
         assert_eq!(mask_from_names("bogus"), None);

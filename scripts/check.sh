@@ -30,6 +30,12 @@
 #      on any violation), then a q=4 batched tuning run with
 #      subsume-collapse on and the S1-S8 sanitizer armed end to end
 #      (CITROEN_SANITIZE=1)
+#   9. the alias gate: a 50-state `citroen-analyze alias-oracle --smoke`
+#      soundness campaign (every same-block No/Must alias verdict checked
+#      against concrete access addresses), a `mine-edges --smoke` mining +
+#      executed-drop promotion pass, and the shipped suite compiled at -O3
+#      with the full S1-S11 sanitizer armed (`validate`, which includes
+#      the alias-aware S9-S11 rules) — all exit 1 on any finding
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
@@ -75,5 +81,10 @@ echo "== subsumption: drop-soundness campaign + sanitized collapsed run"
 timeout 60 ./target/release/citroen-analyze subsume --modules 10 --seqs 10
 CITROEN_SANITIZE=1 timeout 120 ./target/release/citroen-trace record \
     --bench telecom_gsm --budget 6 --batch 4 --subsume --seed 9 > /dev/null
+
+echo "== alias: soundness smoke + edge mining + sanitized -O3 suite (S1-S11)"
+timeout 60 ./target/release/citroen-analyze alias-oracle --smoke
+timeout 120 ./target/release/citroen-analyze mine-edges --smoke > /dev/null
+CITROEN_SANITIZE=1 timeout 120 ./target/release/citroen-analyze validate
 
 echo "== tier-1 gate passed"

@@ -14,7 +14,17 @@
 //!   behavioural no-op.
 //! * **validate** (`validate`): run the shipped benchmark suite through the
 //!   `-O3` pipeline with the per-pass translation-validation sanitizer armed
-//!   (S1–S8, value-level included) and report any contradiction.
+//!   (S1–S11, value-level and alias-aware included) and report any
+//!   contradiction.
+//! * **mine-edges** (`mine-edges`): trace the shipped suite under random
+//!   pipelines, mine adjacent-pair no-op hypotheses, exclude those the
+//!   static work matrix already proves, and promote the rest only after an
+//!   executed-drop fuzz campaign (the `subsume` theorem check) fails to
+//!   refute them.
+//! * **alias-oracle** (`alias-oracle`): soundness-fuzz the alias analysis —
+//!   every same-block `No`/`Must` answer on generated modules (raw and after
+//!   random pipelines) is checked against a concrete interpretation that
+//!   records every dynamic access address; violating modules are reduced.
 //! * **fuzz** (default, `--smoke` for the 30-second tier-1 budget): random
 //!   generated modules × random pass sequences through the verifier, the
 //!   sanitizer, and an interpreter differential, delta-debugging any failure
@@ -23,9 +33,13 @@
 //! Exits non-zero iff a failure, an oracle violation, or (in lint mode) any
 //! diagnostic was found.
 
-use citroen::fuzz::{run_campaign, run_oracle_campaign, run_subsumption_campaign, FuzzConfig};
+use citroen::fuzz::{
+    run_alias_campaign, run_campaign, run_oracle_campaign, run_subsumption_campaign, FuzzConfig,
+};
+use citroen::mine::{run_mine_campaign, MineConfig};
 use citroen_analyze::{filter_severity, lint_module, Severity};
 use citroen_passes::manager::{o3_pipeline, PassManager, Registry};
+use citroen_rt::json::Value;
 
 const USAGE: &str = "\
 citroen-analyze — dataflow lints, precondition oracle + fuzzing
@@ -34,8 +48,10 @@ USAGE:
     citroen-analyze [--smoke | --modules N --seqs N --max-len N --seed S]
     citroen-analyze oracle [--smoke] [--modules N --seqs N --max-len N --seed S]
     citroen-analyze subsume [--smoke] [--modules N --seqs N --max-len N --seed S]
+    citroen-analyze alias-oracle [--smoke] [--modules N --seqs N --max-len N --seed S]
+    citroen-analyze mine-edges [--smoke] [--seed S]
     citroen-analyze validate
-    citroen-analyze --lint [--o3] [--errors-only] [--ir FILE]
+    citroen-analyze --lint [--o3] [--errors-only] [--json] [--ir FILE]
 
 MODES:
     (default)        fuzz campaign (20 modules x 10 sequences)
@@ -45,12 +61,20 @@ MODES:
                      (25 x 20 = 500 trials): every drop the sequence
                      canonicalizer would take is executed and must change
                      nothing
-    validate         run the shipped suite through -O3 with the S1-S8
+    alias-oracle     soundness-fuzz the alias analysis: 200 generated
+                     modules, each checked raw and after random pipelines
+                     against concrete access addresses
+    mine-edges       mine candidate subsumption edges from traced suite
+                     runs; promote each novel edge only after 500
+                     executed-drop trials fail to refute it
+    validate         run the shipped suite through -O3 with the S1-S11
                      translation-validation sanitizer armed
     --smoke          tiny deterministic campaign (tier-1 gate, <30s)
     --lint           lint the shipped benchmark suite
     --o3             lint after the -O3 pipeline instead of the source IR
     --errors-only    only report Error-severity lints
+    --json           emit lint findings / the oracle report as one JSON
+                     document on stdout (exit codes unchanged)
     --ir FILE        lint a single IR file instead of the suite
 
 FUZZ OPTIONS:
@@ -83,15 +107,21 @@ fn main() {
     let (mut lint, mut o3, mut errors_only, mut smoke) = (false, false, false, false);
     let (mut oracle, mut with_lying, mut explicit_size) = (false, false, false);
     let (mut subsume, mut validate, mut with_broken) = (false, false, false);
+    let mut alias_oracle = false;
+    let mut mine_edges = false;
+    let mut json = false;
     let mut ir_file: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "oracle" => oracle = true,
             "subsume" => subsume = true,
             "validate" => validate = true,
+            "alias-oracle" => alias_oracle = true,
+            "mine-edges" => mine_edges = true,
             "--lint" => lint = true,
             "--o3" => o3 = true,
             "--errors-only" => errors_only = true,
+            "--json" => json = true,
             "--smoke" => smoke = true,
             "--ir" => {
                 ir_file = Some(args.next().unwrap_or_else(|| die("--ir needs a file path")))
@@ -125,8 +155,8 @@ fn main() {
 
     if lint {
         match ir_file {
-            Some(path) => std::process::exit(lint_file(&path, errors_only)),
-            None => std::process::exit(lint_suite(o3, errors_only)),
+            Some(path) => std::process::exit(lint_file(&path, errors_only, json)),
+            None => std::process::exit(lint_suite(o3, errors_only, json)),
         }
     }
     if oracle || subsume {
@@ -139,7 +169,26 @@ fn main() {
         if subsume {
             std::process::exit(subsume_mode(&cfg, with_lying));
         }
-        std::process::exit(oracle_mode(&cfg, smoke, with_lying));
+        std::process::exit(oracle_mode(&cfg, smoke, with_lying, json));
+    }
+    if mine_edges {
+        let mut mcfg = if smoke { MineConfig::smoke() } else { MineConfig::default() };
+        if cfg.seed != FuzzConfig::default().seed {
+            mcfg.seed = cfg.seed;
+        }
+        std::process::exit(mine_edges_mode(&mcfg));
+    }
+    if alias_oracle {
+        if smoke {
+            // check.sh stage 9 budget: 25 modules x (raw + 1 pipeline) = 50
+            // checked states.
+            cfg.modules = 25;
+            cfg.seqs_per_module = 1;
+        } else if !explicit_size {
+            cfg.modules = 200;
+            cfg.seqs_per_module = 2;
+        }
+        std::process::exit(alias_oracle_mode(&cfg));
     }
     if validate {
         std::process::exit(validate_mode(with_broken));
@@ -147,13 +196,33 @@ fn main() {
     std::process::exit(fuzz(&cfg));
 }
 
+/// One lint finding as a JSON object (`--json` mode). `origin` is the
+/// benchmark name or file path the finding came from.
+fn diag_value(origin: &str, d: &citroen_analyze::Diagnostic) -> Value {
+    let mut obj = vec![
+        ("origin".into(), Value::str(origin)),
+        ("code".into(), Value::str(d.code)),
+        (
+            "severity".into(),
+            Value::str(if d.severity == Severity::Error { "error" } else { "warning" }),
+        ),
+        ("func".into(), Value::str(&d.func)),
+    ];
+    if let Some(b) = d.block {
+        obj.push(("block".into(), Value::U64(u64::from(b))));
+    }
+    obj.push(("msg".into(), Value::str(&d.msg)));
+    Value::Obj(obj)
+}
+
 /// Lint every benchmark in the cBench- and SPEC-like suites (linked form),
 /// returning a non-zero exit code iff any diagnostic is produced.
-fn lint_suite(after_o3: bool, errors_only: bool) -> i32 {
+fn lint_suite(after_o3: bool, errors_only: bool, json: bool) -> i32 {
     let reg = Registry::full();
     let pm = PassManager::new(&reg);
     let o3 = o3_pipeline(&reg);
     let mut total = 0usize;
+    let mut findings = Vec::new();
     for bench in citroen_suite::cbench().into_iter().chain(citroen_suite::spec()) {
         let mut m = bench.link();
         if after_o3 {
@@ -164,18 +233,32 @@ fn lint_suite(after_o3: bool, errors_only: bool) -> i32 {
             diags = filter_severity(diags, Severity::Error);
         }
         for d in &diags {
-            println!("{}: {d}", bench.name);
+            if json {
+                findings.push(diag_value(bench.name, d));
+            } else {
+                println!("{}: {d}", bench.name);
+            }
         }
         total += diags.len();
     }
     let stage = if after_o3 { "after -O3" } else { "on source IR" };
-    println!("citroen-analyze: {total} diagnostic(s) {stage}");
+    if json {
+        let doc = Value::Obj(vec![
+            ("mode".into(), Value::str("lint")),
+            ("stage".into(), Value::str(stage)),
+            ("diagnostics".into(), Value::Arr(findings)),
+            ("total".into(), Value::U64(total as u64)),
+        ]);
+        println!("{}", doc.emit_pretty());
+    } else {
+        println!("citroen-analyze: {total} diagnostic(s) {stage}");
+    }
     i32::from(total > 0)
 }
 
 /// Lint a single parseable IR file (e.g. a fuzz-reduced reproducer),
 /// returning a non-zero exit code iff any diagnostic is produced.
-fn lint_file(path: &str, errors_only: bool) -> i32 {
+fn lint_file(path: &str, errors_only: bool, json: bool) -> i32 {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("--ir {path}: {e}")));
     let m = citroen_ir::parse::parse_module(&text)
@@ -184,10 +267,20 @@ fn lint_file(path: &str, errors_only: bool) -> i32 {
     if errors_only {
         diags = filter_severity(diags, Severity::Error);
     }
-    for d in &diags {
-        println!("{path}: {d}");
+    if json {
+        let doc = Value::Obj(vec![
+            ("mode".into(), Value::str("lint")),
+            ("file".into(), Value::str(path)),
+            ("diagnostics".into(), Value::Arr(diags.iter().map(|d| diag_value(path, d)).collect())),
+            ("total".into(), Value::U64(diags.len() as u64)),
+        ]);
+        println!("{}", doc.emit_pretty());
+    } else {
+        for d in &diags {
+            println!("{path}: {d}");
+        }
+        println!("citroen-analyze: {} diagnostic(s) in {path}", diags.len());
     }
-    println!("citroen-analyze: {} diagnostic(s) in {path}", diags.len());
     i32::from(!diags.is_empty())
 }
 
@@ -195,7 +288,7 @@ fn lint_file(path: &str, errors_only: bool) -> i32 {
 /// the pass-interaction graph over the shipped suite. Progress and the
 /// campaign summary go to stderr; the graph JSON is stdout, so
 /// `citroen-analyze oracle > graph.json` does the expected thing.
-fn oracle_mode(cfg: &FuzzConfig, smoke: bool, with_lying: bool) -> i32 {
+fn oracle_mode(cfg: &FuzzConfig, smoke: bool, with_lying: bool, json: bool) -> i32 {
     let reg = if with_lying {
         let mut passes = citroen_passes::passes::all_passes();
         passes.push(Box::new(citroen_passes::testing::LyingPrecondition));
@@ -240,7 +333,45 @@ fn oracle_mode(cfg: &FuzzConfig, smoke: bool, with_lying: bool) -> i32 {
         graph.enables.len(),
         graph.disables.len()
     );
-    println!("{}", graph.to_json());
+    if json {
+        // One document wrapping campaign + graph, so machine consumers get
+        // the violation list without scraping stderr. The graph subtree is
+        // byte-compatible with the plain-mode stdout document.
+        let graph_value =
+            Value::parse(&graph.to_json()).expect("InteractionGraph::to_json is valid JSON");
+        let violations = Value::Arr(
+            report
+                .violations
+                .iter()
+                .map(|v| {
+                    Value::Obj(vec![
+                        ("pass".into(), Value::str(&v.pass)),
+                        ("module_seed".into(), Value::U64(v.module_seed)),
+                        ("detail".into(), Value::str(&v.detail)),
+                        ("sequence".into(), Value::str(&v.seq)),
+                        ("reduced_sequence".into(), Value::str(&v.reduced_seq)),
+                        ("reduced_module".into(), Value::str(&v.reduced_ir)),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = Value::Obj(vec![
+            ("mode".into(), Value::str("oracle")),
+            (
+                "campaign".into(),
+                Value::Obj(vec![
+                    ("trials".into(), Value::U64(report.trials as u64)),
+                    ("verdicts".into(), Value::U64(report.verdicts)),
+                    ("checked_cannot_fire".into(), Value::U64(report.checked_cannot_fire)),
+                    ("violations".into(), violations),
+                ]),
+            ),
+            ("graph".into(), graph_value),
+        ]);
+        println!("{}", doc.emit_pretty());
+    } else {
+        println!("{}", graph.to_json());
+    }
 
     i32::from(!report.violations.is_empty())
 }
@@ -288,6 +419,83 @@ fn subsume_mode(cfg: &FuzzConfig, with_lying: bool) -> i32 {
         report.violations.len()
     );
     i32::from(!report.violations.is_empty())
+}
+
+/// Alias-oracle mode: every same-block `No`/`Must` answer is executed as a
+/// theorem against concrete access addresses. Progress goes to stderr;
+/// violations and the summary line to stdout.
+fn alias_oracle_mode(cfg: &FuzzConfig) -> i32 {
+    eprintln!(
+        "citroen-analyze: alias soundness over {} modules x (raw + {} pipelines), seed {:#x}",
+        cfg.modules, cfg.seqs_per_module, cfg.seed
+    );
+    let report = run_alias_campaign(cfg, |line| eprintln!("{line}"));
+    for v in &report.violations {
+        let seq = if v.seq.is_empty() { "<source IR>".to_string() } else { v.seq.clone() };
+        println!(
+            "alias violation: module seed {:#x} after [{seq}]\n  {}\n{}",
+            v.module_seed, v.detail, v.reduced_ir
+        );
+    }
+    println!(
+        "citroen-analyze alias-oracle: {} module(s), {} state(s), {} No + {} Must claim(s) \
+         checked, {} violation(s)",
+        report.modules,
+        report.trials,
+        report.no_claims,
+        report.must_claims,
+        report.violations.len()
+    );
+    i32::from(!report.violations.is_empty())
+}
+
+/// Mine-edges mode: empirical edge mining with fuzz-gated promotion.
+/// Progress goes to stderr; the edge report to stdout.
+fn mine_edges_mode(cfg: &MineConfig) -> i32 {
+    eprintln!(
+        "citroen-analyze: mining subsumption edges ({} seqs/benchmark, {} drop trials/edge, \
+         seed {:#x})",
+        cfg.mine_seqs, cfg.promote_trials, cfg.seed
+    );
+    let reg = citroen_passes::manager::Registry::full();
+    let report = run_mine_campaign(cfg, |line| eprintln!("{line}"));
+    for e in &report.statically_implied {
+        println!(
+            "implied:  {} -> {} ({} obs, already in the static matrix)",
+            reg.pass(e.p).name(),
+            reg.pass(e.q).name(),
+            e.observations
+        );
+    }
+    for r in &report.refuted {
+        println!(
+            "refuted:  {} -> {} ({} obs): {}",
+            reg.pass(r.edge.p).name(),
+            reg.pass(r.edge.q).name(),
+            r.edge.observations,
+            r.detail
+        );
+    }
+    for e in &report.promoted {
+        println!(
+            "promoted: {} -> {} ({} obs, survived {} executed-drop trials)",
+            reg.pass(e.p).name(),
+            reg.pass(e.q).name(),
+            e.observations,
+            cfg.promote_trials
+        );
+    }
+    println!(
+        "citroen-analyze mine-edges: {} adjacencies over {} pairs; {} implied, {} promoted, \
+         {} refuted ({} drop trials)",
+        report.adjacencies,
+        report.pairs_seen,
+        report.statically_implied.len(),
+        report.promoted.len(),
+        report.refuted.len(),
+        report.drop_trials
+    );
+    0
 }
 
 /// Validate mode: compile every shipped benchmark with `-O3` under the

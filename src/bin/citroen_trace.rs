@@ -245,6 +245,24 @@ fn show(mut args: std::env::Args) {
         println!("{:<28} {}  (id {}, thread {}, +{})", s.name, ms(s.dur_ns), s.id, s.thread, ms(s.start_ns));
     }
 
+    // Sanitizer-scheduling and canonicalizer effectiveness, surfaced ahead
+    // of the raw counter dump: how often the S1–S11 re-analysis actually ran
+    // vs. was provably skippable, and how many passes the subsumption matrix
+    // dropped before compilation.
+    let san_runs = t.counters.get("citroen.sanitize.runs").copied().unwrap_or(0);
+    let san_skips = t.counters.get("citroen.sanitize.skips").copied().unwrap_or(0);
+    let subsume_dropped = t.counters.get("canon.subsume_dropped").copied().unwrap_or(0);
+    if san_runs + san_skips + subsume_dropped > 0 {
+        println!("\n== sanitizer / canonicalizer ==");
+        println!("{:<32} {san_runs}", "citroen.sanitize.runs");
+        println!("{:<32} {san_skips}", "citroen.sanitize.skips");
+        if san_runs + san_skips > 0 {
+            let rate = 100.0 * san_skips as f64 / (san_runs + san_skips) as f64;
+            println!("{:<32} {rate:.1}%", "sanitize skip rate");
+        }
+        println!("{:<32} {subsume_dropped}", "canon.subsume_dropped");
+    }
+
     if !t.counters.is_empty() {
         println!("\n== counters ==");
         for (k, v) in &t.counters {

@@ -123,7 +123,7 @@ fn trial_fails(pm: &PassManager<'_>, m: &Module, seq: &[PassId]) -> Option<Failu
 
 /// Vary the generator shape per module so the campaign covers helper-call,
 /// deep-nest and straight-line extremes rather than one average shape.
-fn varied_config(rng: &mut StdRng) -> GenConfig {
+pub(crate) fn varied_config(rng: &mut StdRng) -> GenConfig {
     GenConfig {
         helpers: rng.gen_range(0..=3),
         trip_range: (rng.gen_range(2..16), rng.gen_range(16..64)),
@@ -402,6 +402,104 @@ fn subsumption_replay(
     None
 }
 
+/// A concretely contradicted alias claim, with a reduced module reproducer.
+#[derive(Debug, Clone)]
+pub struct AliasOracleViolation {
+    /// Seed of the generated module that exposed the unsound answer.
+    pub module_seed: u64,
+    /// Pass sequence applied before checking (empty for the raw module).
+    pub seq: String,
+    /// The contradiction, as reported by the concrete checker.
+    pub detail: String,
+    /// The reduced module, printed as parseable IR.
+    pub reduced_ir: String,
+}
+
+/// Alias soundness campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct AliasOracleReport {
+    /// Modules generated.
+    pub modules: usize,
+    /// Module states checked (raw + optimised variants).
+    pub trials: usize,
+    /// `No` claims tested across all trials.
+    pub no_claims: u64,
+    /// `Must` claims tested across all trials.
+    pub must_claims: u64,
+    /// Reduced violations, in discovery order.
+    pub violations: Vec<AliasOracleViolation>,
+}
+
+/// Soundness-fuzz the alias analysis: every `No`/`Must` answer for same-block
+/// access pairs is a theorem about all executions, checked here against the
+/// brute-force witness — a concrete interpretation recording every dynamic
+/// access's address (see [`citroen_analyze::aliasoracle`]). Each generated
+/// module is checked raw and after random pass pipelines (optimised shapes —
+/// rotated loops, forwarded loads — are where an unsound analysis would
+/// bite). Violating modules are shrunk with `reduce_module`, keeping a
+/// contradicted claim reachable.
+pub fn run_alias_campaign(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> AliasOracleReport {
+    use citroen_analyze::aliasoracle;
+    let reg = Registry::full();
+    let mut pm = PassManager::new(&reg);
+    pm.verify_each = false;
+    pm.sanitize = false;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = AliasOracleReport::default();
+
+    let check_state = |m: &Module,
+                           module_seed: u64,
+                           seq_str: String,
+                           report: &mut AliasOracleReport,
+                           progress: &mut dyn FnMut(&str)| {
+        report.trials += 1;
+        let (no, must) = aliasoracle::claim_count(m);
+        report.no_claims += no as u64;
+        report.must_claims += must as u64;
+        let entry = FuncId((m.funcs.len() - 1) as u32);
+        match aliasoracle::check_module(m, entry, FUZZ_STEPS) {
+            // A trapping or runaway module is no witness either way.
+            Err(_) => {}
+            Ok(v) if v.is_empty() => {}
+            Ok(v) => {
+                progress(&format!("  ALIAS VIOLATION ({}) — reducing", v[0]));
+                let reduced = reduce_module(m, |cand| {
+                    let e = FuncId((cand.funcs.len() - 1) as u32);
+                    matches!(aliasoracle::check_module(cand, e, FUZZ_STEPS), Ok(vs) if !vs.is_empty())
+                });
+                report.violations.push(AliasOracleViolation {
+                    module_seed,
+                    seq: seq_str,
+                    detail: v[0].to_string(),
+                    reduced_ir: citroen_ir::print::print_module(&reduced),
+                });
+            }
+        }
+    };
+
+    for mi in 0..cfg.modules {
+        report.modules += 1;
+        let module_seed: u64 = rng.gen();
+        let gen_cfg = varied_config(&mut rng);
+        let module = generate(module_seed, &gen_cfg);
+        progress(&format!(
+            "alias module {}/{} (seed {module_seed:#x}, {} insts)",
+            mi + 1,
+            cfg.modules,
+            module.num_insts()
+        ));
+        check_state(&module, module_seed, String::new(), &mut report, &mut progress);
+        for _ in 0..cfg.seqs_per_module {
+            let len = rng.gen_range(1..=cfg.max_seq_len);
+            let seq: Vec<PassId> =
+                (0..len).map(|_| reg.ids()[rng.gen_range(0..reg.len())]).collect();
+            let Ok(res) = pm.compile_result(&module, &seq) else { continue };
+            check_state(&res.module, module_seed, reg.seq_to_string(&seq), &mut report, &mut progress);
+        }
+    }
+    report
+}
+
 /// Soundness-fuzz the work-class subsumption matrix: random generated modules
 /// × random sequences, simulating the canonicalizer's absent-work dataflow on
 /// an evolving module and executing every predicted drop as a no-op theorem.
@@ -553,6 +651,48 @@ mod tests {
                 2,
                 "minimal reproducer is the lie plus its victim: {}",
                 v.reduced_seq
+            );
+            assert!(!v.reduced_ir.is_empty());
+        }
+    }
+
+    #[test]
+    fn alias_campaign_is_clean_and_exercises_both_claims() {
+        let cfg = FuzzConfig { modules: 6, seqs_per_module: 3, max_seq_len: 10, seed: 0xA11A5 };
+        let report = run_alias_campaign(&cfg, |_| {});
+        assert_eq!(report.modules, 6);
+        assert!(report.trials >= 6, "raw modules always checked: {}", report.trials);
+        assert!(report.no_claims > 0, "campaign must test No claims");
+        assert!(report.must_claims > 0, "campaign must test Must claims");
+        for v in &report.violations {
+            panic!(
+                "alias violation: seed {:#x} seq [{}]\n  {}\n{}",
+                v.module_seed, v.seq, v.detail, v.reduced_ir
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_campaign_convicts_lying_alias_precondition() {
+        // The alias-flavoured lie: CannotFire claimed whenever the only
+        // forwarding candidates flow through computed addresses. Generated
+        // modules carry alloca-backed store→load pairs, so the campaign must
+        // catch it, and ddmin must pin each reproducer to the lie alone.
+        let mut passes = citroen_passes::passes::all_passes();
+        passes.push(Box::new(citroen_passes::testing::LyingAliasPrecondition));
+        let reg = Registry::from_passes(passes);
+        let cfg = FuzzConfig { modules: 3, seqs_per_module: 8, max_seq_len: 16, seed: 11 };
+        let report = run_oracle_campaign(&cfg, &reg, |_| {});
+        assert!(
+            !report.violations.is_empty(),
+            "the alias lie must be caught ({} trials)",
+            report.trials
+        );
+        for v in &report.violations {
+            assert_eq!(v.pass, "lying-alias-precondition", "only the spiked pass may be convicted");
+            assert_eq!(
+                v.reduced_seq, "lying-alias-precondition",
+                "ddmin must shrink the sequence to the lie alone"
             );
             assert!(!v.reduced_ir.is_empty());
         }

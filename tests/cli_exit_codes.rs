@@ -79,6 +79,54 @@ fn lint_ir_exit_codes_follow_findings() {
 }
 
 #[test]
+fn lint_json_keeps_exit_codes_and_is_parseable() {
+    // --json must not change the exit-code contract: findings → 1, clean → 0.
+    let dirty = temp_ir("dirty-json", &dirty_module());
+    let out = analyze(&["--lint", "--json", "--ir", dirty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = citroen_rt::json::Value::parse(&stdout)
+        .unwrap_or_else(|e| panic!("bad lint JSON ({e}):\n{stdout}"));
+    assert_eq!(doc.get("mode").and_then(|v| v.as_str()), Some("lint"));
+    let diags = doc.get("diagnostics").and_then(|v| v.as_arr()).expect("diagnostics array");
+    assert!(!diags.is_empty());
+    assert_eq!(diags[0].get("code").and_then(|v| v.as_str()), Some("dead-store"));
+    assert_eq!(doc.get("total").and_then(|v| v.as_u64()), Some(diags.len() as u64));
+
+    let clean = temp_ir("clean-json", &clean_module());
+    let out = analyze(&["--lint", "--json", "--ir", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = citroen_rt::json::Value::parse(&stdout).expect("clean lint JSON");
+    assert_eq!(doc.get("total").and_then(|v| v.as_u64()), Some(0));
+
+    let _ = std::fs::remove_file(dirty);
+    let _ = std::fs::remove_file(clean);
+}
+
+#[test]
+fn oracle_json_wraps_campaign_and_graph() {
+    let out = analyze(&["oracle", "--smoke", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = citroen_rt::json::Value::parse(&stdout)
+        .unwrap_or_else(|e| panic!("bad oracle JSON ({e}):\n{stdout}"));
+    assert_eq!(doc.get("mode").and_then(|v| v.as_str()), Some("oracle"));
+    let campaign = doc.get("campaign").expect("campaign object");
+    assert!(campaign.get("trials").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
+    assert_eq!(
+        campaign.get("violations").and_then(|v| v.as_arr()).map(<[_]>::len),
+        Some(0)
+    );
+    // The embedded graph subtree must still round-trip as a graph document.
+    let graph = citroen_analyze::InteractionGraph::from_json(
+        &doc.get("graph").expect("graph object").emit_pretty(),
+    )
+    .expect("embedded graph round-trips");
+    assert!(!graph.passes.is_empty());
+}
+
+#[test]
 fn oracle_smoke_is_clean_and_emits_the_graph() {
     let out = analyze(&["oracle", "--smoke"]);
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
@@ -208,6 +256,37 @@ fn trace_check_and_curve_accept_a_streamed_tuning_trace() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("progress"), "tail shows progress");
 
     let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn trace_show_surfaces_sanitizer_and_canonicalizer_counters() {
+    // A hand-built trace carrying the sanitizer-scheduling and canonicalizer
+    // counters must surface them in show's dedicated summary block (with the
+    // derived skip rate), exit 0, and keep the block absent when the
+    // counters are missing.
+    let mut with = tuning_jsonl(1);
+    for (name, delta) in
+        [("citroen.sanitize.runs", 30u64), ("citroen.sanitize.skips", 10), ("canon.subsume_dropped", 7)]
+    {
+        with += &format!("{{\"t\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}}}\n");
+    }
+    let file = temp_text("sanitize-counters.jsonl", &with);
+    let out = trace_bin(&["show", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== sanitizer / canonicalizer =="), "{stdout}");
+    assert!(stdout.contains("citroen.sanitize.runs"), "{stdout}");
+    assert!(stdout.contains("citroen.sanitize.skips"), "{stdout}");
+    assert!(stdout.contains("canon.subsume_dropped"), "{stdout}");
+    assert!(stdout.contains("25.0%"), "skip rate 10/40 missing: {stdout}");
+    let _ = std::fs::remove_file(file);
+
+    let without = temp_text("plain-counters.jsonl", &tuning_jsonl(1));
+    let out = trace_bin(&["show", without.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("sanitizer / canonicalizer"), "{stdout}");
+    let _ = std::fs::remove_file(without);
 }
 
 #[test]
