@@ -15,6 +15,7 @@ pub mod aibo;
 pub mod heuristics;
 pub mod maximizer;
 pub mod space;
+pub mod transfer;
 
 pub use acquisition::Acquisition;
 pub use aibo::{run_aibo, run_heuristic, run_random_search, AiboConfig, BoResult, IterationRecord, StrategyKind};
@@ -22,3 +23,4 @@ pub use baselines::{run_hesbo, run_turbo, TurboConfig};
 pub use heuristics::{AskTell, CmaEs, DiscreteOneLambda, GaOpt, RandomOpt};
 pub use maximizer::{draw_mc_eps, greedy_batch, GradMaximizer};
 pub use space::{Bounds, SeqCanonicalizer};
+pub use transfer::{nearest, stats_distance, warm_seeds, TransferEntry};

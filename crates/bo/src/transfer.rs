@@ -1,0 +1,142 @@
+//! Statistics-space transfer warm-starts (GRACE-style).
+//!
+//! The thesis' §6.3.2 future-work direction — program-independent pass
+//! correlations — suggests that a good sequence for one program is a good
+//! *starting point* for a statistically similar program. The service layer
+//! realises this: every completed tuning session deposits a
+//! [`TransferEntry`] (its task's O3 compilation-statistics descriptor plus
+//! its best genome), and a new session seeds its initial design with the
+//! best genomes of its statistics-space nearest neighbours.
+//!
+//! Similarity is measured on the *source program*'s pass-related compilation
+//! statistics under the fixed O3 pipeline — available before any tuning, and
+//! exactly the feature family CITROEN's cost model is built on. Counts are
+//! `log1p`-compressed (statistics are heavy-tailed: a few thousand
+//! `instcombine.rewrites` should not drown out every other key) and the
+//! distance is a normalised Euclidean over the key union, so programs with
+//! disjoint statistics are maximally far apart.
+
+use std::collections::HashMap;
+
+/// One completed session's contribution to the transfer corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferEntry {
+    /// Donor label (benchmark name) — for diagnostics only.
+    pub name: String,
+    /// `("pass.stat", count)` descriptor of the donor's *source* hot module
+    /// under the fixed O3 pipeline, name-sorted.
+    pub descriptor: Vec<(String, f64)>,
+    /// The donor session's best genome (pass-id sequence).
+    pub genome: Vec<u16>,
+    /// The donor session's best speedup over O3 (diagnostics / pruning).
+    pub best_speedup: f64,
+}
+
+/// Normalised distance between two statistics descriptors.
+///
+/// Both are projected onto their key union; missing keys count as zero.
+/// Counts are `log1p`-compressed, and the Euclidean distance is divided by
+/// `sqrt(union size)` so it is comparable across descriptor sizes. Two empty
+/// descriptors are at distance 0.
+pub fn stats_distance(a: &[(String, f64)], b: &[(String, f64)]) -> f64 {
+    let am: HashMap<&str, f64> = a.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let bm: HashMap<&str, f64> = b.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut keys: Vec<&str> = am.keys().chain(bm.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for k in &keys {
+        let x = am.get(k).copied().unwrap_or(0.0).max(0.0).ln_1p();
+        let y = bm.get(k).copied().unwrap_or(0.0).max(0.0).ln_1p();
+        sum += (x - y) * (x - y);
+    }
+    (sum / keys.len() as f64).sqrt()
+}
+
+/// Indices of the `k` corpus entries nearest to `descriptor`, nearest first.
+///
+/// Ties break on corpus order (insertion order = completion order in the
+/// daemon), keeping the selection deterministic.
+pub fn nearest(descriptor: &[(String, f64)], corpus: &[TransferEntry], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (stats_distance(descriptor, &e.descriptor), i))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+/// The best genomes of the `k` nearest corpus entries, nearest first —
+/// ready to drop into `CitroenConfig::init_seeds`.
+pub fn warm_seeds(
+    descriptor: &[(String, f64)],
+    corpus: &[TransferEntry],
+    k: usize,
+) -> Vec<Vec<u16>> {
+    nearest(descriptor, corpus, k)
+        .into_iter()
+        .map(|i| corpus[i].genome.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn entry(name: &str, desc: Vec<(String, f64)>, genome: Vec<u16>) -> TransferEntry {
+        TransferEntry { name: name.into(), descriptor: desc, genome, best_speedup: 1.0 }
+    }
+
+    #[test]
+    fn distance_is_zero_on_identical_and_grows_with_divergence() {
+        let a = d(&[("p.x", 10.0), ("q.y", 3.0)]);
+        let b = d(&[("p.x", 10.0), ("q.y", 3.0)]);
+        assert_eq!(stats_distance(&a, &b), 0.0);
+        let near = d(&[("p.x", 12.0), ("q.y", 3.0)]);
+        let far = d(&[("r.z", 500.0)]);
+        assert!(stats_distance(&a, &near) < stats_distance(&a, &far));
+        assert_eq!(stats_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_over_disjoint_keys() {
+        let a = d(&[("p.x", 7.0)]);
+        let b = d(&[("q.y", 7.0)]);
+        let ab = stats_distance(&a, &b);
+        assert_eq!(ab, stats_distance(&b, &a));
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn log_compression_tames_heavy_tails() {
+        // Without log1p, one huge key would dominate: a 10k-count key
+        // difference must not outrank total disagreement on small keys.
+        let a = d(&[("big.n", 10_000.0), ("s.a", 1.0), ("s.b", 1.0)]);
+        let b = d(&[("big.n", 11_000.0), ("s.a", 1.0), ("s.b", 1.0)]);
+        let c = d(&[("big.n", 10_000.0), ("s.a", 40.0), ("s.b", 40.0)]);
+        assert!(stats_distance(&a, &b) < stats_distance(&a, &c));
+    }
+
+    #[test]
+    fn nearest_ranks_by_distance_with_deterministic_ties() {
+        let corpus = vec![
+            entry("far", d(&[("x.a", 100.0)]), vec![1]),
+            entry("exact", d(&[("p.x", 5.0)]), vec![2]),
+            entry("close", d(&[("p.x", 6.0)]), vec![3]),
+            entry("exact2", d(&[("p.x", 5.0)]), vec![4]),
+        ];
+        let q = d(&[("p.x", 5.0)]);
+        assert_eq!(nearest(&q, &corpus, 3), vec![1, 3, 2]);
+        assert_eq!(warm_seeds(&q, &corpus, 2), vec![vec![2], vec![4]]);
+        assert_eq!(nearest(&q, &corpus, 10).len(), 4);
+        assert!(nearest(&q, &[], 3).is_empty());
+    }
+}

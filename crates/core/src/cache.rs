@@ -1,49 +1,120 @@
-//! A bounded insertion-order map for the tuner's compile cache.
+//! A bounded map with pluggable eviction for the tuner's compile caches.
 //!
 //! The canonical-genome compile cache used to be a plain `HashMap` holding a
 //! full [`citroen_ir::module::Module`] clone per entry and growing without
 //! bound — harmless for a 30-measurement test run, a leak for long-budget
-//! runs and the future multi-tenant daemon. This cap evicts in insertion
-//! order (FIFO): the tuner's cache hits are dominated by *recently generated*
-//! duplicates (DES mutants of the current incumbent), so the oldest entry is
-//! the cheapest to lose.
+//! runs and the multi-tenant daemon. Two policies:
+//!
+//! - **FIFO** (insertion order): right for a single tuning session, whose
+//!   cache hits are dominated by *recently generated* duplicates (DES
+//!   mutants of the current incumbent), so the oldest entry is the cheapest
+//!   to lose.
+//! - **LRU** (least recently used): right for the long-lived cross-tenant
+//!   cache in `citroen-serve`, where an old entry that tenants keep hitting
+//!   (a popular module's canonical genome) must not be evicted just because
+//!   it was inserted first.
+//!
+//! Both policies share one representation: every entry carries the tick at
+//! which it was last "touched" (inserted for FIFO; inserted *or* read for
+//! LRU), and eviction removes the entry with the smallest tick. Ticks are
+//! unique, so the victim is deterministic. Lookups are O(1); the eviction
+//! scan is O(n) but only runs when the cache is full, and hits never pay it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::Hash;
 
-/// A `HashMap` with a capacity cap and FIFO (insertion-order) eviction.
+/// Which entry a full [`BoundedCache`] evicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the oldest *inserted* entry (reads don't refresh).
+    Fifo,
+    /// Evict the least recently *used* entry (reads refresh recency).
+    Lru,
+}
+
+/// A `HashMap` with a capacity cap, FIFO or LRU eviction, and hit/miss/
+/// eviction counters.
 pub struct BoundedCache<K, V> {
-    map: HashMap<K, V>,
-    order: VecDeque<K>,
+    map: HashMap<K, (V, u64)>,
+    policy: EvictionPolicy,
     cap: usize,
+    /// Monotonic touch clock; every insert (and, under LRU, every hit)
+    /// stamps the entry with the next tick.
+    tick: u64,
+    hits: u64,
+    misses: u64,
     evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
-    /// An empty cache holding at most `cap` entries (`0` = unbounded).
+    /// An empty FIFO cache holding at most `cap` entries (`0` = unbounded).
     pub fn new(cap: usize) -> BoundedCache<K, V> {
-        BoundedCache { map: HashMap::new(), order: VecDeque::new(), cap, evictions: 0 }
+        BoundedCache::with_policy(cap, EvictionPolicy::Fifo)
     }
 
-    /// Look up `key`.
-    pub fn get(&self, key: &K) -> Option<&V> {
-        self.map.get(key)
+    /// An empty cache with an explicit eviction policy (`0` = unbounded).
+    pub fn with_policy(cap: usize, policy: EvictionPolicy) -> BoundedCache<K, V> {
+        BoundedCache {
+            map: HashMap::new(),
+            policy,
+            cap,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
-    /// Insert `key → value`; returns `true` when this insert evicted the
-    /// oldest entry to stay within the cap. Re-inserting an existing key
-    /// replaces the value without touching its eviction position.
+    /// Look up `key`, counting the hit or miss. Under LRU a hit refreshes
+    /// the entry's recency (which is why lookups take `&mut self`).
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let lru = self.policy == EvictionPolicy::Lru;
+        match self.map.get_mut(key) {
+            Some((v, tick)) => {
+                self.hits += 1;
+                if lru {
+                    self.tick += 1;
+                    *tick = self.tick;
+                }
+                Some(&*v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up `key` without counting a hit/miss or refreshing recency —
+    /// for bookkeeping probes ("is this already cached?") that are not
+    /// semantically cache *uses*.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Insert `key → value`; returns `true` when this insert evicted an
+    /// entry to stay within the cap. Re-inserting an existing key replaces
+    /// the value without touching its eviction position.
     pub fn insert(&mut self, key: K, value: V) -> bool {
-        if self.map.insert(key.clone(), value).is_some() {
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.0 = value;
             return false;
         }
-        self.order.push_back(key);
+        self.tick += 1;
+        self.map.insert(key, (value, self.tick));
         if self.cap > 0 && self.map.len() > self.cap {
-            if let Some(oldest) = self.order.pop_front() {
-                self.map.remove(&oldest);
-                self.evictions += 1;
-                return true;
-            }
+            // Victim: smallest touch tick (oldest insert under FIFO, least
+            // recently used under LRU). Ticks are unique, so this is
+            // deterministic regardless of map iteration order.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| k.clone())
+                .expect("cache over cap cannot be empty");
+            self.map.remove(&victim);
+            self.evictions += 1;
+            return true;
         }
         false
     }
@@ -56,6 +127,21 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Lookups answered from the cache over its lifetime.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing over the cache's lifetime.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// Total entries evicted over the cache's lifetime.
@@ -85,6 +171,44 @@ mod tests {
     }
 
     #[test]
+    fn fifo_reads_do_not_refresh() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // read the oldest...
+        assert!(c.insert(3, 30));
+        assert_eq!(c.get(&1), None, "FIFO evicts the oldest insert regardless of reads");
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn lru_reads_refresh_recency() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::with_policy(2, EvictionPolicy::Lru);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 1 is now the most recently used
+        assert!(c.insert(3, 30));
+        assert_eq!(c.peek(&1), Some(&10), "recently-read entry survives under LRU");
+        assert_eq!(c.peek(&2), None, "least recently used entry evicted");
+        assert_eq!(c.peek(&3), Some(&30));
+    }
+
+    #[test]
+    fn counters_track_hits_misses_evictions() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::with_policy(2, EvictionPolicy::Lru);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&2), None);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (1, 2, 1));
+        // peek is invisible to the counters.
+        let _ = c.peek(&3);
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+    }
+
+    #[test]
     fn reinsert_replaces_without_evicting() {
         let mut c: BoundedCache<u32, u32> = BoundedCache::new(2);
         c.insert(1, 10);
@@ -93,6 +217,9 @@ mod tests {
         assert_eq!(c.get(&1), Some(&11));
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 0);
+        // The replaced key kept its original eviction position.
+        assert!(c.insert(3, 30));
+        assert_eq!(c.get(&1), None, "re-inserted key still evicts at its original position");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! rest with a UCB acquisition; the winner is *measured* (expensive, budgeted).
 
 use crate::cache::BoundedCache;
+use crate::service::{SessionEnv, SessionExit, SessionResult};
 use crate::task::{Task, TuneError, TuneTrace};
 use citroen_bo::heuristics::DiscreteOneLambda;
 use citroen_bo::{draw_mc_eps, greedy_batch, Acquisition, SeqCanonicalizer};
@@ -69,6 +70,13 @@ pub struct CitroenConfig {
     /// best sequence found on another program — the thesis' §6.3.2
     /// "program-independent pass correlations" future-work direction).
     pub warm_start: Option<Vec<PassId>>,
+    /// Extra genomes injected into the initial design, after the DES
+    /// incumbent and before the random fill (which shrinks to keep the total
+    /// at `init_random`). The service layer seeds these with statistics-space
+    /// nearest-neighbour transfer genomes from completed tenants. Each genome
+    /// is resized to the task's sequence length; out-of-range pass ids clamp
+    /// to 0. Empty by default (identical RNG stream to previous releases).
+    pub init_seeds: Vec<Vec<u16>>,
     /// Canonicalise candidate sequences with the precondition oracle before
     /// compiling: passes proven `CannotFire` on the source module (and not
     /// woken by an earlier kept pass, per the interaction graph) are dropped,
@@ -124,6 +132,7 @@ impl Default for CitroenConfig {
             gp: GpConfig { fit_iters: 25, ..Default::default() },
             mutation_rate: None,
             warm_start: None,
+            init_seeds: Vec::new(),
             oracle_prune: false,
             oracle_features: false,
             idem_collapse: true,
@@ -156,7 +165,31 @@ pub struct ImpactReport {
 }
 
 /// Run CITROEN on `task` for `budget` runtime measurements.
+///
+/// Thin wrapper over [`run_citroen_session`] with a default (standalone)
+/// [`SessionEnv`]: no shared cache, no preloaded graph, a private worker
+/// pool, and no cancellation — byte-for-byte the historical behaviour.
 pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (TuneTrace, ImpactReport) {
+    let r = run_citroen_session(task, budget, cfg, &SessionEnv::default());
+    (r.trace, r.report)
+}
+
+/// Run one CITROEN session under an explicit service environment.
+///
+/// The environment attaches the multi-tenant daemon's shared state — a
+/// cross-tenant compile cache, a once-loaded interaction graph, a shared
+/// worker pool — and a [`crate::SessionCtl`] carrying the tenant id, a
+/// cancellation flag, and an optional deadline. Every attachment preserves
+/// the per-session trajectory bit-for-bit: compilation is a pure function of
+/// (source module, canonical pass sequence), so a shared-cache hit returns
+/// exactly what a local compile would have produced, and only the compile
+/// counters/telemetry differ from a standalone run at the same seed.
+pub fn run_citroen_session(
+    task: &mut Task,
+    budget: usize,
+    cfg: &CitroenConfig,
+    env: &SessionEnv,
+) -> SessionResult {
     let _run_span = telemetry::span("citroen.run");
     // Run-level metadata event: lets trace consumers compute speedups
     // (`o3_ns / best_ns`) and budget fractions without the CSV row.
@@ -173,6 +206,12 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     let len = task.seq_len();
     let npasses = task.registry.len();
     let hot = task.hot();
+    let shared = env.shared_cache.clone();
+    let tenant = env.ctl.tenant;
+    // Namespaces this task's genomes in the cross-tenant cache; unused (0)
+    // when no shared cache is attached, skipping the module print.
+    let src_fp = if shared.is_some() { task.source_fingerprint(hot) } else { 0 };
+    let mut exit = SessionExit::Completed;
     let mut trace = TuneTrace::default();
     let mut obs: Vec<Observation> = Vec::new();
     let mut seen_fps: HashSet<u64> = HashSet::new();
@@ -198,8 +237,11 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     // kept pass may wake it. A persisted interaction graph (`oracle_graph`)
     // replaces the per-task enables derivation and supplies the work model;
     // `subsume_collapse` adds the module-independent work-class dataflow.
-    let graph: Option<citroen_passes::oracle::InteractionGraph> =
-        cfg.oracle_graph.as_deref().and_then(|path| {
+    let graph: Option<citroen_passes::oracle::InteractionGraph> = match env.graph.as_deref() {
+        // The daemon loads the persisted graph once and shares it across
+        // tenants; an attached graph takes precedence over the per-run path.
+        Some(g) => Some(g.clone()),
+        None => cfg.oracle_graph.as_deref().and_then(|path| {
             let load = std::fs::read_to_string(path)
                 .map_err(|e| e.to_string())
                 .and_then(|t| citroen_passes::oracle::InteractionGraph::from_json(&t));
@@ -210,7 +252,8 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                     None
                 }
             }
-        });
+        }),
+    };
     let graph_inputs = graph.as_ref().map(|g| citroen_passes::oracle::canonicalizer_inputs(&task.registry, g));
     let canon: Option<SeqCanonicalizer> = (cfg.oracle_prune || cfg.subsume_collapse).then(|| {
         let n = task.registry.len();
@@ -267,17 +310,28 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         BoundedCache::new(cfg.compile_cache_cap);
     let mut compile_cache_hits: u64 = 0;
 
-    // Compile a genome (through the canonical-genome cache when pruning is
-    // on); returns (canonical genome, stats, hot-module fingerprint, module).
+    // Compile a genome (through the local canonical-genome cache when
+    // pruning is on, then the service's cross-tenant cache when attached);
+    // returns (canonical genome, stats, hot-module fingerprint, module).
     macro_rules! compile_genome {
         ($genome:expr) => {{
             let eff: Vec<u16> = canon_genome($genome);
-            if let Some((stats, fp, module)) =
-                canon.is_some().then(|| compile_cache.get(&eff)).flatten()
-            {
+            let local: Option<(Stats, u64, Module)> =
+                if canon.is_some() { compile_cache.get(&eff).cloned() } else { None };
+            if let Some((stats, fp, module)) = local {
                 compile_cache_hits += 1;
                 telemetry::counter("citroen.compile_cache_hits", 1);
-                (eff, stats.clone(), *fp, module.clone())
+                (eff, stats, fp, module)
+            } else if let Some((stats, fp, module)) =
+                shared.as_ref().and_then(|c| c.get(src_fp, &eff, tenant))
+            {
+                // Adopting another tenant's result is trajectory-neutral:
+                // compilation is a pure function of (source module,
+                // canonical sequence), so this is exactly what a local
+                // compile would have produced — only the compile counters
+                // differ from a standalone run.
+                telemetry::counter("citroen.shared_cache_hits", 1);
+                (eff, stats, fp, module)
             } else {
                 let seq = genome_to_seq(&eff);
                 let (stats, fp, module) = task.compile_hot(hot, &seq);
@@ -285,6 +339,9 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                     && compile_cache.insert(eff.clone(), (stats.clone(), fp, module.clone()))
                 {
                     telemetry::counter("citroen.compile_cache_evictions", 1);
+                }
+                if let Some(c) = shared.as_ref() {
+                    c.insert(src_fp, eff.clone(), tenant, stats.clone(), fp, module.clone());
                 }
                 (eff, stats, fp, module)
             }
@@ -311,6 +368,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                     let autophase = citroen_passes::autophase::autophase_features(&module);
                     let oracle = oracle_bits(&task.registry, &module, cfg.oracle_features);
                     trace.record(runtime, vec![seq.clone()]);
+                    trace.compiles_history.push(task.compilations);
                     obs.push(Observation { genome, stats, autophase, oracle, runtime });
                     true
                 }
@@ -355,13 +413,25 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         };
     }
 
-    // 1. Initial random design (plus the DES incumbent itself).
+    // 1. Initial design: the DES incumbent, any injected transfer seeds,
+    //    then a random fill up to `init_random` total. With no seeds the
+    //    random stream is identical to previous releases.
     let mut first: Vec<Vec<u16>> = vec![des.incumbent.clone()];
-    for _ in 1..cfg.init_random.max(1) {
+    for s in &cfg.init_seeds {
+        let mut g: Vec<u16> =
+            s.iter().map(|&v| if (v as usize) < npasses { v } else { 0 }).collect();
+        g.resize(len, 0);
+        first.push(g);
+    }
+    while first.len() < cfg.init_random.max(1) {
         first.push((0..len).map(|_| rng.gen_range(0..npasses) as u16).collect());
     }
     let init_span = telemetry::span("init");
     for g in first {
+        if let Some(e) = env.ctl.interrupted() {
+            exit = e;
+            break;
+        }
         if task.measurements >= budget {
             break;
         }
@@ -377,7 +447,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     let mut hypers: Option<GpHypers> = None;
     let mut stag = StagnationState::new(task.measurements);
 
-    if cfg.batch > 1 {
+    if cfg.batch > 1 && exit == SessionExit::Completed {
         // Per-candidate work units shipped to the worker pool: q measurement
         // jobs (assemble + execute + feature extraction for the picked
         // modules) plus one GP-fit job that overlaps with them. The fit uses
@@ -404,10 +474,18 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
 
         // Persistent pool, sized for the wider of the two per-iteration
         // fan-outs (candidate compile sweep; q measurements + 1 fit).
-        // Spawning per iteration would dominate at small q.
-        let pool = WorkerPool::new(citroen_rt::par::thread_count(
-            cfg.candidates.max(cfg.batch + 1),
-        ));
+        // Spawning per iteration would dominate at small q. The daemon
+        // attaches one shared pool so N tenants don't spawn N×threads.
+        let owned_pool;
+        let pool: &WorkerPool = match env.pool.as_deref() {
+            Some(p) => p,
+            None => {
+                owned_pool = WorkerPool::new(citroen_rt::par::thread_count(
+                    cfg.candidates.max(cfg.batch + 1),
+                ));
+                &owned_pool
+            }
+        };
         // MC noise for greedy batch construction comes from a dedicated
         // stream so the candidate-generation RNG stays aligned with q=1.
         let mut batch_rng =
@@ -416,6 +494,10 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         let mut model: Option<(Gp, Vec<f64>)> = None;
 
         while task.measurements < budget {
+            if let Some(e) = env.ctl.interrupted() {
+                exit = e;
+                break;
+            }
             let _iter_span = telemetry::span("iteration");
             telemetry::counter("citroen.iterations", 1);
             let cands: Vec<Vec<u16>> = match cfg.generator {
@@ -446,10 +528,17 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             let mut effs: Vec<Vec<u16>> = Vec::new();
             for g in &cands {
                 let eff = canon_genome(g);
-                if let Some(hit) = canon.is_some().then(|| compile_cache.get(&eff)).flatten() {
+                let local: Option<(Stats, u64, Module)> =
+                    if canon.is_some() { compile_cache.get(&eff).cloned() } else { None };
+                if let Some(hit) = local {
                     compile_cache_hits += 1;
                     telemetry::counter("citroen.compile_cache_hits", 1);
-                    slots.push(Ok(hit.clone()));
+                    slots.push(Ok(hit));
+                } else if let Some(hit) =
+                    shared.as_ref().and_then(|c| c.get(src_fp, &eff, tenant))
+                {
+                    telemetry::counter("citroen.shared_cache_hits", 1);
+                    slots.push(Ok(hit));
                 } else if let Some(&j) = job_of.get(&eff) {
                     // Within-batch duplicate canonical genome: share the
                     // first occurrence's compile (a cache hit in the
@@ -479,6 +568,14 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
             // fig5_12-style proportions), not the sum of per-core times.
             task.note_compilations(n_jobs, sweep_t0.elapsed());
             task.passes_executed += pass_work;
+            // Publish the sweep's unique compiles to the cross-tenant cache
+            // (first writer wins; losing a race costs nothing).
+            if let Some(c) = shared.as_ref() {
+                for (eff, &j) in &job_of {
+                    let (stats, fp, module) = &compiled_jobs[j];
+                    c.insert(src_fp, eff.clone(), tenant, stats.clone(), *fp, module.clone());
+                }
+            }
 
             let mut compiled: Vec<(Vec<u16>, Vec<u16>, Stats, Vec<f64>, Vec<f64>, u64, Module)> =
                 Vec::new();
@@ -488,7 +585,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                     Err(j) => compiled_jobs[j].clone(),
                 };
                 if canon.is_some()
-                    && compile_cache.get(&eff).is_none()
+                    && compile_cache.peek(&eff).is_none()
                     && compile_cache.insert(eff.clone(), (stats.clone(), mod_fp, module.clone()))
                 {
                     telemetry::counter("citroen.compile_cache_evictions", 1);
@@ -640,6 +737,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
                             seen_fps.insert(mod_fp);
                             seen_stats.insert(stats_sig(&stats));
                             trace.record(runtime, vec![genome_to_seq(&eff)]);
+                            trace.compiles_history.push(task.compilations);
                             obs.push(Observation { genome, stats, autophase, oracle, runtime });
                         }
                         Err(_) => {
@@ -678,7 +776,11 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
         }
     }
 
-    while task.measurements < budget && cfg.batch <= 1 {
+    while exit == SessionExit::Completed && task.measurements < budget && cfg.batch <= 1 {
+        if let Some(e) = env.ctl.interrupted() {
+            exit = e;
+            break;
+        }
         let _iter_span = telemetry::span("iteration");
         telemetry::counter("citroen.iterations", 1);
         // Generate candidates.
@@ -824,7 +926,7 @@ pub fn run_citroen(task: &mut Task, budget: usize, cfg: &CitroenConfig) -> (Tune
     } else {
         ImpactReport { ranked: Vec::new() }
     };
-    (trace, report)
+    SessionResult { trace, report, exit }
 }
 
 /// Seconds → nanosecond event field (0 = absent; runtimes are positive).
@@ -1027,6 +1129,101 @@ mod tests {
         // sequence space full of no-op duplicates.
         let dropped: usize = runs.iter().map(|(_, d)| *d).sum();
         assert!(dropped > 0, "expected coverage drops across the seed window");
+    }
+
+    #[test]
+    fn shared_cache_sessions_are_bit_identical_and_skip_compiles() {
+        // The multi-tenant determinism invariant: attaching a shared compile
+        // cache (empty or pre-warmed by another tenant) must not perturb the
+        // trajectory — only the compile counters. A second tenant replaying
+        // the same (spec, seed) against the warmed cache compiles ~nothing.
+        use crate::service::{SessionCtl, SharedCompileCache};
+        use std::sync::Arc;
+
+        let cfg = CitroenConfig { candidates: 24, init_random: 6, seed: 3, ..Default::default() };
+        let mut t1 = gsm_task(3);
+        let r1 = run_citroen_session(&mut t1, 10, &cfg, &SessionEnv::default());
+        assert_eq!(r1.exit, SessionExit::Completed);
+
+        let cache = Arc::new(SharedCompileCache::new(0));
+        let mut t2 = gsm_task(3);
+        let env1 = SessionEnv {
+            shared_cache: Some(cache.clone()),
+            ctl: SessionCtl::new(1),
+            ..Default::default()
+        };
+        let r2 = run_citroen_session(&mut t2, 10, &cfg, &env1);
+        let mut t3 = gsm_task(3);
+        let env2 = SessionEnv {
+            shared_cache: Some(cache.clone()),
+            ctl: SessionCtl::new(2),
+            ..Default::default()
+        };
+        let r3 = run_citroen_session(&mut t3, 10, &cfg, &env2);
+
+        let d = crate::service::trace_digest(&r1.trace);
+        assert_eq!(d, crate::service::trace_digest(&r2.trace), "empty shared cache perturbed");
+        assert_eq!(d, crate::service::trace_digest(&r3.trace), "warmed shared cache perturbed");
+        assert!(
+            t3.compilations < t2.compilations,
+            "warmed tenant compiled {} vs {} — no reuse",
+            t3.compilations,
+            t2.compilations
+        );
+        let s = cache.stats();
+        assert!(s.cross_hits > 0, "replay tenant never hit the other tenant's entries: {s:?}");
+        // Every measurement recorded its running compile count.
+        assert_eq!(r1.trace.compiles_history.len(), r1.trace.runtimes.len());
+    }
+
+    #[test]
+    fn cancelled_and_deadlined_sessions_stop_early() {
+        use crate::service::SessionCtl;
+
+        let cfg = CitroenConfig { candidates: 24, init_random: 6, seed: 1, ..Default::default() };
+        let ctl = SessionCtl::new(7);
+        ctl.cancel();
+        let mut task = gsm_task(1);
+        let env = SessionEnv { ctl, ..Default::default() };
+        let r = run_citroen_session(&mut task, 30, &cfg, &env);
+        assert_eq!(r.exit, SessionExit::Cancelled);
+        assert_eq!(task.measurements, 0, "cancelled before the first observation");
+
+        let ctl = SessionCtl::new(8).with_deadline(std::time::Instant::now());
+        let mut task = gsm_task(1);
+        let env = SessionEnv { ctl, ..Default::default() };
+        let r = run_citroen_session(&mut task, 30, &cfg, &env);
+        assert_eq!(r.exit, SessionExit::TimedOut);
+        assert!(task.measurements < 30, "expired deadline did not stop the session");
+    }
+
+    #[test]
+    fn init_seeds_enter_the_initial_design() {
+        // A transfer seed must actually be measured: run with a seed genome
+        // and assert its canonical sequence shows up among the first
+        // observations' sequences (the seed is observed second, after the
+        // DES incumbent).
+        let seed_genome: Vec<u16> = vec![5; 16];
+        let cfg = CitroenConfig {
+            candidates: 24,
+            init_random: 6,
+            seed: 2,
+            init_seeds: vec![seed_genome.clone()],
+            ..Default::default()
+        };
+        let mut task = gsm_task(2);
+        let r = run_citroen_session(&mut task, 8, &cfg, &SessionEnv::default());
+        assert_eq!(r.exit, SessionExit::Completed);
+        // Cold run at the same seed: different trajectory (the seed displaced
+        // one random init genome).
+        let cold_cfg = CitroenConfig { init_seeds: Vec::new(), ..cfg.clone() };
+        let mut cold = gsm_task(2);
+        let rc = run_citroen_session(&mut cold, 8, &cold_cfg, &SessionEnv::default());
+        assert_ne!(
+            crate::service::trace_digest(&r.trace),
+            crate::service::trace_digest(&rc.trace),
+            "injected seed had no effect on the trajectory"
+        );
     }
 
     #[test]

@@ -10,9 +10,16 @@
 pub mod cache;
 pub mod citroen;
 pub mod multimodule;
+pub mod service;
 pub mod task;
 
-pub use cache::BoundedCache;
-pub use citroen::{run_citroen, CitroenConfig, FeatureKind, GeneratorKind, ImpactReport};
+pub use cache::{BoundedCache, EvictionPolicy};
+pub use citroen::{
+    run_citroen, run_citroen_session, CitroenConfig, FeatureKind, GeneratorKind, ImpactReport,
+};
+pub use service::{
+    trace_digest, SessionCtl, SessionEnv, SessionExit, SessionResult, SharedCacheStats,
+    SharedCompileCache,
+};
 pub use multimodule::{run_multimodule, Allocation, MultiModuleConfig, MultiModuleResult};
 pub use task::{Task, TaskConfig, TimeBreakdown, TuneError, TuneTrace};

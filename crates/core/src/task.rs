@@ -323,6 +323,26 @@ impl Task {
         self.o3_seconds / seconds
     }
 
+    /// Fingerprint of the *source* (unoptimised) module at `module_idx` —
+    /// the module-identity half of the cross-tenant compile-cache key.
+    pub fn source_fingerprint(&self, module_idx: usize) -> u64 {
+        citroen_ir::print::fingerprint(&self.bench.modules[module_idx])
+    }
+
+    /// The task's statistics-space descriptor for GRACE-style transfer: the
+    /// compilation statistics of the hot module under the canonical `-O3`
+    /// pipeline, as name-sorted `(name, value)` pairs. Deterministic and
+    /// side-effect free (no budget, no compile accounting) — it describes
+    /// the *program*, not the search.
+    pub fn stats_descriptor(&self) -> Vec<(String, f64)> {
+        let pm = PassManager::new(&self.registry);
+        let res = pm.compile(&self.bench.modules[self.hot()], &o3_pipeline(&self.registry));
+        let mut v: Vec<(String, f64)> =
+            res.stats.iter().map(|(p, s, n)| (format!("{p}.{s}"), n as f64)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
     /// Account model/acquisition time (tuners call this around their own work).
     pub fn add_model_time(&mut self, d: Duration) {
         self.times.model += d;
@@ -342,6 +362,12 @@ pub struct TuneTrace {
     pub coverage_dropped: usize,
     /// Candidates generated in total.
     pub candidates_generated: usize,
+    /// Task compile count as of each budget-consuming measurement —
+    /// `compiles_history[i]` is how many compilations it took to reach
+    /// `best_history[i]`. Populated by `run_citroen` (simpler tuners leave
+    /// it empty); the transfer warm-start gate reads it to assert that a
+    /// warm-started run reaches a target runtime with fewer compiles.
+    pub compiles_history: Vec<usize>,
 }
 
 impl TuneTrace {
@@ -359,6 +385,14 @@ impl TuneTrace {
     /// Best runtime found.
     pub fn best(&self) -> f64 {
         self.best_history.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Compilations consumed up to the first measurement whose best-so-far
+    /// runtime is at or below `target`. `None` when the run never reached
+    /// `target`, or when the tuner didn't populate `compiles_history`.
+    pub fn compiles_to_reach(&self, target: f64) -> Option<usize> {
+        let i = self.best_history.iter().position(|&b| b <= target)?;
+        self.compiles_history.get(i).copied()
     }
 
     /// Best-so-far runtime after `n` measurements (∞ if not reached).

@@ -194,8 +194,18 @@ struct PoolInner {
 /// running on the same pool deadlocks (the submit blocks on workers that are
 /// themselves blocked on the submit). Use a separate pool (or `par_map`) for
 /// nested parallelism.
+///
+/// `map` **is** safe to call from multiple threads on a shared pool (e.g.
+/// `Arc<WorkerPool>` across daemon sessions): the pool has a single
+/// published-job slot, so concurrent submitters serialise on an internal
+/// mutex at whole-batch granularity — one session's batch fully drains
+/// before the next is published. Workers stay saturated; the waiting
+/// submitter is parked, not spinning.
 pub struct WorkerPool {
     inner: Arc<PoolInner>,
+    /// Serialises concurrent `map` callers over the single job slot. Held
+    /// from publish to drain; see the struct docs for the sharing contract.
+    submit: Mutex<()>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -225,7 +235,7 @@ impl WorkerPool {
         } else {
             Vec::new()
         };
-        WorkerPool { inner, handles }
+        WorkerPool { inner, submit: Mutex::new(()), handles }
     }
 
     /// A pool sized by [`thread_count`] for `n_items`-wide batches.
@@ -302,6 +312,11 @@ impl WorkerPool {
             std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync)>(job_ref)
         });
 
+        // Serialise concurrent submitters: a poisoned lock (a previous
+        // submitter's closure panicked while holding it) is still structurally
+        // sound — the job slot below was cleared before the unwind reached
+        // here — so recover the guard rather than cascading the panic.
+        let _submit = self.submit.lock().unwrap_or_else(|e| e.into_inner());
         let panicked = {
             let mut st = self.inner.state.lock().unwrap();
             st.job = Some(job);
@@ -474,6 +489,32 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_safe_under_concurrent_submitters() {
+        // Several session threads share one pool (the daemon's layout): each
+        // submits its own batches concurrently and must get back exactly its
+        // own results in order — the submit mutex serialises batches over
+        // the single published-job slot.
+        let pool = std::sync::Arc::new(WorkerPool::new(4));
+        let handles: Vec<_> = (0..6u64)
+            .map(|session| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for round in 0..20u64 {
+                        let xs: Vec<u64> = (0..33).collect();
+                        let got = pool.map(xs.clone(), |x| x * session + round);
+                        let want: Vec<u64> =
+                            xs.iter().map(|x| x * session + round).collect();
+                        assert_eq!(got, want, "session {session} round {round}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
     fn pool_propagates_worker_panics_and_stays_usable_for_drop() {
         let pool = WorkerPool::new(2);
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -485,7 +526,9 @@ mod tests {
             })
         }));
         assert!(caught.is_err(), "panic in a worker closure must propagate");
-        // Pool must still shut down cleanly (Drop joins all workers).
+        // The pool stays usable after a propagated panic (the submit lock
+        // recovers from poisoning), and Drop still joins all workers.
+        assert_eq!(pool.map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
         drop(pool);
     }
 }

@@ -143,6 +143,16 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// The small dense telemetry id of the calling thread — the same value
+/// stamped into this thread's [`SpanRecord`]s and [`EventRecord`]s. Sink
+/// methods run synchronously on the recording thread, so a multiplexing
+/// sink (e.g. the serve daemon's per-session router) can call this inside
+/// `add_counter`/`record_value` — which carry no thread field of their own —
+/// to attribute the record to a session.
+pub fn current_thread_id() -> u64 {
+    THREAD.with(|t| *t)
+}
+
 /// Install `sink` as the process-global receiver (replacing any previous
 /// one) and enable recording. Also installs the `rt::par` worker hooks on
 /// first use so parallel work is attributed to its parent span.

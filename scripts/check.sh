@@ -36,6 +36,12 @@
 #      executed-drop promotion pass, and the shipped suite compiled at -O3
 #      with the full S1-S11 sanitizer armed (`validate`, which includes
 #      the alias-aware S9-S11 rules) — all exit 1 on any finding
+#  10. the serve gate: `citroen-serve bench` spawns the multi-tenant
+#      daemon and replays a concurrent job mix over stdio — two jobs run
+#      concurrently plus a same-seed replay; results must be bit-identical
+#      to standalone runs at the same seeds, the replay must hit the shared
+#      cross-tenant compile cache, a third job is cancelled mid-run, and
+#      the daemon must drain gracefully (exit 0 only if all hold)
 #
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
@@ -86,5 +92,8 @@ echo "== alias: soundness smoke + edge mining + sanitized -O3 suite (S1-S11)"
 timeout 60 ./target/release/citroen-analyze alias-oracle --smoke
 timeout 120 ./target/release/citroen-analyze mine-edges --smoke > /dev/null
 CITROEN_SANITIZE=1 timeout 120 ./target/release/citroen-analyze validate
+
+echo "== serve: concurrent daemon determinism + cross-tenant reuse + cancel/drain"
+timeout 300 ./target/release/citroen-serve bench
 
 echo "== tier-1 gate passed"

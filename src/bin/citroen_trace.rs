@@ -47,7 +47,8 @@ MODES:
     show             breakdown table + hottest spans + counters + histograms
     check            assert expected span kinds and iteration coverage
     diff             per-name time deltas and counter deltas between traces
-    tail             render a live/partial JSONL stream (torn lines skipped)
+    tail             render a live/partial JSONL stream (torn lines skipped;
+                     rotated FILE.1/FILE.2 generations followed oldest-first)
     flame            collapsed flame stacks ('a;b;c <self_ns>' per line)
     curve            convergence table from the tuner's progress events;
                      exits 1 if the best-so-far column is not monotone
@@ -404,18 +405,42 @@ fn diff(mut args: std::env::Args) {
 
 /// Render a live/partial JSONL stream: the writer may be mid-line and the
 /// run may still be going, so parse lossily and summarise what's there.
+///
+/// `--stream-cap` writers rotate the stream as `FILE.2` (oldest), `FILE.1`,
+/// `FILE` (live); tail follows the whole chain oldest-first so the summary
+/// covers the full run, not just the most recent generation.
 fn tail(mut args: std::env::Args) {
     let file = args.next().unwrap_or_else(|| die("tail needs a trace file"));
     if let Some(extra) = args.next() {
         die(&format!("tail: unexpected argument '{extra}'"));
     }
-    let text = std::fs::read_to_string(&file)
-        .unwrap_or_else(|e| die(&format!("cannot read '{file}': {e}")));
-    let (t, skipped) = Trace::parse_jsonl_lossy(&text);
+    let mut t = Trace::default();
+    let mut skipped = 0usize;
+    let mut generations = 0usize;
+    for gen in [format!("{file}.2"), format!("{file}.1"), file.clone()] {
+        let text = match std::fs::read_to_string(&gen) {
+            Ok(text) => text,
+            // Rotated generations are optional; only the live file must exist.
+            Err(_) if gen != file => continue,
+            Err(e) => die(&format!("cannot read '{gen}': {e}")),
+        };
+        generations += 1;
+        let (part, part_skipped) = Trace::parse_jsonl_lossy(&text);
+        skipped += part_skipped;
+        t.spans.extend(part.spans);
+        t.events.extend(part.events);
+        for (name, v) in part.counters {
+            *t.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in part.hists {
+            t.hists.entry(name).or_default().merge(&h);
+        }
+    }
 
     println!(
-        "{}: {} spans, {} events, {} counters, {} histograms{}",
+        "{}{}: {} spans, {} events, {} counters, {} histograms{}",
         file,
+        if generations > 1 { format!(" (+{} rotated)", generations - 1) } else { String::new() },
         t.spans.len(),
         t.events.len(),
         t.counters.len(),

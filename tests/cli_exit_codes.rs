@@ -290,6 +290,34 @@ fn trace_show_surfaces_sanitizer_and_canonicalizer_counters() {
 }
 
 #[test]
+fn trace_tail_follows_rotated_stream_generations() {
+    // A `--stream-cap` writer rotates FILE → FILE.1 → FILE.2; tail must
+    // merge the whole chain oldest-first, not just the live file.
+    let live = temp_text("rotated.jsonl", &tuning_jsonl(1));
+    let path = live.to_str().unwrap();
+    std::fs::write(format!("{path}.1"), tuning_jsonl(2)).unwrap();
+    std::fs::write(format!("{path}.2"), tuning_jsonl(3)).unwrap();
+
+    let out = trace_bin(&["tail", path]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 3 generations × 9 spans each, and the header names the rotated files.
+    assert!(stdout.contains("(+2 rotated)"), "{stdout}");
+    assert!(stdout.contains("27 spans"), "{stdout}");
+
+    // Without rotated siblings the live file alone is summarised, as before.
+    std::fs::remove_file(format!("{path}.1")).unwrap();
+    std::fs::remove_file(format!("{path}.2")).unwrap();
+    let out = trace_bin(&["tail", path]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("(+"), "rotated marker without rotated files: {stdout}");
+    assert!(stdout.contains("9 spans"), "{stdout}");
+
+    let _ = std::fs::remove_file(live);
+}
+
+#[test]
 fn trace_curve_exits_1_when_best_so_far_regresses() {
     // Flip the progress stream so best-so-far gets *worse*: corrupt.
     let broken = tuning_jsonl(1)
