@@ -7,14 +7,21 @@
 //! {"type":"cancel","id":"j1"}
 //! {"type":"status"}            // or {"type":"status","id":"j1"}
 //! {"type":"stats"}
+//! {"type":"metrics"}           // or {"type":"metrics","format":"text"}
 //! {"type":"shutdown"}
 //! ```
 //!
 //! Replies (daemon → client): `ack`, `error`, `job` (state change),
-//! `result` (terminal), `stats`, and `bye` (sent once after the graceful
-//! drain). All numbers are unsigned integers ([`citroen_rt::json`] has no
-//! float form); fractional values travel as IEEE-754 bit patterns
-//! (`f64::to_bits`), which is also what the bit-identity gates compare.
+//! `result` (terminal), `stats`, `metrics` (the observability snapshot,
+//! DESIGN.md §12), `daemon` (uptime/health line closing a full `status`),
+//! and `bye` (sent once after the graceful drain). All numbers are unsigned
+//! integers ([`citroen_rt::json`] has no float form); fractional values
+//! travel as IEEE-754 bit patterns (`f64::to_bits`), which is also what the
+//! bit-identity gates compare. Wherever a `*_bits` field appears, a
+//! *readable* twin may sit next to it — same name minus the suffix (e.g.
+//! `speedup_bits` + `speedup`, `hit_ratio_bits` + `hit_ratio`) — holding a
+//! trimmed three-decimal string purely for humans; gates and clients doing
+//! exact comparison must use the `_bits` form.
 //!
 //! A malformed or unacceptable request yields one structured `error` reply
 //! and leaves the daemon and every other tenant untouched.
@@ -39,6 +46,8 @@ pub mod codes {
     pub const UNKNOWN_JOB: &str = "unknown-job";
     /// The daemon is draining and accepts no new jobs.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// A `metrics` request reached a daemon running with metrics disabled.
+    pub const METRICS_DISABLED: &str = "metrics-disabled";
 }
 
 /// Job lifecycle states.
@@ -81,6 +90,9 @@ pub struct JobSpec {
     pub id: String,
     /// Benchmark name (must exist in [`citroen_suite::all_benchmarks`]).
     pub bench: String,
+    /// Tenant the job is grouped under in the metrics plane (per-tenant
+    /// registries, rates, health). Defaults to the benchmark name.
+    pub tenant: String,
     /// Runtime-measurement budget.
     pub budget: usize,
     /// Session RNG seed (also the task's measurement-noise seed).
@@ -117,6 +129,13 @@ pub enum Request {
     },
     /// Report shared-cache and job counters.
     Stats,
+    /// Report the observability snapshot (windowed metrics, profiles, SLO
+    /// sentinels). `format: Some("text")` requests Prometheus-style text
+    /// exposition instead of structured JSON.
+    Metrics {
+        /// Optional exposition format (`"json"` default, or `"text"`).
+        format: Option<String>,
+    },
     /// Stop accepting jobs, drain, and exit.
     Shutdown,
 }
@@ -169,9 +188,15 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             let job = v
                 .get("job")
                 .ok_or_else(|| err(codes::BAD_FIELD, "missing object field 'job'"))?;
+            let bench = need_str(job, "bench")?;
+            let tenant = match job.get("tenant").and_then(Value::as_str) {
+                Some(t) => t.to_string(),
+                None => bench.clone(),
+            };
             let spec = JobSpec {
                 id: need_str(job, "id")?,
-                bench: need_str(job, "bench")?,
+                bench,
+                tenant,
                 budget: need_u64(job, "budget")? as usize,
                 seed: opt_u64(job, "seed", 0)?,
                 seq_len: opt_u64(job, "seq_len", 16)? as usize,
@@ -188,6 +213,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             id: v.get("id").and_then(Value::as_str).map(str::to_string),
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics {
+            format: v.get("format").and_then(Value::as_str).map(str::to_string),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(err(codes::UNKNOWN_TYPE, format!("unknown request type '{other}'"))),
     }
@@ -247,7 +275,8 @@ pub struct JobOutcome {
     pub best_seq: Vec<u16>,
 }
 
-/// `result` reply: the job reached a terminal state.
+/// `result` reply: the job reached a terminal state. `best_ns`/`speedup`
+/// are the readable twins of the `_bits` fields (see the module doc).
 pub fn result_reply(id: &str, state: JobState, o: &JobOutcome) -> String {
     obj(vec![
         ("type", s("result")),
@@ -255,7 +284,9 @@ pub fn result_reply(id: &str, state: JobState, o: &JobOutcome) -> String {
         ("state", s(state.as_str())),
         ("exit", s(&o.exit)),
         ("best_ns_bits", Value::U64(o.best_ns_bits)),
+        ("best_ns", s(&crate::metrics::fmt_f64(f64::from_bits(o.best_ns_bits)))),
         ("speedup_bits", Value::U64(o.speedup_bits)),
+        ("speedup", s(&crate::metrics::fmt_f64(f64::from_bits(o.speedup_bits)))),
         ("digest", Value::U64(o.digest)),
         ("measurements", Value::U64(o.measurements)),
         ("compiles", Value::U64(o.compiles)),
@@ -265,15 +296,27 @@ pub fn result_reply(id: &str, state: JobState, o: &JobOutcome) -> String {
     .emit_compact()
 }
 
-/// `stats` reply: shared-cache counters plus job-state counts.
+/// `stats` reply: shared-cache counters (including the LRU eviction count),
+/// job-state counts, transfer-corpus size, daemon uptime, and the current
+/// health verdict. `hit_ratio` is the readable twin of `hit_ratio_bits`
+/// (see the module doc).
 #[allow(clippy::too_many_arguments)]
 pub fn stats_reply(
     cache: &citroen_core::SharedCacheStats,
     jobs: &[(JobState, u64)],
     corpus: u64,
+    uptime_ms: u64,
+    health: &str,
 ) -> String {
+    let ratio = if cache.hits + cache.misses > 0 {
+        cache.hits as f64 / (cache.hits + cache.misses) as f64
+    } else {
+        0.0
+    };
     obj(vec![
         ("type", s("stats")),
+        ("uptime_ms", Value::U64(uptime_ms)),
+        ("health", s(health)),
         (
             "cache",
             obj(vec![
@@ -283,6 +326,8 @@ pub fn stats_reply(
                 ("insertions", Value::U64(cache.insertions)),
                 ("evictions", Value::U64(cache.evictions)),
                 ("len", Value::U64(cache.len)),
+                ("hit_ratio_bits", Value::U64(ratio.to_bits())),
+                ("hit_ratio", s(&crate::metrics::fmt_f64(ratio))),
             ]),
         ),
         (
@@ -294,6 +339,17 @@ pub fn stats_reply(
             ),
         ),
         ("corpus", Value::U64(corpus)),
+    ])
+    .emit_compact()
+}
+
+/// `daemon` reply: the uptime/health line appended to a full `status`
+/// listing.
+pub fn daemon_reply(uptime_ms: u64, health: &str) -> String {
+    obj(vec![
+        ("type", s("daemon")),
+        ("uptime_ms", Value::U64(uptime_ms)),
+        ("health", s(health)),
     ])
     .emit_compact()
 }
@@ -317,6 +373,7 @@ mod tests {
             Request::Submit(j) => {
                 assert_eq!(j.id, "a");
                 assert_eq!(j.bench, "telecom_gsm");
+                assert_eq!(j.tenant, "telecom_gsm"); // defaults to the bench
                 assert_eq!(j.budget, 10);
                 assert_eq!(j.seed, 0);
                 assert_eq!(j.seq_len, 16);
@@ -373,5 +430,25 @@ mod tests {
         );
         assert_eq!(parse_request(r#"{"type":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"type":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn parses_metrics_and_explicit_tenant() {
+        assert_eq!(
+            parse_request(r#"{"type":"metrics"}"#).unwrap(),
+            Request::Metrics { format: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"metrics","format":"text"}"#).unwrap(),
+            Request::Metrics { format: Some("text".into()) }
+        );
+        let r = parse_request(
+            r#"{"type":"submit","job":{"id":"a","bench":"telecom_gsm","budget":1,"tenant":"team-x"}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit(j) => assert_eq!(j.tenant, "team-x"),
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 }

@@ -16,9 +16,11 @@
 //! other tenants run concurrently. Warm (`warm > 0`) jobs additionally
 //! depend on the corpus contents at their start, i.e. on completion order.
 
+use crate::metrics::{JobSummary, ServeMetrics, SloConfig};
 use crate::protocol::{self as proto, codes, JobOutcome, JobSpec, JobState, ProtoError, Request};
 use crate::state::{ServeConfig, ServeState};
 use crate::telemetry_route::RouteTable;
+use citroen_telemetry::metrics::WindowCfg;
 use citroen_bo::transfer::{warm_seeds, TransferEntry};
 use citroen_core::{
     run_citroen_session, trace_digest, CitroenConfig, SessionCtl, SessionEnv, SessionExit,
@@ -52,6 +54,7 @@ struct JobEntry {
     spec: JobSpec,
     state: JobState,
     ctl: SessionCtl,
+    queued_at: Instant,
 }
 
 #[derive(Default)]
@@ -69,6 +72,8 @@ pub struct Server {
     cv: Condvar,
     next_tenant: AtomicU64,
     router: Option<Arc<RouteTable>>,
+    metrics: Option<Arc<ServeMetrics>>,
+    started: Instant,
 }
 
 /// The session configuration a job spec maps to. Public so the bench client
@@ -97,18 +102,34 @@ pub fn job_task(spec: &JobSpec) -> Option<Task> {
 }
 
 impl Server {
-    /// Build a daemon over fresh shared state. When `cfg.trace_dir` is set,
-    /// installs a routing telemetry sink (process-global: the last server
-    /// constructed with a trace dir wins).
+    /// Build a daemon over fresh shared state. When `cfg.trace_dir` is set
+    /// or `cfg.metrics` is on (the default), installs a routing telemetry
+    /// sink (process-global: the last server constructed wins).
     pub fn new(cfg: ServeConfig) -> Server {
         let router = cfg.trace_dir.as_deref().map(|dir| {
             let _ = std::fs::create_dir_all(dir);
-            let table = RouteTable::new();
-            citroen_telemetry::install(Box::new(crate::telemetry_route::RoutingSink::new(
-                table.clone(),
-            )));
-            table
+            RouteTable::new()
         });
+        let metrics = cfg.metrics.then(|| {
+            ServeMetrics::new(
+                WindowCfg { width_ms: cfg.metrics_window_ms.max(1), ring: 6 },
+                SloConfig {
+                    queue_ms: cfg.slo_queue_ms,
+                    run_ms: cfg.slo_run_ms,
+                    compile_us: cfg.slo_compile_us,
+                    hit_ratio_min: cfg.slo_hit_ratio,
+                    ..SloConfig::default()
+                },
+            )
+        });
+        if router.is_some() || metrics.is_some() {
+            citroen_telemetry::install(Box::new(
+                crate::telemetry_route::RoutingSink::with_metrics(
+                    router.clone(),
+                    metrics.clone(),
+                ),
+            ));
+        }
         Server {
             state: ServeState::new(cfg),
             jobs: Mutex::new(HashMap::new()),
@@ -116,12 +137,23 @@ impl Server {
             cv: Condvar::new(),
             next_tenant: AtomicU64::new(1),
             router,
+            metrics,
+            started: Instant::now(),
         }
     }
 
     /// Shared-state handle (for gates inspecting cache counters).
     pub fn state(&self) -> &ServeState {
         &self.state
+    }
+
+    /// The observability hub (`None` when the daemon runs `--no-metrics`).
+    pub fn metrics(&self) -> Option<&Arc<ServeMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    fn health_str(&self) -> &'static str {
+        self.metrics.as_deref().map(|m| m.health_str()).unwrap_or("ok")
     }
 
     /// Serve one connection: read requests until EOF or `shutdown`, drain,
@@ -153,6 +185,7 @@ impl Server {
                     Ok(Request::Cancel { id }) => self.cancel(&id, &out, &summary),
                     Ok(Request::Status { id }) => self.status(id.as_deref(), &out, &summary),
                     Ok(Request::Stats) => self.stats(&out),
+                    Ok(Request::Metrics { format }) => self.metrics_verb(format.as_deref(), &out),
                     Ok(Request::Shutdown) => break,
                 }
             }
@@ -203,9 +236,13 @@ impl Server {
                     spec: spec.clone(),
                     state: JobState::Queued,
                     ctl: SessionCtl::new(tenant),
+                    queued_at: Instant::now(),
                 },
             );
             queue.q.push_back(spec.id.clone());
+        }
+        if let Some(m) = &self.metrics {
+            m.job_queued(&spec.tenant);
         }
         self.cv.notify_one();
         summary.lock().unwrap().submitted += 1;
@@ -253,7 +290,26 @@ impl Server {
                 for id in ids {
                     send(out, proto::job_reply(id, jobs[id].state));
                 }
+                let uptime = self.started.elapsed().as_millis() as u64;
+                send(out, proto::daemon_reply(uptime, self.health_str()));
             }
+        }
+    }
+
+    fn metrics_verb(&self, format: Option<&str>, out: &Mutex<impl Write>) {
+        match &self.metrics {
+            None => send(
+                out,
+                proto::error_reply(
+                    codes::METRICS_DISABLED,
+                    "daemon runs with metrics disabled",
+                    None,
+                ),
+            ),
+            Some(m) => match format {
+                Some("text") => send(out, m.reply_text()),
+                _ => send(out, m.reply_json()),
+            },
         }
     }
 
@@ -275,7 +331,8 @@ impl Server {
             }
         }
         let corpus = self.state.corpus.lock().unwrap().len() as u64;
-        send(out, proto::stats_reply(&cache, &counts, corpus));
+        let uptime = self.started.elapsed().as_millis() as u64;
+        send(out, proto::stats_reply(&cache, &counts, corpus, uptime, self.health_str()));
     }
 
     fn worker_loop(&self, out: &Mutex<impl Write>, summary: &Mutex<ServeSummary>) {
@@ -298,7 +355,7 @@ impl Server {
 
     fn run_job(&self, id: &str, out: &Mutex<impl Write>, summary: &Mutex<ServeSummary>) {
         // Claim the job (it may have been cancelled while queued).
-        let (spec, ctl) = {
+        let (spec, ctl, queue_wait) = {
             let mut jobs = self.jobs.lock().unwrap();
             let entry = jobs.get_mut(id).expect("queued job exists");
             if entry.state != JobState::Queued {
@@ -311,7 +368,7 @@ impl Server {
                     Instant::now() + Duration::from_millis(entry.spec.timeout_ms),
                 );
             }
-            (entry.spec.clone(), ctl)
+            (entry.spec.clone(), ctl, entry.queued_at.elapsed())
         };
         send(out, proto::job_reply(id, JobState::Running));
 
@@ -319,6 +376,12 @@ impl Server {
             let dir = self.state.cfg.trace_dir.as_deref().unwrap_or(".");
             router.register_current(std::path::Path::new(dir).join(format!("{id}.jsonl")));
         }
+        if let Some(m) = &self.metrics {
+            // Registers this session thread: spans/counters recorded from
+            // here until `session_finished` flow into the tenant registry.
+            m.session_started(&spec.tenant, queue_wait.as_millis() as u64);
+        }
+        let run_start = Instant::now();
         let ran = catch_unwind(AssertUnwindSafe(|| self.execute(&spec, ctl)));
         if let Some(router) = &self.router {
             router.unregister_current();
@@ -337,6 +400,23 @@ impl Server {
                 JobOutcome { exit: "panicked".to_string(), ..JobOutcome::default() },
             ),
         };
+        if let Some(m) = &self.metrics {
+            m.session_finished(
+                JobSummary {
+                    id: id.to_string(),
+                    tenant: spec.tenant.clone(),
+                    bench: spec.bench.clone(),
+                    exit: outcome.exit.clone(),
+                    queue_ms: queue_wait.as_millis() as u64,
+                    run_ms: run_start.elapsed().as_millis() as u64,
+                    compiles: outcome.compiles,
+                    measurements: outcome.measurements,
+                    warm_seeds: outcome.warm_seeds,
+                },
+                self.state.cache.stats(),
+                self.state.corpus.lock().unwrap().len() as u64,
+            );
+        }
         {
             let mut jobs = self.jobs.lock().unwrap();
             jobs.get_mut(id).expect("running job exists").state = state;

@@ -24,16 +24,38 @@ pub struct ServeConfig {
     /// Directory for per-job JSONL telemetry streams (`<dir>/<job id>.jsonl`,
     /// live-tailable with `citroen-trace tail`). `None` = no telemetry.
     pub trace_dir: Option<String>,
+    /// Maintain the observability plane (windowed metrics, continuous
+    /// profiling, SLO sentinels; DESIGN.md §12). Default on — the 10-seed
+    /// identity gate proves it never perturbs results.
+    pub metrics: bool,
+    /// Window width of the metrics ring buffers in milliseconds. Default
+    /// 10 000 (six windows ≈ one minute of recent history).
+    pub metrics_window_ms: u64,
+    /// SLO sentinel: queue-wait EWMA ceiling, milliseconds.
+    pub slo_queue_ms: f64,
+    /// SLO sentinel: run-wall EWMA ceiling, milliseconds.
+    pub slo_run_ms: f64,
+    /// SLO sentinel: compile-span EWMA ceiling, microseconds.
+    pub slo_compile_us: f64,
+    /// SLO sentinel: shared-cache hit-ratio EWMA floor (0 = disabled).
+    pub slo_hit_ratio: f64,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
+        let slo = crate::metrics::SloConfig::default();
         ServeConfig {
             max_concurrent: 2,
             max_budget: 200,
             cache_cap: 4096,
             graph_path: None,
             trace_dir: None,
+            metrics: true,
+            metrics_window_ms: 10_000,
+            slo_queue_ms: slo.queue_ms,
+            slo_run_ms: slo.run_ms,
+            slo_compile_us: slo.compile_us,
+            slo_hit_ratio: slo.hit_ratio_min,
         }
     }
 }

@@ -13,7 +13,14 @@
 //! session's, and are dropped — the per-job stream covers the session
 //! thread's own spans, counters, and progress events, which is what
 //! `citroen-trace tail` renders.
+//!
+//! The sink optionally also feeds the daemon's [`ServeMetrics`] hub
+//! (DESIGN.md §12): span durations and counters from registered session
+//! threads flow into the windowed metrics registries and the continuous
+//! profiler *before* being routed to the per-job stream, so the `metrics`
+//! verb works with or without `--trace-dir`.
 
+use crate::metrics::ServeMetrics;
 use citroen_telemetry::{current_thread_id, EventRecord, SpanRecord, StreamSink, TelemetrySink};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -59,35 +66,58 @@ impl RouteTable {
     }
 }
 
-/// The installed process-global sink: dispatches each record to the
-/// emitting thread's registered stream, dropping unrouted records.
+/// The installed process-global sink: feeds the metrics hub (when present),
+/// then dispatches each record to the emitting thread's registered stream,
+/// dropping unrouted records.
 pub struct RoutingSink {
-    table: Arc<RouteTable>,
+    table: Option<Arc<RouteTable>>,
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl RoutingSink {
-    /// A sink dispatching through `table`.
+    /// A sink dispatching through `table` (no metrics hub).
     pub fn new(table: Arc<RouteTable>) -> RoutingSink {
-        RoutingSink { table }
+        RoutingSink { table: Some(table), metrics: None }
+    }
+
+    /// A sink with any combination of per-job stream routing and metrics
+    /// feeding (at least one should be present to be useful).
+    pub fn with_metrics(
+        table: Option<Arc<RouteTable>>,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> RoutingSink {
+        RoutingSink { table, metrics }
+    }
+
+    fn with_route<F: FnOnce(&mut StreamSink)>(&self, thread: u64, f: F) {
+        if let Some(table) = &self.table {
+            table.with_route(thread, f);
+        }
     }
 }
 
 impl TelemetrySink for RoutingSink {
     fn record_span(&mut self, rec: SpanRecord) {
+        if let Some(m) = &self.metrics {
+            m.feed_span(&rec);
+        }
         let thread = rec.thread;
-        self.table.with_route(thread, move |s| s.record_span(rec));
+        self.with_route(thread, move |s| s.record_span(rec));
     }
 
     fn add_counter(&mut self, name: &str, delta: u64) {
-        self.table.with_route(current_thread_id(), |s| s.add_counter(name, delta));
+        if let Some(m) = &self.metrics {
+            m.feed_counter(name, delta);
+        }
+        self.with_route(current_thread_id(), |s| s.add_counter(name, delta));
     }
 
     fn record_value(&mut self, name: &str, value: u64) {
-        self.table.with_route(current_thread_id(), |s| s.record_value(name, value));
+        self.with_route(current_thread_id(), |s| s.record_value(name, value));
     }
 
     fn record_event(&mut self, rec: EventRecord) {
         let thread = rec.thread;
-        self.table.with_route(thread, move |s| s.record_event(rec));
+        self.with_route(thread, move |s| s.record_event(rec));
     }
 }

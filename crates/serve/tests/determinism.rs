@@ -11,6 +11,7 @@ fn spec(id: &str, seed: u64, budget: usize) -> JobSpec {
     JobSpec {
         id: id.to_string(),
         bench: "telecom_gsm".to_string(),
+        tenant: "telecom_gsm".to_string(),
         budget,
         seed,
         seq_len: 16,

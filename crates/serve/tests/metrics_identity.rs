@@ -1,0 +1,127 @@
+//! The observability-inertness gate: with the metrics plane enabled (the
+//! default), ten seeded jobs served by the daemon produce trace digests
+//! bit-identical to standalone `run_citroen` runs at the same seeds —
+//! recording is strictly observational and never feeds back into a session.
+//! Also sanity-checks the drained hub's `metrics` reply content.
+//!
+//! Lives in its own integration-test binary: the telemetry sink is
+//! process-global, and this test asserts on what the hub accumulated.
+
+use citroen_core::{run_citroen, trace_digest};
+use citroen_rt::json::Value;
+use citroen_serve::{job_citroen_config, job_task, JobSpec, ServeConfig, Server};
+use std::io::Cursor;
+
+fn spec(id: &str, tenant: &str, seed: u64, budget: usize) -> JobSpec {
+    JobSpec {
+        id: id.to_string(),
+        bench: "telecom_gsm".to_string(),
+        tenant: tenant.to_string(),
+        budget,
+        seed,
+        seq_len: 16,
+        batch: 1,
+        oracle_prune: false,
+        subsume: false,
+        warm: 0,
+        timeout_ms: 0,
+    }
+}
+
+fn submit_line(s: &JobSpec) -> String {
+    format!(
+        "{{\"type\":\"submit\",\"job\":{{\"id\":\"{}\",\"bench\":\"{}\",\"tenant\":\"{}\",\
+         \"budget\":{},\"seed\":{}}}}}",
+        s.id, s.bench, s.tenant, s.budget, s.seed
+    )
+}
+
+#[test]
+fn ten_seeds_with_metrics_on_match_standalone_digests() {
+    let budget = 4;
+    let specs: Vec<JobSpec> = (1..=10u64)
+        .map(|seed| spec(&format!("s{seed}"), &format!("tenant{}", seed % 3), seed, budget))
+        .collect();
+
+    let server = Server::new(ServeConfig { max_concurrent: 4, ..Default::default() });
+    assert!(server.metrics().is_some(), "metrics plane must default on");
+
+    let mut script = String::new();
+    for s in &specs {
+        script.push_str(&submit_line(s));
+        script.push('\n');
+    }
+    script.push_str("{\"type\":\"shutdown\"}\n");
+    let mut out: Vec<u8> = Vec::new();
+    let summary = server.serve(Cursor::new(script), &mut out);
+    assert_eq!(summary.done, 10, "all ten jobs must complete");
+
+    let text = String::from_utf8(out).unwrap();
+    let results: Vec<Value> = text
+        .lines()
+        .map(|l| Value::parse(l).unwrap())
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some("result"))
+        .collect();
+    let digest_of = |id: &str| -> u64 {
+        results
+            .iter()
+            .find(|r| r.get("id").and_then(Value::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no result for {id}"))
+            .get("digest")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("no digest on {id}"))
+    };
+
+    // Bit-identity at every seed: the metrics hub observed every one of
+    // these sessions (spans, counters, lifecycle) yet none of them diverged
+    // from an unobserved standalone run.
+    for s in &specs {
+        let mut task = job_task(s).unwrap();
+        let (trace, _) = run_citroen(&mut task, s.budget, &job_citroen_config(s));
+        assert_eq!(
+            digest_of(&s.id),
+            trace_digest(&trace),
+            "job {} (seed {}) diverged from its standalone run with metrics on",
+            s.id,
+            s.seed
+        );
+    }
+
+    // The hub actually recorded the work it watched.
+    let m = server.metrics().expect("metrics hub");
+    assert!(m.healthy(), "default SLOs must not breach on a tiny healthy run");
+    let v = Value::parse(&m.reply_json()).unwrap();
+    assert_eq!(v.get("type").and_then(Value::as_str), Some("metrics"));
+    assert_eq!(v.get("health").and_then(Value::as_str), Some("ok"));
+    let global = v.get("global").expect("global registry");
+    let done = global
+        .get("counters")
+        .and_then(|c| c.get("jobs.done"))
+        .and_then(|c| c.get("total"))
+        .and_then(Value::as_u64);
+    assert_eq!(done, Some(10));
+    let run_wall = global
+        .get("hists")
+        .and_then(|h| h.get("run_wall_ms"))
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_u64);
+    assert_eq!(run_wall, Some(10), "one run-wall sample per completed job");
+    let recent = v.get("recent").and_then(Value::as_arr).expect("recent ring");
+    assert_eq!(recent.len(), 10);
+    // All three tenants got their own registries, each reporting health.
+    let tenants = v.get("tenants").expect("tenants object");
+    for t in ["tenant0", "tenant1", "tenant2"] {
+        assert_eq!(
+            tenants.get(t).and_then(|t| t.get("health")).and_then(Value::as_str),
+            Some("ok"),
+            "missing tenant {t}"
+        );
+    }
+    // Sessions profiled: spans flowed through the sink into flame stacks.
+    let sampled = v
+        .get("profile")
+        .and_then(|p| p.get("spans_sampled"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(sampled > 0, "continuous profiler saw no spans");
+}

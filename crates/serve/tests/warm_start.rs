@@ -16,6 +16,7 @@ fn spec(bench: &str, seed: u64, budget: usize) -> JobSpec {
     JobSpec {
         id: format!("{bench}-{seed}"),
         bench: bench.to_string(),
+        tenant: bench.to_string(),
         budget,
         seed,
         seq_len: 16,

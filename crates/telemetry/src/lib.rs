@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod metrics;
 pub mod stream;
 pub mod trace;
 

@@ -1,0 +1,459 @@
+//! Windowed time-series metrics: the aggregation layer behind the serve
+//! daemon's `metrics` verb and the `citroen-trace top` dashboard.
+//!
+//! The span/counter/histogram primitives in the crate root answer "what did
+//! this one run cost"; this module answers the operator's question — "what
+//! is the *service* doing right now". It keeps, per metric, a cumulative
+//! total plus a fixed-size ring of per-window deltas (counters) or
+//! per-window [`Histogram`] snapshots (distributions), so recent rates and
+//! quantiles are computable without ever rescanning history. Gauges are
+//! plain last-write-wins values.
+//!
+//! Two deliberate design points:
+//!
+//! - **Explicit time.** Every mutating or querying method takes `now_ms`
+//!   (milliseconds since an epoch the *caller* owns). Nothing in here reads
+//!   a clock, so window rotation is deterministic and unit-testable.
+//! - **No background thread.** Ring slots are rotated lazily on write/read:
+//!   a slot whose stamped window number is stale is reset before use. An
+//!   idle metric therefore costs nothing.
+//!
+//! [`Ewma`]/[`Sentinel`] implement the SLO watchdogs: an exponentially
+//! weighted moving average per signal compared against a threshold, with a
+//! recoverable `breached` flag (health reflects the *current* EWMA) and a
+//! cumulative breach counter (CI can detect "was ever degraded").
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// Ring geometry shared by every windowed metric in a registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowCfg {
+    /// Width of one window in milliseconds.
+    pub width_ms: u64,
+    /// Number of windows retained (including the currently-filling one).
+    pub ring: usize,
+}
+
+impl Default for WindowCfg {
+    fn default() -> WindowCfg {
+        WindowCfg { width_ms: 10_000, ring: 6 }
+    }
+}
+
+impl WindowCfg {
+    /// The window number `now_ms` falls into.
+    pub fn window_of(&self, now_ms: u64) -> u64 {
+        now_ms / self.width_ms.max(1)
+    }
+}
+
+/// A counter with a cumulative total and a ring of per-window deltas.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    /// Cumulative total since the metric first appeared.
+    pub total: u64,
+    /// `slots[w % ring] = (window_no, delta_in_that_window)`.
+    slots: Vec<(u64, u64)>,
+}
+
+impl WindowedCounter {
+    fn new(ring: usize) -> WindowedCounter {
+        WindowedCounter { total: 0, slots: vec![(u64::MAX, 0); ring.max(1)] }
+    }
+
+    fn add(&mut self, cfg: &WindowCfg, delta: u64, now_ms: u64) {
+        self.total += delta;
+        let w = cfg.window_of(now_ms);
+        let idx = (w as usize) % self.slots.len();
+        let slot = &mut self.slots[idx];
+        if slot.0 != w {
+            *slot = (w, 0);
+        }
+        slot.1 += delta;
+    }
+
+    /// Per-window deltas, oldest first, ending with the currently-filling
+    /// window. Windows with no writes report 0.
+    pub fn window_deltas(&self, cfg: &WindowCfg, now_ms: u64) -> Vec<u64> {
+        let cur = cfg.window_of(now_ms);
+        let ring = self.slots.len() as u64;
+        (0..ring)
+            .map(|back| {
+                let w = cur.wrapping_sub(ring - 1 - back);
+                if w > cur {
+                    return 0; // before the epoch
+                }
+                let slot = self.slots[(w as usize) % self.slots.len()];
+                if slot.0 == w {
+                    slot.1
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Events per second over the retained ring (including the partial
+    /// current window, over the elapsed part of the ring span).
+    pub fn rate_per_sec(&self, cfg: &WindowCfg, now_ms: u64) -> f64 {
+        let deltas = self.window_deltas(cfg, now_ms);
+        let sum: u64 = deltas.iter().sum();
+        let full = (deltas.len() as u64 - 1) * cfg.width_ms;
+        let partial = (now_ms % cfg.width_ms.max(1)).max(1);
+        let span_ms = (full + partial).min(now_ms.max(1));
+        sum as f64 * 1000.0 / span_ms as f64
+    }
+}
+
+/// A distribution with a cumulative histogram and a ring of per-window
+/// histogram snapshots.
+#[derive(Debug, Clone)]
+pub struct WindowedHist {
+    /// Cumulative histogram over the metric's whole lifetime.
+    pub all: Histogram,
+    slots: Vec<(u64, Histogram)>,
+}
+
+impl WindowedHist {
+    fn new(ring: usize) -> WindowedHist {
+        WindowedHist {
+            all: Histogram::new(),
+            slots: vec![(u64::MAX, Histogram::new()); ring.max(1)],
+        }
+    }
+
+    fn record(&mut self, cfg: &WindowCfg, v: u64, now_ms: u64) {
+        self.all.record(v);
+        let w = cfg.window_of(now_ms);
+        let idx = (w as usize) % self.slots.len();
+        let slot = &mut self.slots[idx];
+        if slot.0 != w {
+            *slot = (w, Histogram::new());
+        }
+        slot.1.record(v);
+    }
+
+    /// Merge of the retained windows (the "recent" distribution quantiles
+    /// are computed from).
+    pub fn recent(&self, cfg: &WindowCfg, now_ms: u64) -> Histogram {
+        let cur = cfg.window_of(now_ms);
+        let ring = self.slots.len() as u64;
+        let mut out = Histogram::new();
+        for (w, h) in &self.slots {
+            if *w <= cur && cur - *w < ring {
+                out.merge(h);
+            }
+        }
+        out
+    }
+}
+
+/// A named collection of windowed counters, gauges, and windowed
+/// histograms. One registry per scope (daemon-global, per tenant).
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    /// Ring geometry applied to every metric in this registry.
+    pub cfg: WindowCfg,
+    counters: BTreeMap<String, WindowedCounter>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, WindowedHist>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the given window geometry.
+    pub fn new(cfg: WindowCfg) -> MetricsRegistry {
+        MetricsRegistry {
+            cfg,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// Add `delta` to counter `name` at time `now_ms`.
+    pub fn add(&mut self, name: &str, delta: u64, now_ms: u64) {
+        let ring = self.cfg.ring;
+        self.counters
+            .entry(name.to_string())
+            .or_insert_with(|| WindowedCounter::new(ring))
+            .add(&self.cfg, delta, now_ms);
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record one observation into histogram `name` at time `now_ms`.
+    pub fn observe(&mut self, name: &str, v: u64, now_ms: u64) {
+        let ring = self.cfg.ring;
+        self.hists
+            .entry(name.to_string())
+            .or_insert_with(|| WindowedHist::new(ring))
+            .record(&self.cfg, v, now_ms);
+    }
+
+    /// Cumulative total of counter `name` (0 if never written).
+    pub fn total(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.total).unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Cumulative histogram for `name`.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name).map(|h| &h.all)
+    }
+
+    /// Merge of `name`'s retained windows.
+    pub fn recent_hist(&self, name: &str, now_ms: u64) -> Option<Histogram> {
+        self.hists.get(name).map(|h| h.recent(&self.cfg, now_ms))
+    }
+
+    /// Per-window deltas of counter `name`, oldest first.
+    pub fn window_deltas(&self, name: &str, now_ms: u64) -> Vec<u64> {
+        self.counters
+            .get(name)
+            .map(|c| c.window_deltas(&self.cfg, now_ms))
+            .unwrap_or_else(|| vec![0; self.cfg.ring])
+    }
+
+    /// Recent rate of counter `name` in events/second.
+    pub fn rate_per_sec(&self, name: &str, now_ms: u64) -> f64 {
+        self.counters
+            .get(name)
+            .map(|c| c.rate_per_sec(&self.cfg, now_ms))
+            .unwrap_or(0.0)
+    }
+
+    /// Iterate counters by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, &WindowedCounter)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate gauges by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms by name.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &WindowedHist)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLO sentinels
+// ---------------------------------------------------------------------------
+
+/// Exponentially weighted moving average. `None` until the first sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    /// Smoothing factor in `(0, 1]`; larger reacts faster.
+    pub alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A fresh EWMA with smoothing factor `alpha`.
+    pub fn new(alpha: f64) -> Ewma {
+        Ewma { alpha: alpha.clamp(1e-6, 1.0), value: None }
+    }
+
+    /// Fold in one sample and return the updated average.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average (`None` before any sample).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Which side of the threshold counts as a breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Breach when the EWMA rises above the threshold (latency-style).
+    Above,
+    /// Breach when the EWMA falls below the threshold (hit-ratio-style).
+    Below,
+}
+
+/// An EWMA watchdog on one signal: tracks the moving average, compares it
+/// against a fixed threshold, and keeps both a *current* breach flag (drives
+/// the `health` verdict; recovers when the EWMA crosses back) and a
+/// cumulative breach-transition counter.
+#[derive(Debug, Clone)]
+pub struct Sentinel {
+    /// Signal name (e.g. `"run_wall_ms"`).
+    pub name: String,
+    /// Threshold the EWMA is compared against.
+    pub threshold: f64,
+    /// Breach direction.
+    pub kind: SloKind,
+    /// The moving average.
+    pub ewma: Ewma,
+    /// Whether the sentinel is currently in breach.
+    pub breached: bool,
+    /// Number of ok→breach transitions observed.
+    pub breaches: u64,
+}
+
+impl Sentinel {
+    /// A healthy sentinel named `name` watching for `kind` crossings of
+    /// `threshold`, smoothing samples with factor `alpha`.
+    pub fn new(name: &str, threshold: f64, kind: SloKind, alpha: f64) -> Sentinel {
+        Sentinel {
+            name: name.to_string(),
+            threshold,
+            kind,
+            ewma: Ewma::new(alpha),
+            breached: false,
+            breaches: 0,
+        }
+    }
+
+    /// Fold in one sample; returns `true` when this sample *transitioned*
+    /// the sentinel from ok to breached (callers emit an event on exactly
+    /// those edges).
+    pub fn observe(&mut self, x: f64) -> bool {
+        let v = self.ewma.observe(x);
+        let now_breached = match self.kind {
+            SloKind::Above => v > self.threshold,
+            SloKind::Below => v < self.threshold,
+        };
+        let newly = now_breached && !self.breached;
+        if newly {
+            self.breaches += 1;
+        }
+        self.breached = now_breached;
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: WindowCfg = WindowCfg { width_ms: 1000, ring: 4 };
+
+    #[test]
+    fn counter_windows_rotate_and_report_oldest_first() {
+        let mut r = MetricsRegistry::new(CFG);
+        r.add("jobs", 2, 100); // window 0
+        r.add("jobs", 3, 1100); // window 1
+        r.add("jobs", 5, 3100); // window 3
+        assert_eq!(r.total("jobs"), 10);
+        assert_eq!(r.window_deltas("jobs", 3100), vec![2, 3, 0, 5]);
+        // Advance into window 4: window 0 ages out of the ring.
+        assert_eq!(r.window_deltas("jobs", 4100), vec![3, 0, 5, 0]);
+        // A write into window 4 reuses window 0's slot after resetting it.
+        r.add("jobs", 7, 4100);
+        assert_eq!(r.window_deltas("jobs", 4100), vec![3, 0, 5, 7]);
+        assert_eq!(r.total("jobs"), 17);
+    }
+
+    #[test]
+    fn stale_slot_reset_on_long_gap() {
+        let mut r = MetricsRegistry::new(CFG);
+        r.add("x", 9, 500); // window 0
+        // Jump forward 100 windows: everything in the ring is stale.
+        assert_eq!(r.window_deltas("x", 100_500), vec![0, 0, 0, 0]);
+        r.add("x", 1, 100_500);
+        assert_eq!(r.window_deltas("x", 100_500), vec![0, 0, 0, 1]);
+        assert_eq!(r.total("x"), 10); // total survives the gap
+    }
+
+    #[test]
+    fn rate_accounts_for_partial_current_window() {
+        let mut r = MetricsRegistry::new(CFG);
+        // 10 events in the first half-second of the first window.
+        for _ in 0..10 {
+            r.add("e", 1, 250);
+        }
+        // Ring span elapsed so far is only 500 ms.
+        let rate = r.rate_per_sec("e", 500);
+        assert!((rate - 20.0).abs() < 1e-9, "rate={rate}");
+        // Unknown counters report 0, not NaN.
+        assert_eq!(r.rate_per_sec("nope", 500), 0.0);
+    }
+
+    #[test]
+    fn hist_recent_merges_only_live_windows() {
+        let mut r = MetricsRegistry::new(CFG);
+        r.observe("lat", 100, 100); // window 0
+        r.observe("lat", 200, 1100); // window 1
+        r.observe("lat", 400, 4100); // window 4 — evicts window 0's slot
+        let recent = r.recent_hist("lat", 4100).unwrap();
+        assert_eq!(recent.count, 2); // windows 1 and 4 only
+        assert_eq!(recent.min, 200);
+        assert_eq!(recent.max, 400);
+        // Cumulative histogram still has all three.
+        assert_eq!(r.hist("lat").unwrap().count, 3);
+        assert_eq!(r.hist("lat").unwrap().min, 100);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = MetricsRegistry::new(CFG);
+        assert_eq!(r.gauge("g"), None);
+        r.set_gauge("g", 5);
+        r.set_gauge("g", 3);
+        assert_eq!(r.gauge("g"), Some(3));
+    }
+
+    #[test]
+    fn ewma_converges_toward_samples() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.observe(100.0), 100.0); // first sample adopted exactly
+        let v = e.observe(0.0);
+        assert!((v - 50.0).abs() < 1e-12);
+        let v = e.observe(0.0);
+        assert!((v - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sentinel_breaches_recover_and_count_transitions() {
+        let mut s = Sentinel::new("lat", 10.0, SloKind::Above, 1.0);
+        assert!(!s.observe(5.0));
+        assert!(!s.breached);
+        assert!(s.observe(50.0)); // ok → breach edge
+        assert!(s.breached);
+        assert!(!s.observe(60.0)); // still breached: no new edge
+        assert!(!s.observe(1.0)); // recovers
+        assert!(!s.breached);
+        assert!(s.observe(99.0)); // second edge
+        assert_eq!(s.breaches, 2);
+    }
+
+    #[test]
+    fn sentinel_below_kind_watches_floors() {
+        let mut s = Sentinel::new("hit_ratio", 0.5, SloKind::Below, 1.0);
+        assert!(!s.observe(0.9));
+        assert!(s.observe(0.1));
+        assert!(s.breached);
+        assert!(!s.observe(0.8));
+        assert!(!s.breached);
+        // A zero threshold can never breach (ratio is never negative).
+        let mut z = Sentinel::new("z", 0.0, SloKind::Below, 1.0);
+        assert!(!z.observe(0.0));
+        assert!(!z.breached);
+    }
+}

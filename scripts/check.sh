@@ -96,4 +96,8 @@ CITROEN_SANITIZE=1 timeout 120 ./target/release/citroen-analyze validate
 echo "== serve: concurrent daemon determinism + cross-tenant reuse + cancel/drain"
 timeout 300 ./target/release/citroen-serve bench
 
+echo "== observability: metrics overhead gate + daemon smoke + SLO gate"
+timeout 300 ./target/release/micro --metrics-gate
+timeout 300 ./target/release/citroen-serve smoke
+
 echo "== tier-1 gate passed"

@@ -23,7 +23,10 @@ citroen-serve — multi-tenant CITROEN tuning daemon
 USAGE:
     citroen-serve [serve] [--socket PATH] [--max-concurrent N] [--max-budget N]
                   [--cache-cap N] [--trace-dir DIR] [--graph FILE]
+                  [--no-metrics] [--metrics-window-ms N] [--slo-queue-ms X]
+                  [--slo-run-ms X] [--slo-compile-us X] [--slo-hit-ratio X]
     citroen-serve bench [--budget N] [--max-concurrent N]
+    citroen-serve smoke
 
 MODES:
     serve            read newline-delimited JSON requests on stdin, write
@@ -31,6 +34,10 @@ MODES:
                      Unix socket and serve connections sequentially instead.
     bench            spawn a daemon subprocess and run the determinism /
                      throughput gate against it (exit 0 iff it holds)
+    smoke            end-to-end observability check: spawn a socket daemon,
+                     submit a job, poll the `metrics` verb, and require
+                     `citroen-trace top --once` to report healthy
+                     (exit 0 iff everything held)
 
 OPTIONS:
     --socket PATH        listen on a Unix socket instead of stdio
@@ -42,6 +49,16 @@ OPTIONS:
     --graph FILE         persisted `citroen-analyze oracle --json` graph,
                          loaded once and shared with every session
     --budget N           bench mode: per-job budget        [default: 8]
+
+OBSERVABILITY OPTIONS (serve / smoke):
+    --no-metrics          disable the metrics/profiling/SLO plane
+                          (the `metrics` verb then returns an error)
+    --metrics-window-ms N metrics window width, ms        [default: 10000]
+    --slo-queue-ms X      queue-wait EWMA ceiling, ms     [default: 60000]
+    --slo-run-ms X        run-wall EWMA ceiling, ms      [default: 300000]
+    --slo-compile-us X    compile-span EWMA ceiling, us [default: 5000000]
+    --slo-hit-ratio X     cache hit-ratio EWMA floor (0 disables)
+                                                               [default: 0]
 ";
 
 fn die(msg: &str) -> ! {
@@ -54,6 +71,11 @@ fn parse_num(args: &mut std::iter::Peekable<std::env::Args>, flag: &str) -> u64 
     v.parse().unwrap_or_else(|_| die(&format!("{flag}: bad number '{v}'")))
 }
 
+fn parse_f64(args: &mut std::iter::Peekable<std::env::Args>, flag: &str) -> f64 {
+    let v = args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+    v.parse().unwrap_or_else(|_| die(&format!("{flag}: bad number '{v}'")))
+}
+
 fn main() {
     let mut args = std::env::args().peekable();
     args.next(); // argv[0]
@@ -61,11 +83,13 @@ fn main() {
     let mut cfg = ServeConfig::default();
     let mut socket: Option<String> = None;
     let mut bench = false;
+    let mut smoke = false;
     let mut budget = 8usize;
     while let Some(a) = args.next() {
         match a.as_str() {
             "serve" => {}
             "bench" => bench = true,
+            "smoke" => smoke = true,
             "--socket" => {
                 socket = Some(args.next().unwrap_or_else(|| die("--socket needs a path")))
             }
@@ -81,12 +105,24 @@ fn main() {
                 cfg.graph_path = Some(args.next().unwrap_or_else(|| die("--graph needs a file")))
             }
             "--budget" => budget = parse_num(&mut args, "--budget") as usize,
+            "--no-metrics" => cfg.metrics = false,
+            "--metrics-window-ms" => {
+                cfg.metrics_window_ms = parse_num(&mut args, "--metrics-window-ms").max(1)
+            }
+            "--slo-queue-ms" => cfg.slo_queue_ms = parse_f64(&mut args, "--slo-queue-ms"),
+            "--slo-run-ms" => cfg.slo_run_ms = parse_f64(&mut args, "--slo-run-ms"),
+            "--slo-compile-us" => cfg.slo_compile_us = parse_f64(&mut args, "--slo-compile-us"),
+            "--slo-hit-ratio" => cfg.slo_hit_ratio = parse_f64(&mut args, "--slo-hit-ratio"),
             other => die(&format!("unknown argument '{other}'")),
         }
     }
 
     if bench {
         run_bench(cfg, budget);
+        return;
+    }
+    if smoke {
+        run_smoke(cfg);
         return;
     }
     let server = Server::new(cfg);
@@ -137,6 +173,7 @@ fn spec(id: &str, seed: u64, budget: usize) -> JobSpec {
     JobSpec {
         id: id.to_string(),
         bench: "telecom_gsm".to_string(),
+        tenant: "telecom_gsm".to_string(),
         budget,
         seed,
         seq_len: 16,
@@ -301,6 +338,157 @@ fn run_bench(cfg: ServeConfig, budget: usize) {
     } else {
         for f in &failures {
             eprintln!("bench FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// smoke mode: the end-to-end observability gate
+// ---------------------------------------------------------------------------
+
+/// Spawn a socket daemon, run one job through it, poll the `metrics` verb,
+/// and require the `citroen-trace top --once` SLO gate to pass — the
+/// check.sh stage that proves the observability plane is wired end to end.
+fn run_smoke(cfg: ServeConfig) {
+    let exe = std::env::current_exe().unwrap_or_else(|e| die(&format!("no current_exe: {e}")));
+    let sock = std::env::temp_dir().join(format!("citroen-smoke-{}.sock", std::process::id()));
+    let sock_s = sock.to_string_lossy().into_owned();
+    let _ = std::fs::remove_file(&sock);
+
+    let mut child = std::process::Command::new(&exe)
+        .args([
+            "serve",
+            "--socket",
+            &sock_s,
+            "--max-concurrent",
+            "2",
+            "--metrics-window-ms",
+            &cfg.metrics_window_ms.to_string(),
+            "--slo-queue-ms",
+            &cfg.slo_queue_ms.to_string(),
+            "--slo-run-ms",
+            &cfg.slo_run_ms.to_string(),
+            "--slo-compile-us",
+            &cfg.slo_compile_us.to_string(),
+            "--slo-hit-ratio",
+            &cfg.slo_hit_ratio.to_string(),
+        ])
+        .spawn()
+        .unwrap_or_else(|e| die(&format!("cannot spawn daemon: {e}")));
+    let kill_child = |child: &mut std::process::Child| {
+        let _ = child.kill();
+        let _ = child.wait();
+        let _ = std::fs::remove_file(&sock);
+    };
+
+    // The daemon binds the socket before accepting; wait for the file.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !sock.exists() {
+        if std::time::Instant::now() > deadline {
+            kill_child(&mut child);
+            die("smoke: daemon socket never appeared");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Connection 1: submit one small job, await its result, then poll
+    // metrics on the same connection and check the lifecycle landed.
+    {
+        let stream = std::os::unix::net::UnixStream::connect(&sock)
+            .unwrap_or_else(|e| die(&format!("smoke: cannot connect '{sock_s}': {e}")));
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+            .expect("socket read timeout");
+        let mut writer = stream.try_clone().expect("socket clone");
+        let mut reader = BufReader::new(stream);
+        let job = spec("smoke", 3, 4);
+        writer.write_all(submit_line(&job).as_bytes()).expect("daemon socket");
+        writer.flush().expect("daemon socket");
+
+        let mut got_result = false;
+        let mut got_metrics = false;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    failures.push(format!("socket read failed: {e}"));
+                    break;
+                }
+            }
+            let Ok(v) = Value::parse(line.trim()) else { continue };
+            match v.get("type").and_then(Value::as_str).unwrap_or("") {
+                "result" => {
+                    got_result = true;
+                    let exit = v.get("exit").and_then(Value::as_str).unwrap_or("");
+                    if exit != "completed" {
+                        failures.push(format!("job exited '{exit}', expected 'completed'"));
+                    }
+                    writer.write_all(b"{\"type\":\"metrics\"}\n").expect("daemon socket");
+                    writer.flush().expect("daemon socket");
+                }
+                "metrics" => {
+                    got_metrics = true;
+                    let health = v.get("health").and_then(Value::as_str).unwrap_or("");
+                    if health != "ok" {
+                        failures.push(format!("daemon health '{health}', expected 'ok'"));
+                    }
+                    let done = v
+                        .get("global")
+                        .and_then(|g| g.get("counters"))
+                        .and_then(|c| c.get("jobs.done"))
+                        .and_then(|c| c.get("total"))
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0);
+                    if done < 1 {
+                        failures.push(format!("metrics report {done} jobs done, expected >= 1"));
+                    } else {
+                        println!("smoke: metrics healthy — {done} job(s) done");
+                    }
+                    break;
+                }
+                "error" => {
+                    failures.push(format!("daemon error reply: {}", line.trim()));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !got_result {
+            failures.push("never saw a result reply".to_string());
+        }
+        if !got_metrics {
+            failures.push("never saw a metrics reply".to_string());
+        }
+    } // connection dropped: the daemon drains it and accepts the next one
+
+    // Connection 2: the CI SLO gate — `citroen-trace top --once` must
+    // render a frame and exit 0 (healthy).
+    let trace_exe = exe
+        .parent()
+        .map(|d| d.join("citroen-trace"))
+        .filter(|p| p.exists())
+        .unwrap_or_else(|| die("smoke: citroen-trace not found next to citroen-serve"));
+    match std::process::Command::new(&trace_exe)
+        .args(["top", "--once", "--socket", &sock_s])
+        .status()
+    {
+        Ok(st) if st.success() => println!("smoke: citroen-trace top --once healthy (exit 0)"),
+        Ok(st) => failures.push(format!("citroen-trace top --once exited {st}")),
+        Err(e) => failures.push(format!("cannot run citroen-trace: {e}")),
+    }
+
+    kill_child(&mut child);
+    if failures.is_empty() {
+        println!("smoke: observability gate passed");
+    } else {
+        for f in &failures {
+            eprintln!("smoke FAILURE: {f}");
         }
         std::process::exit(1);
     }

@@ -32,7 +32,7 @@ USAGE:
     citroen-trace record [--out FILE | --stream-out FILE [--stream-cap N]]
                          [--bench NAME] [--budget N] [--seq-len N] [--seed S]
                          [--oracle] [--subsume] [--batch Q]
-    citroen-trace show FILE [--top N]
+    citroen-trace show FILE [--top N] [--json]
     citroen-trace check FILE [--min-coverage F]
     citroen-trace diff OLD NEW
     citroen-trace tail FILE
@@ -40,11 +40,14 @@ USAGE:
     citroen-trace curve FILE
     citroen-trace baseline FILE [--out FILE]
     citroen-trace regress FILE --baseline FILE [--threshold PCT]
+                          [--span-floor-ms MS] [--counter-floor N]
+    citroen-trace top --socket PATH [--once | --count N] [--interval-ms MS]
 
 MODES:
     record           run a traced tuning run; write pretty JSON (--out /
                      stdout) or stream JSONL records live (--stream-out)
     show             breakdown table + hottest spans + counters + histograms
+                     (--json: machine-readable summary, exit codes unchanged)
     check            assert expected span kinds and iteration coverage
     diff             per-name time deltas and counter deltas between traces
     tail             render a live/partial JSONL stream (torn lines skipped;
@@ -55,6 +58,10 @@ MODES:
     baseline         persist a per-span-name/counter summary for regress
     regress          compare a trace against a stored baseline; exits 1 when
                      any tracked time or counter grew past the threshold
+    top              poll a citroen-serve socket's `metrics` verb and render
+                     per-tenant rates/quantiles/health; exits 1 when the
+                     daemon reports health degraded (--once is the CI SLO
+                     gate: one poll, exit 0 healthy / 1 degraded)
 
 RECORD OPTIONS:
     --bench NAME     benchmark to tune            [default: telecom_gsm]
@@ -68,8 +75,17 @@ RECORD OPTIONS:
                      FILE.1 and FILE.2 (disk bounded at ~3 caps)
 
 REGRESS OPTIONS:
-    --threshold PCT  max tolerated increase, percent   [default: 25]
-                     (times under 1ms / counters under 10 are ignored)
+    --threshold PCT      max tolerated increase, percent        [default: 25]
+    --span-floor-ms MS   ignore span names whose baseline total is under
+                         MS milliseconds (too noisy to gate on)  [default: 1]
+    --counter-floor N    ignore counters whose baseline is under N
+                                                                [default: 10]
+
+TOP OPTIONS:
+    --socket PATH        the daemon's --socket path (required)
+    --once               poll once; exit 0 healthy / 1 degraded
+    --count N            poll N times, exit per the last verdict
+    --interval-ms MS     delay between polls             [default: 1000]
 ";
 
 fn die(msg: &str) -> ! {
@@ -106,6 +122,7 @@ fn main() {
         Some("curve") => curve(args),
         Some("baseline") => baseline(args),
         Some("regress") => regress(args),
+        Some("top") => top(args),
         Some(other) => die(&format!("unknown mode '{other}'")),
         None => die("missing mode"),
     }
@@ -223,14 +240,20 @@ fn record(mut args: std::env::Args) {
 fn show(mut args: std::env::Args) {
     let mut file = None::<String>;
     let mut top = 10usize;
+    let mut json = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--top" => top = parse_num(&mut args, "--top") as usize,
+            "--json" => json = true,
             other if file.is_none() => file = Some(other.to_string()),
             other => die(&format!("show: unexpected argument '{other}'")),
         }
     }
     let t = load(&file.unwrap_or_else(|| die("show needs a trace file")));
+    if json {
+        println!("{}", show_json(&t, top).emit_pretty());
+        return;
+    }
 
     let rows = t.aggregate();
     let wall: u64 = t.spans.iter().filter(|s| s.parent == 0).map(|s| s.dur_ns).sum();
@@ -287,6 +310,82 @@ fn show(mut args: std::env::Args) {
     if let Some(cov) = t.coverage("iteration", &["compile", "measure", "fit", "acquire", "batch"]) {
         println!("\niteration coverage by compile/measure/fit/acquire/batch: {:.1}%", cov * 100.0);
     }
+}
+
+/// The machine-readable `show` summary, mirroring `citroen-analyze --json`:
+/// a `mode`-tagged object with the same information as the text tables.
+/// Fractional values travel as `f64::to_bits` (`*_bits`), matching the serve
+/// protocol convention.
+fn show_json(t: &Trace, top: usize) -> Value {
+    let wall: u64 = t.spans.iter().filter(|s| s.parent == 0).map(|s| s.dur_ns).sum();
+    let spans = Value::Arr(
+        t.aggregate()
+            .into_iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("name".into(), Value::str(r.name)),
+                    ("count".into(), Value::U64(r.count)),
+                    ("total_ns".into(), Value::U64(r.total_ns)),
+                    ("self_ns".into(), Value::U64(r.self_ns)),
+                ])
+            })
+            .collect(),
+    );
+    let hottest = Value::Arr(
+        t.hottest(top)
+            .into_iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("name".into(), Value::str(s.name.clone())),
+                    ("dur_ns".into(), Value::U64(s.dur_ns)),
+                    ("id".into(), Value::U64(s.id)),
+                    ("thread".into(), Value::U64(s.thread)),
+                    ("start_ns".into(), Value::U64(s.start_ns)),
+                ])
+            })
+            .collect(),
+    );
+    let counters =
+        Value::Obj(t.counters.iter().map(|(k, v)| (k.clone(), Value::U64(*v))).collect());
+    let hists = Value::Obj(
+        t.hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Value::Obj(vec![
+                        ("count".into(), Value::U64(h.count)),
+                        ("mean_bits".into(), Value::U64(h.mean().to_bits())),
+                        ("p50".into(), Value::U64(h.quantile(0.5))),
+                        ("p99".into(), Value::U64(h.quantile(0.99))),
+                        ("max".into(), Value::U64(h.max)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    // The sanitize/subsume effectiveness table from the text output.
+    let get = |k: &str| t.counters.get(k).copied().unwrap_or(0);
+    let sanitize = Value::Obj(vec![
+        ("runs".into(), Value::U64(get("citroen.sanitize.runs"))),
+        ("skips".into(), Value::U64(get("citroen.sanitize.skips"))),
+        ("subsume_dropped".into(), Value::U64(get("canon.subsume_dropped"))),
+    ]);
+    let mut fields = vec![
+        ("mode".into(), Value::str("show")),
+        ("wall_ns".into(), Value::U64(wall)),
+        ("spans".into(), spans),
+        ("hottest".into(), hottest),
+        ("sanitize".into(), sanitize),
+        ("counters".into(), counters),
+        ("histograms".into(), hists),
+    ];
+    if let Some(cov) =
+        t.coverage("iteration", &["compile", "measure", "fit", "acquire", "batch"])
+    {
+        fields.push(("iteration_coverage_bits".into(), Value::U64(cov.to_bits())));
+    }
+    Value::Obj(fields)
 }
 
 // ---------------------------------------------------------------------------
@@ -607,8 +706,9 @@ fn baseline(mut args: std::env::Args) {
     }
 }
 
-/// Time floor below which a span name is too noisy to gate on (1ms), and the
-/// counter floor below which relative deltas are meaningless.
+/// Default time floor below which a span name is too noisy to gate on
+/// (1 ms), and the default counter floor below which relative deltas are
+/// meaningless. Overridable with `--span-floor-ms` / `--counter-floor`.
 const REGRESS_MIN_NS: u64 = 1_000_000;
 const REGRESS_MIN_COUNT: u64 = 10;
 
@@ -616,6 +716,8 @@ fn regress(mut args: std::env::Args) {
     let mut file = None::<String>;
     let mut base_path = None::<String>;
     let mut threshold = 25.0f64;
+    let mut span_floor_ns = REGRESS_MIN_NS;
+    let mut counter_floor = REGRESS_MIN_COUNT;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--baseline" => {
@@ -625,6 +727,15 @@ fn regress(mut args: std::env::Args) {
                 let v = args.next().unwrap_or_else(|| die("--threshold needs a value"));
                 threshold = v.parse().unwrap_or_else(|_| die("--threshold: bad number"));
             }
+            "--span-floor-ms" => {
+                let v = args.next().unwrap_or_else(|| die("--span-floor-ms needs a value"));
+                let ms: f64 = v.parse().unwrap_or_else(|_| die("--span-floor-ms: bad number"));
+                if !(ms >= 0.0) {
+                    die("--span-floor-ms: must be non-negative");
+                }
+                span_floor_ns = (ms * 1e6) as u64;
+            }
+            "--counter-floor" => counter_floor = parse_num(&mut args, "--counter-floor"),
             other if file.is_none() => file = Some(other.to_string()),
             other => die(&format!("regress: unexpected argument '{other}'")),
         }
@@ -653,7 +764,7 @@ fn regress(mut args: std::env::Args) {
         ) else {
             die(&format!("'{base_path}': malformed names entry"));
         };
-        if old < REGRESS_MIN_NS {
+        if old < span_floor_ns {
             continue; // too small to gate on
         }
         let new = new_names.get(name).copied().unwrap_or(0);
@@ -670,7 +781,7 @@ fn regress(mut args: std::env::Args) {
             let old = v
                 .as_u64()
                 .unwrap_or_else(|| die(&format!("'{base_path}': counter '{name}' not integer")));
-            if old < REGRESS_MIN_COUNT {
+            if old < counter_floor {
                 continue;
             }
             let new = t.counters.get(name).copied().unwrap_or(0);
@@ -692,4 +803,211 @@ fn regress(mut args: std::env::Args) {
         }
         std::process::exit(1);
     }
+}
+
+// ---------------------------------------------------------------------------
+// top
+// ---------------------------------------------------------------------------
+
+/// Lenient field accessors for rendering daemon replies: missing fields
+/// render as 0 / "" instead of aborting, so `top` degrades gracefully
+/// against older daemons.
+fn ju(v: &Value, k: &str) -> u64 {
+    v.get(k).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn js<'a>(v: &'a Value, k: &str) -> &'a str {
+    v.get(k).and_then(Value::as_str).unwrap_or("")
+}
+
+/// Live dashboard over a running daemon's `metrics` verb. The exit code is
+/// the last poll's health verdict, which makes `--once` a CI SLO gate: one
+/// poll, exit 0 healthy / 1 degraded.
+fn top(mut args: std::env::Args) {
+    let mut socket = None::<String>;
+    let mut count: Option<u64> = None; // None = poll forever
+    let mut interval_ms = 1000u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(args.next().unwrap_or_else(|| die("--socket needs a path")))
+            }
+            "--once" => count = Some(1),
+            "--count" => count = Some(parse_num(&mut args, "--count").max(1)),
+            "--interval-ms" => interval_ms = parse_num(&mut args, "--interval-ms"),
+            other => die(&format!("top: unexpected argument '{other}'")),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| die("top needs --socket PATH"));
+
+    let mut healthy;
+    let mut polls = 0u64;
+    loop {
+        healthy = render_top(&poll_metrics(&socket));
+        polls += 1;
+        if matches!(count, Some(n) if polls >= n) {
+            break;
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    std::process::exit(if healthy { 0 } else { 1 });
+}
+
+/// One `metrics` poll: connect to the daemon socket, send the verb,
+/// half-close the write side (the daemon serves the connection until EOF),
+/// and read replies until the metrics line arrives.
+fn poll_metrics(socket: &str) -> Value {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::os::unix::net::UnixStream::connect(socket)
+        .unwrap_or_else(|e| die(&format!("top: cannot connect to '{socket}': {e}")));
+    stream
+        .write_all(b"{\"type\":\"metrics\"}\n")
+        .and_then(|_| stream.shutdown(std::net::Shutdown::Write))
+        .unwrap_or_else(|e| die(&format!("top: cannot write to '{socket}': {e}")));
+    for line in BufReader::new(stream).lines() {
+        let line = line.unwrap_or_else(|e| die(&format!("top: read from '{socket}': {e}")));
+        let Ok(v) = Value::parse(&line) else { continue };
+        match js(&v, "type").to_string().as_str() {
+            "metrics" => return v,
+            "error" => {
+                die(&format!("top: daemon error: {} ({})", js(&v, "msg"), js(&v, "code")))
+            }
+            _ => {} // job/status chatter from the connection drain
+        }
+    }
+    die(&format!("top: '{socket}' closed without a metrics reply"))
+}
+
+/// Render one dashboard frame from a `metrics` reply; returns `true` when
+/// the daemon reports `health: ok`.
+fn render_top(v: &Value) -> bool {
+    let health = js(v, "health");
+    println!(
+        "citroen-serve: up {:.1}s  health {health}  (window {}ms x {})",
+        ju(v, "uptime_ms") as f64 / 1e3,
+        ju(v, "window_ms"),
+        ju(v, "windows")
+    );
+
+    if let Some(slo) = v.get("slo").and_then(Value::as_arr) {
+        println!("\n== SLO sentinels ==");
+        println!(
+            "{:<28} {:>6} {:>12} {:>12} {:>9} {:>9}",
+            "name", "kind", "ewma", "threshold", "breached", "breaches"
+        );
+        for s in slo {
+            println!(
+                "{:<28} {:>6} {:>12} {:>12} {:>9} {:>9}",
+                js(s, "name"),
+                js(s, "kind"),
+                js(s, "ewma"),
+                js(s, "threshold"),
+                if ju(s, "breached") != 0 { "YES" } else { "no" },
+                ju(s, "breaches")
+            );
+        }
+    }
+
+    if let Some(g) = v.get("global") {
+        if let Some(Value::Obj(counters)) = g.get("counters") {
+            if !counters.is_empty() {
+                println!("\n== global counters ==");
+                println!(
+                    "{:<24} {:>10} {:>10}  windows (oldest-first)",
+                    "name", "total", "rate/s"
+                );
+                for (name, c) in counters {
+                    let win: Vec<String> = c
+                        .get("win")
+                        .and_then(Value::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|w| w.as_u64().unwrap_or(0).to_string())
+                        .collect();
+                    println!(
+                        "{name:<24} {:>10} {:>10}  [{}]",
+                        ju(c, "total"),
+                        js(c, "rate"),
+                        win.join(" ")
+                    );
+                }
+            }
+        }
+        if let Some(Value::Obj(gauges)) = g.get("gauges") {
+            if !gauges.is_empty() {
+                println!("\n== gauges ==");
+                for (name, val) in gauges {
+                    println!("{name:<24} {}", val.as_u64().unwrap_or(0));
+                }
+            }
+        }
+        if let Some(Value::Obj(hists)) = g.get("hists") {
+            if !hists.is_empty() {
+                println!("\n== global latency (all-time | recent windows) ==");
+                println!(
+                    "{:<24} {:>8} {:>8} {:>8} {:>8}  {:>8} {:>8}",
+                    "name", "count", "p50", "p90", "p99", "r.count", "r.p99"
+                );
+                for (name, h) in hists {
+                    let r = h.get("recent");
+                    println!(
+                        "{name:<24} {:>8} {:>8} {:>8} {:>8}  {:>8} {:>8}",
+                        ju(h, "count"),
+                        ju(h, "p50"),
+                        ju(h, "p90"),
+                        ju(h, "p99"),
+                        r.map(|r| ju(r, "count")).unwrap_or(0),
+                        r.map(|r| ju(r, "p99")).unwrap_or(0),
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(Value::Obj(tenants)) = v.get("tenants") {
+        if !tenants.is_empty() {
+            println!("\n== tenants ==");
+            println!(
+                "{:<20} {:>9} {:>7} {:>7} {:>7} {:>9}",
+                "tenant", "health", "done", "failed", "cancel", "compiles"
+            );
+            for (name, t) in tenants {
+                let c = t.get("counters");
+                let total =
+                    |key: &str| c.and_then(|c| c.get(key)).map(|x| ju(x, "total")).unwrap_or(0);
+                println!(
+                    "{name:<20} {:>9} {:>7} {:>7} {:>7} {:>9}",
+                    js(t, "health"),
+                    total("jobs.done"),
+                    total("jobs.failed"),
+                    total("jobs.cancelled"),
+                    total("compiles")
+                );
+            }
+        }
+    }
+
+    if let Some(recent) = v.get("recent").and_then(Value::as_arr) {
+        if !recent.is_empty() {
+            println!("\n== recent jobs (newest first) ==");
+            println!(
+                "{:<12} {:<16} {:>10} {:>9} {:>9} {:>9}",
+                "id", "tenant", "exit", "queue_ms", "run_ms", "compiles"
+            );
+            for j in recent.iter().take(10) {
+                println!(
+                    "{:<12} {:<16} {:>10} {:>9} {:>9} {:>9}",
+                    js(j, "id"),
+                    js(j, "tenant"),
+                    js(j, "exit"),
+                    ju(j, "queue_ms"),
+                    ju(j, "run_ms"),
+                    ju(j, "compiles")
+                );
+            }
+        }
+    }
+
+    health == "ok"
 }

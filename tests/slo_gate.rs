@@ -1,0 +1,99 @@
+//! The CI SLO gate, end to end over real binaries: `citroen-trace top
+//! --once` against a live socket daemon must exit 0 while the daemon is
+//! healthy and 1 once an (injected) SLO breach degrades it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// Kills the daemon subprocess even when an assertion panics mid-test.
+struct DaemonGuard {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn spawn_daemon(name: &str, extra: &[&str]) -> DaemonGuard {
+    let socket =
+        std::env::temp_dir().join(format!("citroen-slo-{name}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut args = vec!["serve".to_string(), "--socket".to_string()];
+    args.push(socket.to_string_lossy().into_owned());
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let child = Command::new(env!("CARGO_BIN_EXE_citroen-serve"))
+        .args(&args)
+        .spawn()
+        .expect("spawn citroen-serve");
+    let mut guard = DaemonGuard { child, socket };
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while !guard.socket.exists() {
+        assert!(Instant::now() < deadline, "daemon socket never appeared");
+        if let Some(status) = guard.child.try_wait().expect("child status") {
+            panic!("daemon exited early with {status}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    guard
+}
+
+/// Submit one small job over the socket and block until its result reply,
+/// so the SLO sentinels have observed a completed session before `top`
+/// polls. The connection is dropped before returning (the daemon serves
+/// connections sequentially).
+fn run_one_job(socket: &Path) {
+    let stream = UnixStream::connect(socket).expect("connect daemon socket");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let mut writer = stream.try_clone().expect("clone socket");
+    writer
+        .write_all(
+            b"{\"type\":\"submit\",\"job\":{\"id\":\"g\",\"bench\":\"telecom_gsm\",\
+              \"budget\":3,\"seed\":3}}\n",
+        )
+        .expect("submit");
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("daemon reply");
+        assert!(n > 0, "daemon closed the connection before the job finished");
+        if line.contains("\"type\":\"result\"") {
+            return;
+        }
+        assert!(!line.contains("\"type\":\"error\""), "daemon error reply: {line}");
+    }
+}
+
+fn top_once(socket: &Path) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_citroen-trace"))
+        .args(["top", "--once", "--socket", &socket.to_string_lossy()])
+        .status()
+        .expect("run citroen-trace top")
+        .code()
+        .expect("top exit code")
+}
+
+#[test]
+fn top_exits_zero_on_healthy_daemon() {
+    let daemon = spawn_daemon("ok", &[]);
+    run_one_job(&daemon.socket);
+    assert_eq!(top_once(&daemon.socket), 0, "healthy daemon must gate green");
+}
+
+#[test]
+fn top_exits_one_on_injected_slo_breach() {
+    // A run-wall ceiling of 1 ns of milliseconds: the first completed job's
+    // EWMA lands far above it, flipping health to degraded.
+    let daemon = spawn_daemon("breach", &["--slo-run-ms", "0.000001"]);
+    run_one_job(&daemon.socket);
+    assert_eq!(top_once(&daemon.socket), 1, "breached daemon must gate red");
+}
