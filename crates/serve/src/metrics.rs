@@ -25,6 +25,17 @@
 //!   `degraded` (recoverable) and emits one `slo.breach.<name>` telemetry
 //!   event per ok→breach edge.
 //!
+//! Reentrancy discipline: [`ServeMetrics::feed_span`] and
+//! [`ServeMetrics::feed_counter`] run *inside* sink dispatch — the caller
+//! ([`crate::RoutingSink`] via `citroen_telemetry`) holds the process-global
+//! `SINK` mutex, so nothing on those paths may call back into
+//! `citroen_telemetry` (`event()` re-locks the same non-reentrant mutex on
+//! the same thread: instant self-deadlock). Breaches detected there are
+//! queued in the hub and emitted by the next lifecycle hook
+//! (`job_queued` / `session_started` / `session_finished`), which the server
+//! calls from plain (non-sink) contexts. The `health` verdict itself flips
+//! immediately either way — only the event record is deferred.
+//!
 //! Determinism: nothing in here feeds back into any session — recording is
 //! strictly observational, which is what the 10-seed metrics-on identity
 //! test pins.
@@ -117,6 +128,9 @@ struct Hub {
     spans_dropped: u64,
     recent: VecDeque<JobSummary>,
     cache_last: SharedCacheStats,
+    /// Breaches detected inside sink dispatch (`feed_span`), awaiting
+    /// emission from a non-sink context — see the module docs.
+    pending_breaches: Vec<(String, f64, f64)>,
 }
 
 /// The daemon-wide observability hub. Cheap to clone the `Arc`; all methods
@@ -155,6 +169,7 @@ impl ServeMetrics {
                 spans_dropped: 0,
                 recent: VecDeque::new(),
                 cache_last: SharedCacheStats::default(),
+                pending_breaches: Vec::new(),
             }),
         })
     }
@@ -179,11 +194,32 @@ impl ServeMetrics {
     /// A job was accepted into the queue.
     pub fn job_queued(&self, tenant: &str) {
         let now = self.now_ms();
-        let mut hub = self.hub.lock().unwrap();
-        hub.global.add("jobs.submitted", 1, now);
-        Self::tenant_reg(&mut hub, tenant, self.window, &self.slo)
-            .reg
-            .add("jobs.submitted", 1, now);
+        let breached = {
+            let mut hub = self.hub.lock().unwrap();
+            hub.global.add("jobs.submitted", 1, now);
+            Self::tenant_reg(&mut hub, tenant, self.window, &self.slo)
+                .reg
+                .add("jobs.submitted", 1, now);
+            std::mem::take(&mut hub.pending_breaches)
+        };
+        Self::emit_breaches(&breached);
+    }
+
+    /// A queued job was cancelled before any session thread claimed it.
+    /// `session_finished` never fires for such a job, so this is what keeps
+    /// `jobs.submitted` balanced by terminal counters
+    /// (`jobs.done + jobs.failed + jobs.cancelled`).
+    pub fn job_cancelled_queued(&self, tenant: &str) {
+        let now = self.now_ms();
+        let breached = {
+            let mut hub = self.hub.lock().unwrap();
+            hub.global.add("jobs.cancelled", 1, now);
+            Self::tenant_reg(&mut hub, tenant, self.window, &self.slo)
+                .reg
+                .add("jobs.cancelled", 1, now);
+            std::mem::take(&mut hub.pending_breaches)
+        };
+        Self::emit_breaches(&breached);
     }
 
     /// A session thread claimed a job: records the queue wait and routes the
@@ -191,9 +227,10 @@ impl ServeMetrics {
     /// [`ServeMetrics::session_finished`].
     pub fn session_started(&self, tenant: &str, queue_wait_ms: u64) {
         let now = self.now_ms();
-        let mut breached: Vec<(String, f64, f64)> = Vec::new();
+        let mut breached: Vec<(String, f64, f64)>;
         {
             let mut hub = self.hub.lock().unwrap();
+            breached = std::mem::take(&mut hub.pending_breaches);
             hub.global.observe("queue_wait_ms", queue_wait_ms, now);
             let scope = Self::tenant_reg(&mut hub, tenant, self.window, &self.slo);
             scope.reg.observe("queue_wait_ms", queue_wait_ms, now);
@@ -207,7 +244,9 @@ impl ServeMetrics {
             }
         }
         // Emitted outside the hub lock: the event goes through the global
-        // sink, whose span path locks the hub (lock-order discipline).
+        // sink, whose span path locks the hub (lock-order discipline). This
+        // is a plain (non-sink) context, so the telemetry SINK mutex is free
+        // and queued sink-path breaches can drain here too.
         Self::emit_breaches(&breached);
     }
 
@@ -215,9 +254,10 @@ impl ServeMetrics {
     /// account its lifecycle numbers, observe the SLOs, push the summary.
     pub fn session_finished(&self, job: JobSummary, cache: SharedCacheStats, corpus_len: u64) {
         let now = self.now_ms();
-        let mut breached: Vec<(String, f64, f64)> = Vec::new();
+        let mut breached: Vec<(String, f64, f64)>;
         {
             let mut hub = self.hub.lock().unwrap();
+            breached = std::mem::take(&mut hub.pending_breaches);
 
             // Lifecycle counters and run-wall histograms, global + tenant.
             let outcome_key = match job.exit.as_str() {
@@ -240,7 +280,7 @@ impl ServeMetrics {
                 if scope.run_sentinel.observe(job.run_ms as f64) {
                     let s = &scope.run_sentinel;
                     breached.push((
-                        format!("tenant.{}.{}", job.tenant, s.name),
+                        format!("tenant.{}.{}", event_safe(&job.tenant), s.name),
                         s.ewma.value().unwrap_or(0.0),
                         s.threshold,
                     ));
@@ -308,34 +348,36 @@ impl ServeMetrics {
     /// Feed one completed span (called by the routing sink, synchronously on
     /// the recording thread — but keyed by `rec.thread`, so pool-worker
     /// spans forwarded later would still attribute correctly).
+    ///
+    /// Runs while the caller holds the process-global telemetry `SINK`
+    /// mutex, so it must NOT call back into `citroen_telemetry` (see the
+    /// module docs): a compile-latency breach is queued in the hub and
+    /// emitted by the next lifecycle hook instead.
     pub fn feed_span(&self, rec: &SpanRecord) {
         let now = self.now_ms();
-        let mut breached: Vec<(String, f64, f64)> = Vec::new();
-        {
-            let mut hub = self.hub.lock().unwrap();
-            let Some(scope) = hub.threads.get_mut(&rec.thread) else { return };
-            if scope.spans.len() < self.profile_cap {
-                scope.spans.push(rec.clone());
-            } else {
-                scope.dropped += 1;
-            }
-            let tenant = scope.tenant.clone();
-            if TRACKED_SPANS.contains(&rec.name.as_str()) {
-                let us = rec.dur_ns / 1_000;
-                let key = format!("span.{}_us", rec.name);
-                hub.global.observe(&key, us, now);
-                Self::tenant_reg(&mut hub, &tenant, self.window, &self.slo)
-                    .reg
-                    .observe(&key, us, now);
-                if rec.name == "compile" {
-                    let c = &mut hub.sentinels[2];
-                    if c.observe(us as f64) {
-                        breached.push((c.name.clone(), c.ewma.value().unwrap_or(0.0), c.threshold));
-                    }
+        let mut hub = self.hub.lock().unwrap();
+        let Some(scope) = hub.threads.get_mut(&rec.thread) else { return };
+        if scope.spans.len() < self.profile_cap {
+            scope.spans.push(rec.clone());
+        } else {
+            scope.dropped += 1;
+        }
+        let tenant = scope.tenant.clone();
+        if TRACKED_SPANS.contains(&rec.name.as_str()) {
+            let us = rec.dur_ns / 1_000;
+            let key = format!("span.{}_us", rec.name);
+            hub.global.observe(&key, us, now);
+            Self::tenant_reg(&mut hub, &tenant, self.window, &self.slo)
+                .reg
+                .observe(&key, us, now);
+            if rec.name == "compile" {
+                let c = &mut hub.sentinels[2];
+                if c.observe(us as f64) {
+                    let rec = (c.name.clone(), c.ewma.value().unwrap_or(0.0), c.threshold);
+                    hub.pending_breaches.push(rec);
                 }
             }
         }
-        Self::emit_breaches(&breached);
     }
 
     /// Feed one counter increment from the calling thread (registered
@@ -348,6 +390,9 @@ impl ServeMetrics {
         Self::tenant_reg(&mut hub, &tenant, self.window, &self.slo).reg.add(name, delta, now);
     }
 
+    /// Emit one `slo.breach.<name>` event per record. Only callable from
+    /// plain (non-sink) contexts: `event()` locks the global telemetry
+    /// `SINK` mutex, which sink-dispatch paths already hold.
     fn emit_breaches(breached: &[(String, f64, f64)]) {
         for (name, ewma, threshold) in breached {
             citroen_telemetry::event(
@@ -475,17 +520,18 @@ impl ServeMetrics {
         t.push_str(&format!("citroen_health {}\n", if healthy { 1 } else { 0 }));
         expose_registry(&mut t, &hub.global, "", now);
         for (name, scope) in &hub.tenants {
-            expose_registry(&mut t, &scope.reg, &format!("tenant=\"{name}\","), now);
+            expose_registry(&mut t, &scope.reg, &format!("tenant=\"{}\",", escape_label(name)), now);
         }
         for s in &hub.sentinels {
             t.push_str(&format!(
                 "citroen_slo_breached{{name=\"{}\"}} {}\n",
-                s.name,
+                escape_label(&s.name),
                 if s.breached { 1 } else { 0 }
             ));
             t.push_str(&format!(
                 "citroen_slo_breaches_total{{name=\"{}\"}} {}\n",
-                s.name, s.breaches
+                escape_label(&s.name),
+                s.breaches
             ));
         }
         Value::Obj(vec![
@@ -501,6 +547,31 @@ impl ServeMetrics {
 
 fn vs(v: &str) -> Value {
     Value::Str(v.to_string())
+}
+
+/// Escape a Prometheus text-format label value: backslash, double quote,
+/// and newline. Tenant names are client-controlled, so they must not be
+/// able to corrupt the exposition body.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Clamp a client-controlled string to the event-name-safe charset
+/// (`[A-Za-z0-9_-]`, everything else becomes `_`) before splicing it into a
+/// `slo.breach.tenant.<name>` event name.
+fn event_safe(v: &str) -> String {
+    v.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
 }
 
 /// `12.345`-style decimal rendering for the readable twin of a `*_bits`
@@ -594,6 +665,7 @@ fn registry_json(reg: &MetricsRegistry, now: u64) -> Vec<(String, Value)> {
 
 fn expose_registry(out: &mut String, reg: &MetricsRegistry, label_prefix: &str, now: u64) {
     for (name, c) in reg.counters() {
+        let name = escape_label(name);
         out.push_str(&format!(
             "citroen_counter_total{{{label_prefix}name=\"{name}\"}} {}\n",
             c.total
@@ -604,9 +676,11 @@ fn expose_registry(out: &mut String, reg: &MetricsRegistry, label_prefix: &str, 
         ));
     }
     for (name, v) in reg.gauges() {
+        let name = escape_label(name);
         out.push_str(&format!("citroen_gauge{{{label_prefix}name=\"{name}\"}} {v}\n"));
     }
     for (name, h) in reg.hists() {
+        let name = escape_label(name);
         out.push_str(&format!(
             "citroen_hist_count{{{label_prefix}name=\"{name}\"}} {}\n",
             h.all.count
@@ -738,6 +812,67 @@ mod tests {
         let hub = m.hub.lock().unwrap();
         assert_eq!(hub.spans_sampled, 3);
         assert!(hub.flames.contains_key("compile"), "flames: {:?}", hub.flames);
+    }
+
+    #[test]
+    fn compile_breach_in_sink_path_is_queued_then_drained_by_lifecycle() {
+        // feed_span runs under the global telemetry SINK mutex, so a breach
+        // there must be queued, not emitted (emitting re-locks SINK on the
+        // same thread: self-deadlock). The next lifecycle hook drains it.
+        let m = ServeMetrics::new(
+            WindowCfg::default(),
+            SloConfig { compile_us: 0.001, alpha: 1.0, ..Default::default() },
+        );
+        m.session_started("a", 0);
+        m.feed_span(&SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "compile".to_string(),
+            thread: current_thread_id(),
+            start_ns: 0,
+            dur_ns: 5_000_000,
+        });
+        assert!(!m.healthy(), "compile sentinel must flip health immediately");
+        {
+            let hub = m.hub.lock().unwrap();
+            assert_eq!(hub.pending_breaches.len(), 1, "breach queued, not emitted in-sink");
+            assert_eq!(hub.pending_breaches[0].0, "compile_us");
+        }
+        m.session_finished(job("j1", "a", "completed", 1), Default::default(), 0);
+        let hub = m.hub.lock().unwrap();
+        assert!(hub.pending_breaches.is_empty(), "lifecycle hook drains the queue");
+    }
+
+    #[test]
+    fn cancelled_queued_jobs_balance_submitted() {
+        let m = hub();
+        m.job_queued("a");
+        m.job_cancelled_queued("a");
+        let hub = m.hub.lock().unwrap();
+        assert_eq!(hub.global.total("jobs.submitted"), 1);
+        assert_eq!(hub.global.total("jobs.cancelled"), 1);
+        assert_eq!(hub.tenants["a"].reg.total("jobs.cancelled"), 1);
+    }
+
+    #[test]
+    fn hostile_tenant_names_cannot_corrupt_the_text_exposition() {
+        let m = hub();
+        let tenant = "ev\"il\\ten{ant}";
+        m.session_started(tenant, 1);
+        m.session_finished(job("j1", tenant, "completed", 3), Default::default(), 0);
+        let v = Value::parse(&m.reply_text()).expect("envelope still parses");
+        let body = v.get("text").and_then(Value::as_str).unwrap().to_string();
+        assert!(
+            body.contains(r#"tenant="ev\"il\\ten{ant}","#),
+            "label value must be escaped: {body}"
+        );
+        assert!(!body.contains("tenant=\"ev\"il"), "raw quote must not survive");
+    }
+
+    #[test]
+    fn event_safe_clamps_to_the_event_charset() {
+        assert_eq!(event_safe("tenant-9_ok"), "tenant-9_ok");
+        assert_eq!(event_safe("a\"b\\c d.e"), "a_b_c_d_e");
     }
 
     #[test]

@@ -102,9 +102,20 @@ pub fn job_task(spec: &JobSpec) -> Option<Task> {
 }
 
 impl Server {
-    /// Build a daemon over fresh shared state. When `cfg.trace_dir` is set
-    /// or `cfg.metrics` is on (the default), installs a routing telemetry
-    /// sink (process-global: the last server constructed wins).
+    /// Build a daemon over fresh shared state.
+    ///
+    /// **Process-global side effect**: this may install a routing telemetry
+    /// sink (and enable telemetry) for the whole process.
+    ///
+    /// - `cfg.trace_dir` set: always installs, replacing any previously
+    ///   installed sink — the operator explicitly asked for per-job trace
+    ///   streams (the last server constructed wins, as in PR 9).
+    /// - metrics only (`cfg.metrics`, the default): installs **only when no
+    ///   telemetry sink is currently installed**, so an embedder's or
+    ///   test's own sink (e.g. `MemorySink`) is never silently rerouted.
+    ///   The cost of skipping: this server's span-latency histograms and
+    ///   flame profiles stay empty; job lifecycle metrics (submitted/done/
+    ///   queue wait/run wall/cache) still work, as they bypass the sink.
     pub fn new(cfg: ServeConfig) -> Server {
         let router = cfg.trace_dir.as_deref().map(|dir| {
             let _ = std::fs::create_dir_all(dir);
@@ -122,7 +133,7 @@ impl Server {
                 },
             )
         });
-        if router.is_some() || metrics.is_some() {
+        if router.is_some() || (metrics.is_some() && !citroen_telemetry::is_enabled()) {
             citroen_telemetry::install(Box::new(
                 crate::telemetry_route::RoutingSink::with_metrics(
                     router.clone(),
@@ -259,7 +270,13 @@ impl Server {
             Some(entry) => match entry.state {
                 JobState::Queued => {
                     // The worker skips it on dequeue; report terminal now.
+                    // No session ever starts, so the metrics plane must
+                    // count the terminal state here to balance
+                    // `jobs.submitted`.
                     entry.state = JobState::Cancelled;
+                    if let Some(m) = &self.metrics {
+                        m.job_cancelled_queued(&entry.spec.tenant);
+                    }
                     summary.lock().unwrap().cancelled += 1;
                     send(out, proto::job_reply(id, JobState::Cancelled));
                 }

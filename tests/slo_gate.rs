@@ -97,3 +97,17 @@ fn top_exits_one_on_injected_slo_breach() {
     run_one_job(&daemon.socket);
     assert_eq!(top_once(&daemon.socket), 1, "breached daemon must gate red");
 }
+
+#[test]
+fn compile_slo_breach_does_not_deadlock_the_daemon() {
+    // Regression: the compile sentinel breaches inside sink dispatch (span
+    // close holds the process-global telemetry SINK mutex). Emitting the
+    // breach event from there re-locked the same mutex and hung the daemon
+    // mid-span; the breach must instead be queued and emitted later. With
+    // the ceiling at ~1 ns the very first compile breaches — the job still
+    // completing (instead of `run_one_job` timing out) is the regression
+    // check, and `top` must then gate red on the degraded daemon.
+    let daemon = spawn_daemon("compile-breach", &["--slo-compile-us", "0.000001"]);
+    run_one_job(&daemon.socket);
+    assert_eq!(top_once(&daemon.socket), 1, "compile breach must gate red");
+}
